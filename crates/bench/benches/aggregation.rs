@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the server-side aggregation kernels:
+//! FedAvg weighted averaging vs FedCross cross-aggregation (single
+//! collaborator and propeller variants) and global-model generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedcross::aggregation::{cross_aggregate_all, cross_aggregate_propellers, global_model};
+use fedcross_nn::params::weighted_average;
+use fedcross_tensor::SeededRng;
+
+fn make_models(k: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SeededRng::new(seed);
+    (0..k)
+        .map(|_| (0..dim).map(|_| rng.uniform_range(-1.0, 1.0)).collect())
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_aggregation");
+    group.sample_size(20);
+
+    for &dim in &[10_000usize, 100_000] {
+        let models = make_models(10, dim, 7);
+        let weights = vec![1.0f32; models.len()];
+        let collaborators: Vec<usize> = (0..models.len())
+            .map(|i| (i + 1) % models.len())
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("fedavg_weighted_average", dim),
+            &dim,
+            |b, _| b.iter(|| black_box(weighted_average(&models, &weights))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fedcross_cross_aggregate_all", dim),
+            &dim,
+            |b, _| b.iter(|| black_box(cross_aggregate_all(&models, &collaborators, 0.99))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fedcross_propellers_x3", dim),
+            &dim,
+            |b, _| {
+                b.iter(|| {
+                    let refs: Vec<&[f32]> = models[1..4].iter().map(|m| m.as_slice()).collect();
+                    black_box(cross_aggregate_propellers(&models[0], &refs, 0.99))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global_model_generation", dim),
+            &dim,
+            |b, _| b.iter(|| black_box(global_model(&models))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

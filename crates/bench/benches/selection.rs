@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of collaborative-model selection: the in-order
+//! schedule vs the similarity-based strategies (which require pairwise cosine
+//! similarities over the flat parameter vectors).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedcross::selection::{similarity_matrix, SelectionStrategy};
+use fedcross_tensor::SeededRng;
+
+fn make_models(k: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SeededRng::new(seed);
+    (0..k)
+        .map(|_| (0..dim).map(|_| rng.normal()).collect())
+        .collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collaborative_selection");
+    group.sample_size(20);
+
+    for &(k, dim) in &[(10usize, 50_000usize), (20, 50_000)] {
+        let models = make_models(k, dim, 3);
+        let id = format!("k{k}_d{dim}");
+
+        group.bench_with_input(BenchmarkId::new("in_order", &id), &id, |b, _| {
+            b.iter(|| black_box(SelectionStrategy::InOrder.select_all(5, &models)))
+        });
+        group.bench_with_input(BenchmarkId::new("lowest_similarity", &id), &id, |b, _| {
+            b.iter(|| black_box(SelectionStrategy::LowestSimilarity.select_all(5, &models)))
+        });
+        group.bench_with_input(BenchmarkId::new("highest_similarity", &id), &id, |b, _| {
+            b.iter(|| black_box(SelectionStrategy::HighestSimilarity.select_all(5, &models)))
+        });
+        group.bench_with_input(BenchmarkId::new("similarity_matrix", &id), &id, |b, _| {
+            b.iter(|| black_box(similarity_matrix(&models)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

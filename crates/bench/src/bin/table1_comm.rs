@@ -1,0 +1,95 @@
+//! Table I: method category and communication overhead.
+//!
+//! Runs every method for a few rounds on a small task and *measures* the
+//! per-client auxiliary payload, classifying it the way the paper's Table I
+//! does (Low / Medium / High). Usage:
+//!
+//! ```text
+//! cargo run -p fedcross-bench --release --bin table1_comm [--rounds N] [--smoke]
+//! ```
+
+use fedcross::AlgorithmSpec;
+use fedcross_bench::report::{print_header, print_row, write_json};
+use fedcross_bench::{run_method, Args, ExperimentConfig, ModelSpec, TaskSpec};
+use fedcross_data::Heterogeneity;
+
+fn category(spec: &AlgorithmSpec) -> &'static str {
+    match spec {
+        AlgorithmSpec::FedAvg => "Classic",
+        AlgorithmSpec::FedProx { .. } => "Global Control Variable",
+        AlgorithmSpec::Scaffold => "Global Control Variable",
+        AlgorithmSpec::FedGen => "Knowledge Distillation",
+        AlgorithmSpec::CluSamp => "Client Grouping",
+        AlgorithmSpec::FedCross { .. } => "Multi-Model Guided",
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let mut config = args.apply(ExperimentConfig {
+        rounds: 3,
+        eval_every: 3,
+        ..ExperimentConfig::default()
+    });
+    config.num_clients = config.num_clients.min(12);
+
+    println!("Table I — Comparison between baseline methods and FedCross");
+    println!(
+        "(measured over {} rounds, {} clients, K={})\n",
+        config.rounds, config.num_clients, config.clients_per_round
+    );
+    print_header(&[
+        ("Method", 10),
+        ("Category", 26),
+        ("Extra payload (models/contact)", 30),
+        ("Comm. Overhead", 14),
+        ("Paper says", 10),
+    ]);
+
+    let paper_expectation = [
+        ("FedAvg", "Low"),
+        ("FedProx", "Low"),
+        ("SCAFFOLD", "High"),
+        ("FedGen", "Medium"),
+        ("CluSamp", "Low"),
+        ("FedCross", "Low"),
+    ];
+
+    let mut rows = Vec::new();
+    for spec in AlgorithmSpec::paper_lineup() {
+        let outcome = run_method(
+            spec,
+            TaskSpec::Cifar10(Heterogeneity::Dirichlet(0.5)),
+            ModelSpec::Cnn,
+            &config,
+        );
+        let extra = outcome
+            .result
+            .comm
+            .extra_models_per_contact(outcome.result.model_params);
+        let class = outcome
+            .result
+            .comm
+            .overhead_class(outcome.result.model_params);
+        let expected = paper_expectation
+            .iter()
+            .find(|(name, _)| *name == spec.label())
+            .map(|(_, c)| *c)
+            .unwrap_or("?");
+        print_row(&[
+            (spec.label().to_string(), 10),
+            (category(&spec).to_string(), 26),
+            (format!("{extra:.3}"), 30),
+            (class.to_string(), 14),
+            (expected.to_string(), 10),
+        ]);
+        rows.push(serde_json::json!({
+            "method": spec.label(),
+            "category": category(&spec),
+            "extra_models_per_contact": extra,
+            "measured_class": class.to_string(),
+            "paper_class": expected,
+        }));
+    }
+    write_json("table1_comm.json", &rows);
+}

@@ -1,0 +1,76 @@
+//! Table III: FedCross test accuracy for each (α, selection strategy) pair on
+//! CIFAR-10 with β = 1.0.
+//!
+//! The paper's findings to reproduce: lowest-similarity wins for most α,
+//! highest-similarity is the worst strategy, the best α is 0.99, and
+//! α = 0.999 collapses. Usage:
+//!
+//! ```text
+//! cargo run -p fedcross-bench --release --bin table3_alpha_strategy [--rounds N] [--all-alphas]
+//! ```
+
+use fedcross::{Acceleration, AlgorithmSpec, SelectionStrategy};
+use fedcross_bench::report::{format_mean_std, print_header, print_row, write_json};
+use fedcross_bench::{build_model, build_task, run_method_on, Args, ExperimentConfig, ModelSpec, TaskSpec};
+use fedcross_data::Heterogeneity;
+
+fn main() {
+    let args = Args::from_env();
+    let config = args.apply(ExperimentConfig::default());
+
+    let alphas: Vec<f32> = if args.flag("--all-alphas") {
+        vec![0.5, 0.8, 0.9, 0.95, 0.99, 0.999]
+    } else {
+        vec![0.5, 0.9, 0.99, 0.999]
+    };
+    let strategies = [
+        SelectionStrategy::InOrder,
+        SelectionStrategy::HighestSimilarity,
+        SelectionStrategy::LowestSimilarity,
+    ];
+
+    let task = TaskSpec::Cifar10(Heterogeneity::Dirichlet(1.0));
+    let data = build_task(task, &config, config.seed);
+
+    println!("Table III — Test accuracy (%) with different alpha settings (CIFAR-10, beta=1.0, CNN)");
+    println!(
+        "({} clients, K={}, {} rounds)\n",
+        config.num_clients, config.clients_per_round, config.rounds
+    );
+    print_header(&[
+        ("alpha", 7),
+        ("In-Order", 16),
+        ("Highest Similarity", 20),
+        ("Lowest Similarity", 18),
+    ]);
+
+    let mut json_rows = Vec::new();
+    for &alpha in &alphas {
+        let mut cells = vec![(format!("{alpha}"), 7)];
+        let mut row_json = serde_json::json!({ "alpha": alpha });
+        for strategy in strategies {
+            let spec = AlgorithmSpec::FedCross {
+                alpha,
+                strategy,
+                acceleration: Acceleration::None,
+            };
+            let template = build_model(ModelSpec::Cnn, &data, config.seed.wrapping_add(1));
+            let outcome = run_method_on(spec, &data, template, &config, &task.label(), "CNN");
+            let (mean, std) = outcome.accuracy_mean_std();
+            cells.push((
+                format_mean_std(mean, std),
+                match strategy {
+                    SelectionStrategy::InOrder => 16,
+                    SelectionStrategy::HighestSimilarity => 20,
+                    SelectionStrategy::LowestSimilarity => 18,
+                },
+            ));
+            row_json[strategy.to_string()] = serde_json::json!({ "mean": mean, "std": std });
+        }
+        print_row(&cells);
+        json_rows.push(row_json);
+    }
+    write_json("table3_alpha_strategy.json", &json_rows);
+    println!("\nPaper shape to check: lowest-similarity is best for most alpha values,");
+    println!("highest-similarity is the worst strategy, and alpha=0.999 collapses.");
+}

@@ -1,0 +1,148 @@
+//! Table printing and JSON result dumps shared by the harness binaries.
+
+use fedcross_flsim::TrainingHistory;
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Prints a fixed-width table header followed by a separator line.
+pub fn print_header(columns: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut rule = String::new();
+    for (name, width) in columns {
+        line.push_str(&format!("{name:<width$}  "));
+        rule.push_str(&"-".repeat(*width));
+        rule.push_str("  ");
+    }
+    println!("{line}");
+    println!("{rule}");
+}
+
+/// Prints one fixed-width row.
+pub fn print_row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (value, width) in cells {
+        line.push_str(&format!("{value:<width$}  "));
+    }
+    println!("{line}");
+}
+
+/// Formats an accuracy as the paper's "mean ± std" cell.
+pub fn format_mean_std(mean: f32, std: f32) -> String {
+    format!("{mean:.2} ± {std:.2}")
+}
+
+/// Formats a learning curve as a compact sparkline-style series of
+/// `round:acc%` points for terminal output.
+pub fn format_curve(history: &TrainingHistory, max_points: usize) -> String {
+    let curve = history.accuracy_curve();
+    if curve.is_empty() {
+        return String::from("(no evaluations)");
+    }
+    let stride = (curve.len() / max_points.max(1)).max(1);
+    let mut parts: Vec<String> = curve
+        .iter()
+        .step_by(stride)
+        .map(|(round, acc)| format!("{round}:{acc:.1}"))
+        .collect();
+    let last = curve.last().expect("non-empty curve");
+    let last_str = format!("{}:{:.1}", last.0, last.1);
+    if parts.last() != Some(&last_str) {
+        parts.push(last_str);
+    }
+    parts.join(" ")
+}
+
+/// Directory where harness binaries drop machine-readable results.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("FEDCROSS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/fedcross-results"));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Serialises `value` as pretty JSON into `results_dir()/name`.
+///
+/// Failures are reported on stderr but never abort the experiment — the
+/// printed tables are the primary artefact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = write_file(&path, &json) {
+                eprintln!("warning: could not write {}: {err}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: could not serialise {name}: {err}"),
+    }
+}
+
+fn write_file(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(contents.as_bytes())
+}
+
+/// Renders an ASCII heat-row for the Figure 3 style class-distribution plots:
+/// one character per class, scaled by the per-class share of the client's
+/// samples.
+pub fn ascii_distribution_row(counts: &[usize]) -> String {
+    const LEVELS: [char; 5] = [' ', '.', 'o', 'O', '@'];
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return " ".repeat(counts.len());
+    }
+    counts
+        .iter()
+        .map(|&c| {
+            let share = c as f32 / total as f32;
+            let idx = ((share * 4.0).ceil() as usize).min(4);
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_flsim::RoundRecord;
+
+    #[test]
+    fn mean_std_formatting() {
+        assert_eq!(format_mean_std(55.701, 0.736), "55.70 ± 0.74");
+    }
+
+    #[test]
+    fn curve_formatting_includes_first_and_last_points() {
+        let mut history = TrainingHistory::new();
+        for round in 0..10 {
+            history.push(RoundRecord {
+                round,
+                accuracy: round as f32 / 10.0,
+                test_loss: 0.0,
+                train_loss: 0.0,
+            });
+        }
+        let s = format_curve(&history, 4);
+        assert!(s.starts_with("0:0.0"));
+        assert!(s.ends_with("9:90.0"));
+        assert_eq!(format_curve(&TrainingHistory::new(), 4), "(no evaluations)");
+    }
+
+    #[test]
+    fn ascii_distribution_row_scales_with_share() {
+        let row = ascii_distribution_row(&[0, 1, 10, 100]);
+        assert_eq!(row.len(), 4);
+        assert_eq!(row.chars().next(), Some(' '));
+        assert_eq!(row.chars().last(), Some('@'));
+        assert_eq!(ascii_distribution_row(&[0, 0]), "  ");
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.exists());
+    }
+}

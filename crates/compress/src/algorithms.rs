@@ -1,0 +1,263 @@
+//! FL algorithms with compressed uploads.
+
+use crate::codec::Compressor;
+use crate::feedback::ErrorFeedback;
+use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
+use fedcross_nn::params::{add_scaled, average, difference};
+use fedcross_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated upload-volume accounting of a compressed run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UploadStats {
+    /// Scalars the clients would have uploaded without compression.
+    pub raw_scalars: u64,
+    /// Scalars actually occupied by the compressed encodings.
+    pub compressed_scalars: u64,
+    /// Number of compressed uploads recorded.
+    pub uploads: u64,
+}
+
+impl UploadStats {
+    /// Overall compression ratio (raw / compressed); 1.0 when nothing was
+    /// recorded.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_scalars == 0 {
+            1.0
+        } else {
+            self.raw_scalars as f64 / self.compressed_scalars as f64
+        }
+    }
+
+    /// Upload volume saved, in mebibytes at 4 bytes per scalar.
+    pub fn saved_mib(&self) -> f64 {
+        (self.raw_scalars.saturating_sub(self.compressed_scalars)) as f64 * 4.0
+            / (1024.0 * 1024.0)
+    }
+}
+
+/// FedAvg whose clients upload compressed parameter deltas.
+///
+/// Each round: dispatch the global model, train, compress every client's delta
+/// with the configured [`Compressor`] (optionally through per-client
+/// [`ErrorFeedback`]), decode on the server, average the decoded deltas and
+/// apply them to the global model. The exact raw-vs-compressed upload volume is
+/// tracked in [`UploadStats`].
+pub struct CompressedFedAvg {
+    global: Vec<f32>,
+    compressor: Box<dyn Compressor>,
+    feedback: Option<ErrorFeedback>,
+    stats: UploadStats,
+    rng: SeededRng,
+}
+
+impl CompressedFedAvg {
+    /// Creates compressed FedAvg. `error_feedback` should be enabled for
+    /// biased compressors (top-`k`); `seed` drives stochastic compression.
+    pub fn new(
+        init_params: Vec<f32>,
+        compressor: Box<dyn Compressor>,
+        error_feedback: bool,
+        seed: u64,
+    ) -> Self {
+        Self {
+            global: init_params,
+            compressor,
+            feedback: if error_feedback {
+                Some(ErrorFeedback::new())
+            } else {
+                None
+            },
+            stats: UploadStats::default(),
+            rng: SeededRng::new(seed),
+        }
+    }
+
+    /// The accumulated upload accounting.
+    pub fn upload_stats(&self) -> UploadStats {
+        self.stats
+    }
+
+    /// Whether error feedback is enabled.
+    pub fn uses_error_feedback(&self) -> bool {
+        self.feedback.is_some()
+    }
+}
+
+impl FederatedAlgorithm for CompressedFedAvg {
+    fn name(&self) -> String {
+        let ef = if self.feedback.is_some() { ", EF" } else { "" };
+        format!("fedavg+{}{}", self.compressor.label(), ef)
+    }
+
+    fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+        let selected = ctx.select_clients();
+        let jobs: Vec<(usize, Vec<f32>)> = selected
+            .iter()
+            .map(|&client| (client, self.global.clone()))
+            .collect();
+        let updates = ctx.local_train_batch(&jobs);
+        if updates.is_empty() {
+            return RoundReport::default();
+        }
+
+        let mut decoded_deltas = Vec::with_capacity(updates.len());
+        for update in &updates {
+            let delta = difference(&update.params, &self.global);
+            let compressed = match self.feedback.as_mut() {
+                Some(feedback) => feedback.compress_with_feedback(
+                    update.client,
+                    &delta,
+                    self.compressor.as_ref(),
+                    &mut self.rng,
+                ),
+                None => self.compressor.compress(&delta, &mut self.rng),
+            };
+            self.stats.raw_scalars += delta.len() as u64;
+            self.stats.compressed_scalars += compressed.payload_scalars() as u64;
+            self.stats.uploads += 1;
+            decoded_deltas.push(compressed.decode());
+        }
+
+        let aggregate = average(&decoded_deltas);
+        add_scaled(&mut self.global, &aggregate, 1.0);
+        RoundReport::from_updates(&updates)
+    }
+
+    fn global_params(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Identity;
+    use crate::quantize::UniformQuantizer;
+    use crate::sparsify::TopK;
+    use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+    use fedcross_data::Heterogeneity;
+    use fedcross_flsim::{LocalTrainConfig, Simulation, SimulationConfig};
+    use fedcross_nn::models::{cnn, CnnConfig};
+    use fedcross_nn::Model;
+
+    fn tiny_setup(seed: u64) -> (FederatedDataset, Box<dyn Model>) {
+        let mut rng = SeededRng::new(seed);
+        let data = FederatedDataset::synth_cifar10(
+            &SynthCifar10Config {
+                num_clients: 6,
+                samples_per_client: 30,
+                test_samples: 60,
+                ..Default::default()
+            },
+            Heterogeneity::Iid,
+            &mut rng,
+        );
+        let template = cnn(
+            (3, 16, 16),
+            10,
+            CnnConfig {
+                conv_channels: (4, 8),
+                fc_hidden: 16,
+                kernel: 3,
+            },
+            &mut rng,
+        );
+        (data, template)
+    }
+
+    fn quick_config(rounds: usize) -> SimulationConfig {
+        SimulationConfig {
+            rounds,
+            clients_per_round: 3,
+            eval_every: rounds.max(1),
+            eval_batch_size: 64,
+            local: LocalTrainConfig {
+                epochs: 2,
+                batch_size: 10,
+                lr: 0.1,
+                momentum: 0.5,
+                weight_decay: 0.0,
+            },
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn identity_compression_matches_plain_fedavg_updates() {
+        let (data, template) = tiny_setup(0);
+        let mut algo = CompressedFedAvg::new(template.params_flat(), Box::new(Identity), false, 1);
+        let result = Simulation::new(quick_config(3), &data, template).run(&mut algo);
+        // Evaluated at round 0 and at the final round.
+        assert_eq!(result.history.len(), 2);
+        let stats = algo.upload_stats();
+        assert_eq!(stats.raw_scalars, stats.compressed_scalars);
+        assert!((stats.ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(stats.uploads, 9);
+        assert!(!algo.uses_error_feedback());
+    }
+
+    #[test]
+    fn quantized_uploads_learn_and_shrink_the_payload() {
+        let (data, template) = tiny_setup(1);
+        let init_acc = fedcross_flsim::eval::evaluate_params(
+            template.as_ref(),
+            &template.params_flat(),
+            data.test_set(),
+            64,
+        )
+        .accuracy;
+        let mut algo = CompressedFedAvg::new(
+            template.params_flat(),
+            Box::new(UniformQuantizer::new(8, true)),
+            false,
+            2,
+        );
+        let result = Simulation::new(quick_config(10), &data, template).run(&mut algo);
+        assert!(
+            result.history.best_accuracy() > init_acc + 0.1,
+            "8-bit quantized FedAvg should learn ({} vs {})",
+            result.history.best_accuracy(),
+            init_acc
+        );
+        let stats = algo.upload_stats();
+        assert!(stats.ratio() > 3.0, "ratio {}", stats.ratio());
+        assert!(stats.saved_mib() > 0.0);
+        assert!(algo.name().contains("quant-8bit"));
+    }
+
+    #[test]
+    fn topk_with_error_feedback_learns() {
+        let (data, template) = tiny_setup(2);
+        let init_acc = fedcross_flsim::eval::evaluate_params(
+            template.as_ref(),
+            &template.params_flat(),
+            data.test_set(),
+            64,
+        )
+        .accuracy;
+        let mut algo = CompressedFedAvg::new(
+            template.params_flat(),
+            Box::new(TopK::new(0.25)),
+            true,
+            3,
+        );
+        let result = Simulation::new(quick_config(12), &data, template).run(&mut algo);
+        assert!(
+            result.history.best_accuracy() > init_acc + 0.1,
+            "top-k + EF FedAvg should learn ({} vs {})",
+            result.history.best_accuracy(),
+            init_acc
+        );
+        assert!(algo.upload_stats().ratio() > 1.8);
+        assert!(algo.uses_error_feedback());
+        assert!(algo.name().ends_with(", EF"));
+    }
+
+    #[test]
+    fn empty_stats_have_unit_ratio() {
+        let stats = UploadStats::default();
+        assert_eq!(stats.ratio(), 1.0);
+        assert_eq!(stats.saved_mib(), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The compressor interface and the compressed-update container.
+
+use fedcross_tensor::SeededRng;
+
+/// The encoded form of one client's parameter delta.
+///
+/// The variants correspond to the compressor families in this crate; the
+/// container knows how to decode itself and how many 4-byte words its wire
+/// representation occupies, which is what the upload accounting uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressedUpdate {
+    /// Uncompressed delta (the identity compressor).
+    Dense(Vec<f32>),
+    /// Uniformly quantized delta: `bits`-bit codes plus the per-vector range.
+    Quantized {
+        /// Number of original coordinates.
+        dim: usize,
+        /// Quantization resolution in bits per coordinate (1–8).
+        bits: u8,
+        /// Minimum of the original values (code 0).
+        lo: f32,
+        /// Maximum of the original values (the largest code).
+        hi: f32,
+        /// One code per coordinate, stored one per byte for simplicity; the
+        /// payload accounting still charges only `bits` bits per coordinate.
+        codes: Vec<u8>,
+    },
+    /// Sparse delta: explicit (index, value) pairs, everything else is zero.
+    Sparse {
+        /// Number of original coordinates.
+        dim: usize,
+        /// Indices of the transmitted coordinates.
+        indices: Vec<u32>,
+        /// Values of the transmitted coordinates.
+        values: Vec<f32>,
+    },
+}
+
+impl CompressedUpdate {
+    /// Number of coordinates of the original delta.
+    pub fn dim(&self) -> usize {
+        match self {
+            CompressedUpdate::Dense(values) => values.len(),
+            CompressedUpdate::Quantized { dim, .. } | CompressedUpdate::Sparse { dim, .. } => *dim,
+        }
+    }
+
+    /// Wire size in 4-byte-word equivalents (the unit the communication
+    /// tracker counts model parameters in).
+    pub fn payload_scalars(&self) -> usize {
+        match self {
+            CompressedUpdate::Dense(values) => values.len(),
+            CompressedUpdate::Quantized { dim, bits, .. } => {
+                // codes packed at `bits` bits each, plus the (lo, hi) range.
+                (dim * *bits as usize).div_ceil(32) + 2
+            }
+            CompressedUpdate::Sparse { indices, values, .. } => indices.len() + values.len(),
+        }
+    }
+
+    /// Reconstructs the (lossy) dense delta.
+    pub fn decode(&self) -> Vec<f32> {
+        match self {
+            CompressedUpdate::Dense(values) => values.clone(),
+            CompressedUpdate::Quantized {
+                dim,
+                bits,
+                lo,
+                hi,
+                codes,
+            } => {
+                let levels = (1u32 << bits) - 1;
+                let span = hi - lo;
+                let mut out = Vec::with_capacity(*dim);
+                for &code in codes {
+                    let fraction = if levels == 0 {
+                        0.0
+                    } else {
+                        code as f32 / levels as f32
+                    };
+                    out.push(lo + fraction * span);
+                }
+                out
+            }
+            CompressedUpdate::Sparse {
+                dim,
+                indices,
+                values,
+            } => {
+                let mut out = vec![0f32; *dim];
+                for (&index, &value) in indices.iter().zip(values) {
+                    out[index as usize] = value;
+                }
+                out
+            }
+        }
+    }
+
+    /// Compression ratio relative to the dense representation (≥ 1 means the
+    /// encoding is at least as small as the raw delta).
+    pub fn compression_ratio(&self) -> f32 {
+        let dense = self.dim().max(1) as f32;
+        dense / self.payload_scalars().max(1) as f32
+    }
+}
+
+/// A client-side compressor of parameter deltas.
+pub trait Compressor: Send + Sync {
+    /// Encodes `delta`. `rng` supplies the randomness stochastic schemes need.
+    fn compress(&self, delta: &[f32], rng: &mut SeededRng) -> CompressedUpdate;
+
+    /// Human-readable label used in ablation tables.
+    fn label(&self) -> String;
+}
+
+/// The identity compressor (uploads the raw delta); the "no compression"
+/// baseline of the ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl Compressor for Identity {
+    fn compress(&self, delta: &[f32], _rng: &mut SeededRng) -> CompressedUpdate {
+        CompressedUpdate::Dense(delta.to_vec())
+    }
+
+    fn label(&self) -> String {
+        "none".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_update_round_trips_exactly() {
+        let delta = vec![1.0, -2.0, 0.5];
+        let update = Identity.compress(&delta, &mut SeededRng::new(0));
+        assert_eq!(update.decode(), delta);
+        assert_eq!(update.dim(), 3);
+        assert_eq!(update.payload_scalars(), 3);
+        assert!((update.compression_ratio() - 1.0).abs() < 1e-6);
+        assert_eq!(Identity.label(), "none");
+    }
+
+    #[test]
+    fn quantized_payload_counts_bits_and_range() {
+        let update = CompressedUpdate::Quantized {
+            dim: 64,
+            bits: 8,
+            lo: -1.0,
+            hi: 1.0,
+            codes: vec![0; 64],
+        };
+        // 64 coords × 8 bits = 512 bits = 16 words, plus 2 words of range.
+        assert_eq!(update.payload_scalars(), 18);
+        assert!(update.compression_ratio() > 3.0);
+    }
+
+    #[test]
+    fn quantized_decode_maps_codes_into_the_range() {
+        let update = CompressedUpdate::Quantized {
+            dim: 3,
+            bits: 2,
+            lo: -1.0,
+            hi: 1.0,
+            codes: vec![0, 1, 3],
+        };
+        let decoded = update.decode();
+        assert!((decoded[0] + 1.0).abs() < 1e-6);
+        assert!((decoded[1] + 1.0 / 3.0).abs() < 1e-6);
+        assert!((decoded[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_decode_scatters_values() {
+        let update = CompressedUpdate::Sparse {
+            dim: 5,
+            indices: vec![1, 4],
+            values: vec![2.0, -3.0],
+        };
+        assert_eq!(update.decode(), vec![0.0, 2.0, 0.0, 0.0, -3.0]);
+        assert_eq!(update.payload_scalars(), 4);
+        assert_eq!(update.dim(), 5);
+    }
+
+    #[test]
+    fn one_bit_quantization_payload_is_about_one_thirtysecond() {
+        let update = CompressedUpdate::Quantized {
+            dim: 3200,
+            bits: 1,
+            lo: 0.0,
+            hi: 1.0,
+            codes: vec![0; 3200],
+        };
+        assert_eq!(update.payload_scalars(), 100 + 2);
+        assert!(update.compression_ratio() > 25.0);
+    }
+}

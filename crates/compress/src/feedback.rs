@@ -1,0 +1,188 @@
+//! Per-client error-feedback memory (EF-SGD).
+//!
+//! Biased compressors such as top-`k` drop information every round; error
+//! feedback keeps them convergent by having every client remember the residual
+//! `delta_sent_for_compression − delta_actually_transmitted` and add it back
+//! to its next delta. The memory lives on the client, so it costs no extra
+//! communication.
+
+use std::collections::HashMap;
+
+use crate::codec::{CompressedUpdate, Compressor};
+use fedcross_tensor::SeededRng;
+
+/// Error-feedback residual memory, keyed by client index.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorFeedback {
+    residuals: HashMap<usize, Vec<f32>>,
+}
+
+impl ErrorFeedback {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clients with a stored residual.
+    pub fn tracked_clients(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// The residual currently stored for `client`, if any.
+    pub fn residual(&self, client: usize) -> Option<&[f32]> {
+        self.residuals.get(&client).map(Vec::as_slice)
+    }
+
+    /// Compresses `delta` for `client` with error feedback: the stored
+    /// residual is added before compression and the new residual (corrected
+    /// delta minus what the encoding reconstructs to) is stored for the next
+    /// round.
+    pub fn compress_with_feedback(
+        &mut self,
+        client: usize,
+        delta: &[f32],
+        compressor: &dyn Compressor,
+        rng: &mut SeededRng,
+    ) -> CompressedUpdate {
+        let mut corrected = delta.to_vec();
+        if let Some(residual) = self.residuals.get(&client) {
+            if residual.len() == corrected.len() {
+                for (c, &r) in corrected.iter_mut().zip(residual) {
+                    *c += r;
+                }
+            }
+        }
+        let compressed = compressor.compress(&corrected, rng);
+        let decoded = compressed.decode();
+        let residual: Vec<f32> = corrected
+            .iter()
+            .zip(&decoded)
+            .map(|(&c, &d)| c - d)
+            .collect();
+        self.residuals.insert(client, residual);
+        compressed
+    }
+
+    /// Drops all stored residuals.
+    pub fn reset(&mut self) {
+        self.residuals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Identity;
+    use crate::quantize::UniformQuantizer;
+    use crate::sparsify::TopK;
+    use fedcross_nn::params::l2_norm;
+
+    #[test]
+    fn identity_compression_leaves_no_residual() {
+        let mut feedback = ErrorFeedback::new();
+        let delta = vec![1.0, -2.0, 3.0];
+        let update =
+            feedback.compress_with_feedback(0, &delta, &Identity, &mut SeededRng::new(0));
+        assert_eq!(update.decode(), delta);
+        assert!(l2_norm(feedback.residual(0).unwrap()) < 1e-6);
+        assert_eq!(feedback.tracked_clients(), 1);
+    }
+
+    #[test]
+    fn residual_carries_dropped_coordinates_forward() {
+        let mut feedback = ErrorFeedback::new();
+        let compressor = TopK::new(0.3); // keeps 1 of 3 coordinates
+        let delta = vec![0.1, 10.0, 0.2];
+        let first =
+            feedback.compress_with_feedback(7, &delta, &compressor, &mut SeededRng::new(1));
+        assert_eq!(first.decode(), vec![0.0, 10.0, 0.0]);
+        let residual = feedback.residual(7).unwrap().to_vec();
+        assert!((residual[0] - 0.1).abs() < 1e-6);
+        assert!((residual[2] - 0.2).abs() < 1e-6);
+
+        // A zero delta next round still transmits the remembered residual.
+        let second =
+            feedback.compress_with_feedback(7, &[0.0, 0.0, 0.0], &compressor, &mut SeededRng::new(2));
+        let decoded = second.decode();
+        assert!(decoded[2] > 0.0 || decoded[0] > 0.0, "residual must eventually be sent");
+    }
+
+    #[test]
+    fn accumulated_transmissions_approach_the_accumulated_deltas() {
+        // Send the same delta for many rounds through an aggressive top-k
+        // compressor with feedback: the sum of the decoded transmissions must
+        // track the sum of the raw deltas (the EF-SGD guarantee).
+        let mut feedback = ErrorFeedback::new();
+        let compressor = TopK::new(0.1);
+        let delta: Vec<f32> = (0..50).map(|i| (i as f32 - 25.0) * 0.01).collect();
+        let rounds = 120;
+        let mut transmitted_sum = vec![0f32; delta.len()];
+        let mut rng = SeededRng::new(3);
+        let mut gap_half_way = 0f32;
+        for round in 0..rounds {
+            let decoded = feedback
+                .compress_with_feedback(1, &delta, &compressor, &mut rng)
+                .decode();
+            for (t, d) in transmitted_sum.iter_mut().zip(decoded) {
+                *t += d;
+            }
+            if round + 1 == rounds / 2 {
+                let target: Vec<f32> = delta.iter().map(|&d| d * (round + 1) as f32).collect();
+                let gap: Vec<f32> = transmitted_sum
+                    .iter()
+                    .zip(&target)
+                    .map(|(&t, &g)| t - g)
+                    .collect();
+                gap_half_way = l2_norm(&gap);
+            }
+        }
+        let target: Vec<f32> = delta.iter().map(|&d| d * rounds as f32).collect();
+        let gap: Vec<f32> = transmitted_sum
+            .iter()
+            .zip(&target)
+            .map(|(&t, &g)| t - g)
+            .collect();
+        let gap_final = l2_norm(&gap);
+        // The gap equals the current residual: it must stay bounded (it does
+        // not keep growing between the half-way point and the end, unlike the
+        // no-feedback case where it grows linearly in the number of rounds)
+        // and well below the total dropped mass.
+        assert!(
+            gap_final <= gap_half_way * 1.25 + 0.1,
+            "residual kept growing ({gap_half_way} -> {gap_final})"
+        );
+        assert!(
+            gap_final < 0.2 * rounds as f32 * l2_norm(&delta),
+            "error feedback failed to keep the residual bounded (gap {gap_final})"
+        );
+    }
+
+    #[test]
+    fn per_client_residuals_are_independent() {
+        let mut feedback = ErrorFeedback::new();
+        let compressor = TopK::new(0.5);
+        let mut rng = SeededRng::new(4);
+        let _ = feedback.compress_with_feedback(0, &[1.0, 0.2, 0.1, 0.9], &compressor, &mut rng);
+        let _ = feedback.compress_with_feedback(1, &[0.5, 0.4, 0.3, 0.6], &compressor, &mut rng);
+        assert_eq!(feedback.tracked_clients(), 2);
+        // Client 0 drops {0.2, 0.1}; client 1 drops {0.4, 0.3}.
+        assert_ne!(feedback.residual(0), feedback.residual(1));
+        assert!(l2_norm(feedback.residual(0).unwrap()) > 0.0);
+        feedback.reset();
+        assert_eq!(feedback.tracked_clients(), 0);
+        assert!(feedback.residual(0).is_none());
+        let _ = UniformQuantizer::new(2, false); // quantizer also usable here
+    }
+
+    #[test]
+    fn dimension_change_discards_the_stale_residual() {
+        let mut feedback = ErrorFeedback::new();
+        let compressor = TopK::new(0.5);
+        let mut rng = SeededRng::new(5);
+        let _ = feedback.compress_with_feedback(0, &[1.0, 2.0, 3.0, 4.0], &compressor, &mut rng);
+        // A different dimensionality must not panic and must ignore the old
+        // residual.
+        let update = feedback.compress_with_feedback(0, &[1.0, 1.0], &compressor, &mut rng);
+        assert_eq!(update.dim(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! # fedcross-compress
+//!
+//! Upload compression for the FedCross workspace.
+//!
+//! The paper's Section IV-C3 argues about communication overhead purely in
+//! *model-equivalents per round* (Table I). This crate makes the byte volume a
+//! first-class measured quantity and provides the standard techniques for
+//! reducing it, so the cost/utility trade-off can be swept by the benchmark
+//! harness (`ablation_compression`):
+//!
+//! * [`codec`] — the [`codec::Compressor`] trait and the
+//!   [`codec::CompressedUpdate`] container with exact payload accounting
+//!   (in 4-byte-word equivalents),
+//! * [`quantize`] — uniform `b`-bit quantization with optional stochastic
+//!   (unbiased) rounding, QSGD-style,
+//! * [`sparsify`] — top-`k` and random-`k` sparsification of parameter deltas,
+//! * [`feedback`] — per-client error-feedback memory (EF-SGD), which keeps
+//!   aggressive compressors convergent by carrying the compression residual
+//!   into the next round,
+//! * [`algorithms`] — [`algorithms::CompressedFedAvg`], a drop-in
+//!   [`fedcross_flsim::FederatedAlgorithm`] whose clients upload compressed
+//!   deltas, with exact accounting of raw vs. compressed upload volume.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fedcross_compress::codec::Compressor;
+//! use fedcross_compress::quantize::UniformQuantizer;
+//! use fedcross_tensor::SeededRng;
+//!
+//! let delta: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) / 64.0).collect();
+//! let quantizer = UniformQuantizer::new(8, true);
+//! let mut rng = SeededRng::new(0);
+//! let compressed = quantizer.compress(&delta, &mut rng);
+//! assert!(compressed.payload_scalars() < delta.len());
+//! let restored = compressed.decode();
+//! assert_eq!(restored.len(), delta.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithms;
+pub mod codec;
+pub mod feedback;
+pub mod quantize;
+pub mod sparsify;
+
+pub use algorithms::{CompressedFedAvg, UploadStats};
+pub use codec::{CompressedUpdate, Compressor, Identity};
+pub use feedback::ErrorFeedback;
+pub use quantize::UniformQuantizer;
+pub use sparsify::{RandK, TopK};

@@ -1,0 +1,219 @@
+//! Uniform quantization of parameter deltas.
+
+use crate::codec::{CompressedUpdate, Compressor};
+use fedcross_tensor::SeededRng;
+
+/// Uniform `b`-bit quantizer over the per-vector `[min, max]` range.
+///
+/// With `stochastic = true` the fractional part of each code is rounded up
+/// with probability equal to the fraction (QSGD-style), making the decoded
+/// value an unbiased estimate of the original; with `stochastic = false`
+/// nearest rounding is used (smaller variance, small bias).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformQuantizer {
+    bits: u8,
+    stochastic: bool,
+}
+
+impl UniformQuantizer {
+    /// Creates a quantizer with `bits` bits per coordinate (1–8).
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero or larger than 8.
+    pub fn new(bits: u8, stochastic: bool) -> Self {
+        assert!((1..=8).contains(&bits), "bits must lie in 1..=8");
+        Self { bits, stochastic }
+    }
+
+    /// Bits per coordinate.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Whether stochastic (unbiased) rounding is used.
+    pub fn is_stochastic(&self) -> bool {
+        self.stochastic
+    }
+
+    /// The worst-case absolute reconstruction error per coordinate for a
+    /// value range of `span` (half a quantization bucket for nearest
+    /// rounding, a full bucket for stochastic rounding).
+    pub fn max_error(&self, span: f32) -> f32 {
+        let levels = (1u32 << self.bits) - 1;
+        let bucket = span / levels.max(1) as f32;
+        if self.stochastic {
+            bucket
+        } else {
+            bucket / 2.0
+        }
+    }
+}
+
+impl Compressor for UniformQuantizer {
+    fn compress(&self, delta: &[f32], rng: &mut SeededRng) -> CompressedUpdate {
+        if delta.is_empty() {
+            return CompressedUpdate::Quantized {
+                dim: 0,
+                bits: self.bits,
+                lo: 0.0,
+                hi: 0.0,
+                codes: Vec::new(),
+            };
+        }
+        let lo = delta.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = delta.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let levels = (1u32 << self.bits) - 1;
+        let span = hi - lo;
+        let codes = delta
+            .iter()
+            .map(|&value| {
+                if span <= 0.0 || levels == 0 {
+                    return 0u8;
+                }
+                let exact = (value - lo) / span * levels as f32;
+                let base = exact.floor();
+                let fraction = exact - base;
+                let rounded = if self.stochastic {
+                    if rng.uniform() < fraction {
+                        base + 1.0
+                    } else {
+                        base
+                    }
+                } else {
+                    exact.round()
+                };
+                rounded.clamp(0.0, levels as f32) as u8
+            })
+            .collect();
+        CompressedUpdate::Quantized {
+            dim: delta.len(),
+            bits: self.bits,
+            lo,
+            hi,
+            codes,
+        }
+    }
+
+    fn label(&self) -> String {
+        let mode = if self.stochastic { "stochastic" } else { "nearest" };
+        format!("quant-{}bit ({mode})", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_tensor::stats::mean_of;
+
+    fn sample_delta(n: usize) -> Vec<f32> {
+        let mut rng = SeededRng::new(42);
+        (0..n).map(|_| rng.normal_with(0.0, 0.5)).collect()
+    }
+
+    #[test]
+    fn eight_bit_nearest_quantization_is_accurate() {
+        let delta = sample_delta(1024);
+        let quantizer = UniformQuantizer::new(8, false);
+        let update = quantizer.compress(&delta, &mut SeededRng::new(0));
+        let decoded = update.decode();
+        let span = delta.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+            - delta.iter().copied().fold(f32::INFINITY, f32::min);
+        let bound = quantizer.max_error(span) + 1e-6;
+        for (&original, &restored) in delta.iter().zip(&decoded) {
+            assert!(
+                (original - restored).abs() <= bound,
+                "error {} exceeds bound {}",
+                (original - restored).abs(),
+                bound
+            );
+        }
+        assert!(update.payload_scalars() < delta.len() / 3);
+    }
+
+    #[test]
+    fn stochastic_rounding_is_nearly_unbiased() {
+        // Quantize the same constant many times: the mean of the decoded
+        // values must approach the original value.
+        let delta = vec![0.37f32; 1];
+        // Embed in a vector with a fixed range so the constant is mid-bucket.
+        let padded = vec![0.0, 1.0, 0.37];
+        let quantizer = UniformQuantizer::new(2, true);
+        let mut rng = SeededRng::new(1);
+        let mut decoded_values = Vec::new();
+        for _ in 0..4000 {
+            let update = quantizer.compress(&padded, &mut rng);
+            decoded_values.push(update.decode()[2]);
+        }
+        let mean = mean_of(&decoded_values);
+        assert!(
+            (mean - 0.37).abs() < 0.02,
+            "stochastic rounding should be unbiased (mean {mean})"
+        );
+        let _ = delta;
+    }
+
+    #[test]
+    fn stochastic_error_stays_within_one_bucket() {
+        let delta = sample_delta(512);
+        let quantizer = UniformQuantizer::new(4, true);
+        let update = quantizer.compress(&delta, &mut SeededRng::new(2));
+        let decoded = update.decode();
+        let span = delta.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+            - delta.iter().copied().fold(f32::INFINITY, f32::min);
+        let bound = quantizer.max_error(span) + 1e-6;
+        for (&original, &restored) in delta.iter().zip(&decoded) {
+            assert!((original - restored).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn constant_delta_round_trips_exactly() {
+        let delta = vec![0.25f32; 100];
+        let update = UniformQuantizer::new(1, false).compress(&delta, &mut SeededRng::new(3));
+        assert_eq!(update.decode(), delta);
+    }
+
+    #[test]
+    fn extremes_are_reproduced_exactly() {
+        let delta = vec![-2.0, 0.0, 3.0];
+        let update = UniformQuantizer::new(8, false).compress(&delta, &mut SeededRng::new(4));
+        let decoded = update.decode();
+        assert!((decoded[0] + 2.0).abs() < 1e-6);
+        assert!((decoded[2] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_delta_is_handled() {
+        let update = UniformQuantizer::new(4, true).compress(&[], &mut SeededRng::new(5));
+        assert_eq!(update.dim(), 0);
+        assert!(update.decode().is_empty());
+    }
+
+    #[test]
+    fn fewer_bits_mean_smaller_payload() {
+        let delta = sample_delta(4096);
+        let mut rng = SeededRng::new(6);
+        let p8 = UniformQuantizer::new(8, false)
+            .compress(&delta, &mut rng)
+            .payload_scalars();
+        let p2 = UniformQuantizer::new(2, false)
+            .compress(&delta, &mut rng)
+            .payload_scalars();
+        assert!(p2 < p8);
+        assert!(p8 < delta.len());
+    }
+
+    #[test]
+    fn labels_mention_bits_and_mode() {
+        assert_eq!(UniformQuantizer::new(4, true).label(), "quant-4bit (stochastic)");
+        assert_eq!(UniformQuantizer::new(8, false).label(), "quant-8bit (nearest)");
+        assert!(UniformQuantizer::new(8, false).bits() == 8);
+        assert!(UniformQuantizer::new(8, true).is_stochastic());
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_eight_bits_is_rejected() {
+        let _ = UniformQuantizer::new(9, false);
+    }
+}

@@ -1,0 +1,217 @@
+//! Sparsification of parameter deltas.
+
+use crate::codec::{CompressedUpdate, Compressor};
+use fedcross_tensor::SeededRng;
+
+/// Keeps only the `fraction` of coordinates with the largest magnitude.
+///
+/// Top-`k` is biased (it systematically drops small coordinates), which is why
+/// it is normally combined with [`crate::feedback::ErrorFeedback`].
+#[derive(Debug, Clone, Copy)]
+pub struct TopK {
+    fraction: f32,
+}
+
+impl TopK {
+    /// Creates a top-`k` sparsifier keeping `fraction ∈ (0, 1]` of coordinates.
+    ///
+    /// # Panics
+    /// Panics if the fraction is outside `(0, 1]`.
+    pub fn new(fraction: f32) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must lie in (0, 1]"
+        );
+        Self { fraction }
+    }
+
+    /// Number of coordinates kept for a delta of dimension `dim` (always at
+    /// least one for a non-empty delta).
+    pub fn kept(&self, dim: usize) -> usize {
+        if dim == 0 {
+            0
+        } else {
+            ((dim as f32 * self.fraction).ceil() as usize).clamp(1, dim)
+        }
+    }
+}
+
+impl Compressor for TopK {
+    fn compress(&self, delta: &[f32], _rng: &mut SeededRng) -> CompressedUpdate {
+        let keep = self.kept(delta.len());
+        let mut order: Vec<usize> = (0..delta.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            delta[b]
+                .abs()
+                .partial_cmp(&delta[a].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut picked: Vec<usize> = order.into_iter().take(keep).collect();
+        picked.sort_unstable();
+        CompressedUpdate::Sparse {
+            dim: delta.len(),
+            indices: picked.iter().map(|&i| i as u32).collect(),
+            values: picked.iter().map(|&i| delta[i]).collect(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("top-{:.0}%", self.fraction * 100.0)
+    }
+}
+
+/// Keeps a uniformly random `fraction` of coordinates, rescaled by
+/// `1/fraction` so the sparsified delta is an unbiased estimate of the
+/// original.
+#[derive(Debug, Clone, Copy)]
+pub struct RandK {
+    fraction: f32,
+}
+
+impl RandK {
+    /// Creates a random-`k` sparsifier keeping `fraction ∈ (0, 1]` of
+    /// coordinates.
+    ///
+    /// # Panics
+    /// Panics if the fraction is outside `(0, 1]`.
+    pub fn new(fraction: f32) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must lie in (0, 1]"
+        );
+        Self { fraction }
+    }
+}
+
+impl Compressor for RandK {
+    fn compress(&self, delta: &[f32], rng: &mut SeededRng) -> CompressedUpdate {
+        if delta.is_empty() {
+            return CompressedUpdate::Sparse {
+                dim: 0,
+                indices: Vec::new(),
+                values: Vec::new(),
+            };
+        }
+        let keep = ((delta.len() as f32 * self.fraction).ceil() as usize).clamp(1, delta.len());
+        let mut picked = rng.sample_without_replacement(delta.len(), keep);
+        picked.sort_unstable();
+        let scale = delta.len() as f32 / keep as f32;
+        CompressedUpdate::Sparse {
+            dim: delta.len(),
+            indices: picked.iter().map(|&i| i as u32).collect(),
+            values: picked.iter().map(|&i| delta[i] * scale).collect(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("rand-{:.0}%", self.fraction * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_nn::params::l2_norm;
+
+    fn sample_delta(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SeededRng::new(seed);
+        (0..n).map(|_| rng.normal_with(0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn topk_keeps_exactly_the_largest_magnitudes() {
+        let delta = vec![0.1, -5.0, 0.2, 3.0, -0.05];
+        let update = TopK::new(0.4).compress(&delta, &mut SeededRng::new(0));
+        match &update {
+            CompressedUpdate::Sparse { indices, values, .. } => {
+                assert_eq!(indices, &vec![1, 3]);
+                assert_eq!(values, &vec![-5.0, 3.0]);
+            }
+            other => panic!("expected sparse update, got {other:?}"),
+        }
+        let decoded = update.decode();
+        assert_eq!(decoded, vec![0.0, -5.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_payload_matches_fraction() {
+        let delta = sample_delta(1000, 1);
+        let update = TopK::new(0.1).compress(&delta, &mut SeededRng::new(1));
+        assert_eq!(update.payload_scalars(), 200); // 100 indices + 100 values
+        assert!(update.compression_ratio() > 4.0);
+    }
+
+    #[test]
+    fn topk_always_keeps_at_least_one_coordinate() {
+        let delta = vec![1.0, 2.0, 3.0];
+        let update = TopK::new(0.01).compress(&delta, &mut SeededRng::new(2));
+        match update {
+            CompressedUpdate::Sparse { indices, .. } => assert_eq!(indices.len(), 1),
+            other => panic!("expected sparse update, got {other:?}"),
+        }
+        assert_eq!(TopK::new(0.5).kept(0), 0);
+    }
+
+    #[test]
+    fn topk_preserves_most_of_the_energy() {
+        let delta = sample_delta(2000, 3);
+        let update = TopK::new(0.25).compress(&delta, &mut SeededRng::new(3));
+        let decoded = update.decode();
+        // The largest quarter of Gaussian coordinates carries well over half
+        // of the L2 energy.
+        assert!(l2_norm(&decoded) > 0.6 * l2_norm(&delta));
+    }
+
+    #[test]
+    fn randk_is_unbiased_on_average() {
+        let delta = vec![2.0f32; 50];
+        let sparsifier = RandK::new(0.2);
+        let mut rng = SeededRng::new(4);
+        let mut accumulated = vec![0f32; 50];
+        let trials = 2000;
+        for _ in 0..trials {
+            let decoded = sparsifier.compress(&delta, &mut rng).decode();
+            for (acc, value) in accumulated.iter_mut().zip(decoded) {
+                *acc += value;
+            }
+        }
+        let per_coordinate_means: Vec<f32> =
+            accumulated.iter().map(|acc| acc / trials as f32).collect();
+        for &mean in &per_coordinate_means {
+            assert!((mean - 2.0).abs() < 0.5, "rand-k mean {mean} is biased");
+        }
+        let overall = per_coordinate_means.iter().sum::<f32>() / per_coordinate_means.len() as f32;
+        assert!(
+            (overall - 2.0).abs() < 0.1,
+            "rand-k overall mean {overall} is biased"
+        );
+    }
+
+    #[test]
+    fn randk_respects_the_budget() {
+        let delta = sample_delta(500, 5);
+        let update = RandK::new(0.05).compress(&delta, &mut SeededRng::new(5));
+        assert_eq!(update.payload_scalars(), 50);
+        assert_eq!(update.dim(), 500);
+        let empty = RandK::new(0.5).compress(&[], &mut SeededRng::new(5));
+        assert_eq!(empty.dim(), 0);
+    }
+
+    #[test]
+    fn labels_mention_the_fraction() {
+        assert_eq!(TopK::new(0.1).label(), "top-10%");
+        assert_eq!(RandK::new(0.25).label(), "rand-25%");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_fraction_is_rejected() {
+        let _ = TopK::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fraction_above_one_is_rejected() {
+        let _ = RandK::new(1.5);
+    }
+}

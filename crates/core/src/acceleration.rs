@@ -1,0 +1,261 @@
+//! Training-acceleration methods (Section III-D).
+//!
+//! Vanilla FedCross converges slowly because a large α lets each middleware
+//! model absorb only a small amount of its collaborator's knowledge per
+//! round. The paper proposes two accelerators for the early training stage:
+//!
+//! * **Propeller models** — fuse each middleware model with several
+//!   in-order-selected propeller models instead of a single collaborator,
+//! * **Dynamic α** — start at α = 0.5 and ramp it up to the target value, so
+//!   early rounds share knowledge coarsely and later rounds fine-tune.
+//!
+//! `FedCross w/ PM-DA` uses propellers for the first half of the acceleration
+//! window and dynamic α for the second half (the third variant of Figure 9).
+
+use serde::{Deserialize, Serialize};
+
+/// Which acceleration method (if any) FedCross applies, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Acceleration {
+    /// Vanilla FedCross: single collaborator, constant α.
+    None,
+    /// Propeller models for the first `until_round` rounds.
+    PropellerModels {
+        /// Number of propeller models fused with each middleware model.
+        propellers: usize,
+        /// Acceleration is active for rounds `< until_round`.
+        until_round: usize,
+    },
+    /// Dynamic α for the first `until_round` rounds: α ramps linearly from
+    /// `start_alpha` to the configured target α.
+    DynamicAlpha {
+        /// α used at round 0 (the paper starts from 0.5).
+        start_alpha: f32,
+        /// Acceleration is active for rounds `< until_round`.
+        until_round: usize,
+    },
+    /// Propeller models for the first `switch_round` rounds, dynamic α from
+    /// `switch_round` until `until_round`.
+    PropellerThenDynamic {
+        /// Number of propeller models in the first phase.
+        propellers: usize,
+        /// Round at which the propeller phase ends and dynamic α begins.
+        switch_round: usize,
+        /// Acceleration is inactive from this round onwards.
+        until_round: usize,
+    },
+}
+
+impl Default for Acceleration {
+    fn default() -> Self {
+        Acceleration::None
+    }
+}
+
+impl Acceleration {
+    /// The paper's "FedCross w/ PM" variant (Figure 9): propeller models for
+    /// the first 100 rounds.
+    pub fn paper_pm() -> Self {
+        Acceleration::PropellerModels {
+            propellers: 3,
+            until_round: 100,
+        }
+    }
+
+    /// The paper's "FedCross w/ DA" variant: dynamic α for the first 100
+    /// rounds, ramping from 0.5.
+    pub fn paper_da() -> Self {
+        Acceleration::DynamicAlpha {
+            start_alpha: 0.5,
+            until_round: 100,
+        }
+    }
+
+    /// The paper's "FedCross w/ PM-DA" variant: propellers for 50 rounds,
+    /// then dynamic α until round 100.
+    pub fn paper_pm_da() -> Self {
+        Acceleration::PropellerThenDynamic {
+            propellers: 3,
+            switch_round: 50,
+            until_round: 100,
+        }
+    }
+
+    /// Effective α at `round`, given the configured target `alpha`.
+    pub fn alpha_at(&self, round: usize, target_alpha: f32) -> f32 {
+        match *self {
+            Acceleration::None | Acceleration::PropellerModels { .. } => target_alpha,
+            Acceleration::DynamicAlpha {
+                start_alpha,
+                until_round,
+            } => Self::ramp(round, 0, until_round, start_alpha, target_alpha),
+            Acceleration::PropellerThenDynamic {
+                switch_round,
+                until_round,
+                ..
+            } => {
+                if round < switch_round {
+                    target_alpha
+                } else {
+                    Self::ramp(round, switch_round, until_round, 0.5, target_alpha)
+                }
+            }
+        }
+    }
+
+    /// Number of propeller models to fuse with at `round` (1 means a single
+    /// collaborative model, i.e. vanilla cross-aggregation).
+    pub fn propellers_at(&self, round: usize) -> usize {
+        match *self {
+            Acceleration::None | Acceleration::DynamicAlpha { .. } => 1,
+            Acceleration::PropellerModels {
+                propellers,
+                until_round,
+            } => {
+                if round < until_round {
+                    propellers.max(1)
+                } else {
+                    1
+                }
+            }
+            Acceleration::PropellerThenDynamic {
+                propellers,
+                switch_round,
+                ..
+            } => {
+                if round < switch_round {
+                    propellers.max(1)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// A short label used in figures ("vanilla", "w/ PM", "w/ DA", "w/ PM-DA").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Acceleration::None => "vanilla",
+            Acceleration::PropellerModels { .. } => "w/ PM",
+            Acceleration::DynamicAlpha { .. } => "w/ DA",
+            Acceleration::PropellerThenDynamic { .. } => "w/ PM-DA",
+        }
+    }
+
+    fn ramp(round: usize, start_round: usize, end_round: usize, from: f32, to: f32) -> f32 {
+        if round >= end_round || end_round <= start_round {
+            return to;
+        }
+        let progress = (round.saturating_sub(start_round)) as f32
+            / (end_round - start_round) as f32;
+        let alpha = from + (to - from) * progress;
+        // Keep within the admissible CrossAggr range.
+        alpha.clamp(0.5, to.max(0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_keeps_target_alpha_and_single_collaborator() {
+        let acc = Acceleration::None;
+        assert_eq!(acc.alpha_at(0, 0.99), 0.99);
+        assert_eq!(acc.alpha_at(500, 0.99), 0.99);
+        assert_eq!(acc.propellers_at(0), 1);
+        assert_eq!(acc.label(), "vanilla");
+    }
+
+    #[test]
+    fn propeller_acceleration_uses_extra_models_then_stops() {
+        let acc = Acceleration::PropellerModels {
+            propellers: 4,
+            until_round: 10,
+        };
+        assert_eq!(acc.propellers_at(0), 4);
+        assert_eq!(acc.propellers_at(9), 4);
+        assert_eq!(acc.propellers_at(10), 1);
+        assert_eq!(acc.alpha_at(5, 0.99), 0.99);
+        assert_eq!(acc.label(), "w/ PM");
+    }
+
+    #[test]
+    fn dynamic_alpha_ramps_from_start_to_target() {
+        let acc = Acceleration::DynamicAlpha {
+            start_alpha: 0.5,
+            until_round: 100,
+        };
+        assert!((acc.alpha_at(0, 0.99) - 0.5).abs() < 1e-6);
+        let mid = acc.alpha_at(50, 0.99);
+        assert!(mid > 0.6 && mid < 0.9, "midpoint alpha {mid}");
+        assert!((acc.alpha_at(100, 0.99) - 0.99).abs() < 1e-6);
+        assert!((acc.alpha_at(500, 0.99) - 0.99).abs() < 1e-6);
+        assert_eq!(acc.propellers_at(3), 1);
+        assert_eq!(acc.label(), "w/ DA");
+    }
+
+    #[test]
+    fn dynamic_alpha_is_monotone_nondecreasing() {
+        let acc = Acceleration::DynamicAlpha {
+            start_alpha: 0.5,
+            until_round: 40,
+        };
+        let mut prev = 0.0;
+        for round in 0..60 {
+            let a = acc.alpha_at(round, 0.95);
+            assert!(a >= prev - 1e-6, "alpha decreased at round {round}");
+            assert!((0.5..1.0).contains(&a));
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn pm_da_switches_phases() {
+        let acc = Acceleration::PropellerThenDynamic {
+            propellers: 3,
+            switch_round: 20,
+            until_round: 40,
+        };
+        // Phase 1: propellers, target alpha.
+        assert_eq!(acc.propellers_at(5), 3);
+        assert_eq!(acc.alpha_at(5, 0.99), 0.99);
+        // Phase 2: single collaborator, ramping alpha.
+        assert_eq!(acc.propellers_at(25), 1);
+        let a25 = acc.alpha_at(25, 0.99);
+        assert!(a25 < 0.99 && a25 >= 0.5);
+        // After the window: vanilla behaviour.
+        assert_eq!(acc.propellers_at(60), 1);
+        assert_eq!(acc.alpha_at(60, 0.99), 0.99);
+        assert_eq!(acc.label(), "w/ PM-DA");
+    }
+
+    #[test]
+    fn paper_presets_match_section_iv_e3() {
+        assert_eq!(
+            Acceleration::paper_pm(),
+            Acceleration::PropellerModels {
+                propellers: 3,
+                until_round: 100
+            }
+        );
+        assert_eq!(
+            Acceleration::paper_da(),
+            Acceleration::DynamicAlpha {
+                start_alpha: 0.5,
+                until_round: 100
+            }
+        );
+        match Acceleration::paper_pm_da() {
+            Acceleration::PropellerThenDynamic {
+                switch_round,
+                until_round,
+                ..
+            } => {
+                assert_eq!(switch_round, 50);
+                assert_eq!(until_round, 100);
+            }
+            other => panic!("unexpected preset {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-aggregation (`CrossAggr`) and global-model generation
+//! (Sections III-B2 and III-B3).
+
+use fedcross_nn::params::{average, interpolate, ParamVec};
+
+/// Fuses one uploaded middleware model with its collaborative model:
+/// `CrossAggr(v_i, v_co) = α·v_i + (1-α)·v_co`.
+///
+/// # Panics
+/// Panics if `alpha` is outside `[0.5, 1.0)` (the paper's admissible range)
+/// or the vectors differ in length.
+pub fn cross_aggregate(uploaded: &[f32], collaborative: &[f32], alpha: f32) -> ParamVec {
+    assert!(
+        (0.5..1.0).contains(&alpha),
+        "alpha must lie in [0.5, 1.0), got {alpha}"
+    );
+    interpolate(uploaded, collaborative, alpha)
+}
+
+/// Fuses one uploaded model with multiple *propeller* models (the
+/// propeller-model acceleration of Section III-D): the collaborative share
+/// `(1-α)` is split evenly across the propellers.
+///
+/// With a single propeller this reduces exactly to [`cross_aggregate`].
+pub fn cross_aggregate_propellers(
+    uploaded: &[f32],
+    propellers: &[&[f32]],
+    alpha: f32,
+) -> ParamVec {
+    assert!(
+        (0.5..1.0).contains(&alpha),
+        "alpha must lie in [0.5, 1.0), got {alpha}"
+    );
+    assert!(!propellers.is_empty(), "at least one propeller is required");
+    let share = (1.0 - alpha) / propellers.len() as f32;
+    let mut out: ParamVec = uploaded.iter().map(|&v| alpha * v).collect();
+    for propeller in propellers {
+        assert_eq!(
+            propeller.len(),
+            uploaded.len(),
+            "propeller length must match the uploaded model"
+        );
+        for (o, &p) in out.iter_mut().zip(propeller.iter()) {
+            *o += share * p;
+        }
+    }
+    out
+}
+
+/// Applies cross-aggregation to the whole uploaded model list given each
+/// model's collaborative index (Algorithm 1 lines 11–14), producing the next
+/// round's middleware models.
+///
+/// # Panics
+/// Panics if a collaborative index is out of range or equals its own model.
+pub fn cross_aggregate_all(
+    uploaded: &[ParamVec],
+    collaborators: &[usize],
+    alpha: f32,
+) -> Vec<ParamVec> {
+    assert_eq!(
+        uploaded.len(),
+        collaborators.len(),
+        "one collaborator index per uploaded model"
+    );
+    collaborators
+        .iter()
+        .enumerate()
+        .map(|(i, &co)| {
+            assert!(co < uploaded.len(), "collaborator index out of range");
+            assert_ne!(co, i, "a model cannot collaborate with itself");
+            cross_aggregate(&uploaded[i], &uploaded[co], alpha)
+        })
+        .collect()
+}
+
+/// Generates the deployable global model: the plain average of the middleware
+/// models (Section III-B3). The global model never participates in training.
+pub fn global_model(middleware: &[ParamVec]) -> ParamVec {
+    average(middleware)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_nn::params::{l2_norm, squared_distance};
+
+    #[test]
+    fn cross_aggregate_is_a_convex_combination() {
+        let v = vec![1.0, 2.0, 3.0];
+        let co = vec![3.0, 2.0, 1.0];
+        let fused = cross_aggregate(&v, &co, 0.75);
+        assert_eq!(fused, vec![1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn alpha_near_one_barely_moves_the_model() {
+        let v = vec![1.0, -1.0];
+        let co = vec![100.0, 100.0];
+        let fused = cross_aggregate(&v, &co, 0.99);
+        assert!((fused[0] - (0.99 + 1.0)).abs() < 1e-5);
+        assert!(squared_distance(&fused, &v) < squared_distance(&fused, &co));
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_below_half_is_rejected() {
+        let _ = cross_aggregate(&[1.0], &[2.0], 0.4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_of_one_is_rejected() {
+        let _ = cross_aggregate(&[1.0], &[2.0], 1.0);
+    }
+
+    #[test]
+    fn single_propeller_matches_plain_cross_aggregation() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let p = vec![0.0, 1.0, 0.0, 1.0];
+        let a = cross_aggregate(&v, &p, 0.9);
+        let b = cross_aggregate_propellers(&v, &[&p], 0.9);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn propellers_share_the_collaborative_weight_evenly() {
+        let v = vec![0.0, 0.0];
+        let p1 = vec![1.0, 0.0];
+        let p2 = vec![0.0, 1.0];
+        let fused = cross_aggregate_propellers(&v, &[&p1, &p2], 0.8);
+        // (1 - 0.8) / 2 = 0.1 of each propeller.
+        assert!((fused[0] - 0.1).abs() < 1e-6);
+        assert!((fused[1] - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn in_order_cross_aggregation_preserves_the_parameter_sum() {
+        // Equation 2 of the paper: when every model is selected as a
+        // collaborator exactly once, Σ w_i = Σ v_i.
+        let uploaded = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
+        // A cyclic permutation: each model is a collaborator exactly once.
+        let collaborators = vec![1, 2, 3, 0];
+        let fused = cross_aggregate_all(&uploaded, &collaborators, 0.9);
+        for dim in 0..2 {
+            let before: f32 = uploaded.iter().map(|v| v[dim]).sum();
+            let after: f32 = fused.iter().map(|v| v[dim]).sum();
+            assert!(
+                (before - after).abs() < 1e-4,
+                "dim {dim}: sum changed from {before} to {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_4_distance_inequality_holds() {
+        // ||w_i - w*||^2 = ||v_i - w*||^2 - α(1-α)||v_i - v_co||^2 ≤ ||v_i - w*||^2,
+        // so the average squared distance to any reference point cannot grow.
+        let uploaded = vec![
+            vec![1.0, 0.0, 2.0],
+            vec![-1.0, 3.0, 0.5],
+            vec![0.0, -2.0, 1.0],
+        ];
+        let collaborators = vec![1, 2, 0];
+        let reference = vec![0.25, 0.5, 1.0];
+        for &alpha in &[0.5f32, 0.75, 0.9, 0.99] {
+            let fused = cross_aggregate_all(&uploaded, &collaborators, alpha);
+            let before: f32 = uploaded
+                .iter()
+                .map(|v| squared_distance(v, &reference))
+                .sum::<f32>()
+                / uploaded.len() as f32;
+            let after: f32 = fused
+                .iter()
+                .map(|v| squared_distance(v, &reference))
+                .sum::<f32>()
+                / fused.len() as f32;
+            assert!(
+                after <= before + 1e-5,
+                "alpha {alpha}: mean squared distance grew from {before} to {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_aggregation_shrinks_pairwise_distances() {
+        // The rule is designed to "restrict the weight differences between
+        // middleware models" — after one application the models are closer.
+        let uploaded = vec![vec![5.0, 0.0], vec![-5.0, 2.0]];
+        let fused = cross_aggregate_all(&uploaded, &[1, 0], 0.8);
+        let before = squared_distance(&uploaded[0], &uploaded[1]);
+        let after = squared_distance(&fused[0], &fused[1]);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn global_model_is_the_middleware_average() {
+        let middleware = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        assert_eq!(global_model(&middleware), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_collaboration_is_rejected() {
+        let uploaded = vec![vec![1.0], vec![2.0]];
+        let _ = cross_aggregate_all(&uploaded, &[0, 0], 0.9);
+    }
+
+    #[test]
+    fn identical_models_are_a_fixed_point() {
+        let uploaded = vec![vec![1.0, -2.0, 3.0]; 3];
+        let fused = cross_aggregate_all(&uploaded, &[1, 2, 0], 0.9);
+        for f in &fused {
+            assert_eq!(f, &uploaded[0]);
+        }
+        assert!((l2_norm(&global_model(&fused)) - l2_norm(&uploaded[0])).abs() < 1e-6);
+    }
+}

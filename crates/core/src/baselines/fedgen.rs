@@ -1,0 +1,187 @@
+//! FedGen (Zhu et al. 2021), simplified: data-free knowledge distillation
+//! with a server-side generator.
+//!
+//! The original FedGen trains a lightweight generator on the server from the
+//! clients' label statistics and ships it to clients, which use generated
+//! feature samples to regularise local training towards the global ensemble.
+//! Re-implementing the exact feature-space generator requires hooks into each
+//! model's penultimate layer, which the flat-parameter [`fedcross_nn::Model`]
+//! interface deliberately does not expose; this reproduction therefore keeps
+//! FedGen's two *behavioural* ingredients (documented in DESIGN.md):
+//!
+//! 1. an ensemble-knowledge regulariser: every client's gradients are pulled
+//!    towards the previous round's ensemble model (the distillation target
+//!    that FedGen's generated samples would otherwise provide), and
+//! 2. the extra generator payload dispatched to every client each round,
+//!    sized as a configurable fraction of the model, which reproduces the
+//!    paper's "Medium" communication-overhead classification in Table I.
+
+use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
+use fedcross_nn::params::weighted_average;
+use std::sync::Arc;
+
+/// Configuration of the simplified FedGen baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct FedGenConfig {
+    /// Strength of the distillation pull towards the previous ensemble.
+    pub distill_weight: f32,
+    /// Generator size as a fraction of the model size (controls the extra
+    /// dispatched payload; the original generator is much smaller than the
+    /// classifier).
+    pub generator_fraction: f32,
+}
+
+impl Default for FedGenConfig {
+    fn default() -> Self {
+        Self {
+            distill_weight: 0.05,
+            generator_fraction: 0.1,
+        }
+    }
+}
+
+/// The simplified FedGen baseline.
+pub struct FedGen {
+    global: Vec<f32>,
+    /// The previous round's ensemble model — the distillation teacher.
+    teacher: Vec<f32>,
+    config: FedGenConfig,
+}
+
+impl FedGen {
+    /// Creates FedGen from the initial global model parameters.
+    pub fn new(init_params: Vec<f32>, config: FedGenConfig) -> Self {
+        assert!(!init_params.is_empty(), "initial parameters must not be empty");
+        assert!(config.distill_weight >= 0.0);
+        assert!((0.0..=1.0).contains(&config.generator_fraction));
+        Self {
+            teacher: init_params.clone(),
+            global: init_params,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FedGenConfig {
+        &self.config
+    }
+}
+
+impl FederatedAlgorithm for FedGen {
+    fn name(&self) -> String {
+        "fedgen".to_string()
+    }
+
+    fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+        let selected = ctx.select_clients();
+        let generator_scalars =
+            (self.global.len() as f32 * self.config.generator_fraction) as usize;
+        let teacher = Arc::new(self.teacher.clone());
+        let lambda = self.config.distill_weight;
+
+        let jobs: Vec<TrainJob> = selected
+            .iter()
+            .map(|&client| {
+                let teacher = Arc::clone(&teacher);
+                TrainJob {
+                    client,
+                    params: self.global.clone(),
+                    correction: Some(Box::new(move |i, w, g| g + lambda * (w - teacher[i]))),
+                    // The generator is broadcast alongside the model (download only).
+                    extra_download: generator_scalars,
+                    extra_upload: 0,
+                }
+            })
+            .collect();
+        let updates = ctx.local_train_jobs(jobs);
+        if updates.is_empty() {
+            // Every selected client dropped out this round (possible under an
+            // availability model); the global model simply carries over.
+            return RoundReport::default();
+        }
+
+        let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+        let weights: Vec<f32> = updates
+            .iter()
+            .map(|u| u.num_samples.max(1) as f32)
+            .collect();
+        // The new ensemble is both the next global model and the next teacher.
+        self.global = weighted_average(&params, &weights);
+        self.teacher = self.global.clone();
+        RoundReport::from_updates(&updates)
+    }
+
+    fn global_params(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support::{quick_config, tiny_image_setup};
+    use fedcross_flsim::Simulation;
+    use fedcross_nn::Model;
+
+    #[test]
+    fn fedgen_runs_with_medium_comm_overhead() {
+        let (data, template) = tiny_image_setup(0, 6);
+        let model_params = template.param_count();
+        let mut algo = FedGen::new(template.params_flat(), FedGenConfig::default());
+        let sim = Simulation::new(quick_config(3, 3), &data, template);
+        let result = sim.run(&mut algo);
+        assert_eq!(result.history.len(), 3);
+        // Generator ≈ 10% of the model, download only ⇒ Medium per Table I.
+        assert_eq!(
+            result.comm.overhead_class(model_params),
+            fedcross_flsim::CommOverheadClass::Medium
+        );
+        assert!(result.comm.extra_download > 0);
+        assert_eq!(result.comm.extra_upload, 0);
+    }
+
+    #[test]
+    fn fedgen_learns_above_chance() {
+        let (data, template) = tiny_image_setup(1, 6);
+        let mut algo = FedGen::new(template.params_flat(), FedGenConfig::default());
+        let mut config = quick_config(10, 3);
+        config.local.epochs = 2;
+        config.local.lr = 0.1;
+        let sim = Simulation::new(config, &data, template);
+        let result = sim.run(&mut algo);
+        assert!(
+            result.history.best_accuracy() > 0.2,
+            "best accuracy {}",
+            result.history.best_accuracy()
+        );
+    }
+
+    #[test]
+    fn zero_generator_fraction_degrades_to_low_overhead() {
+        let (data, template) = tiny_image_setup(2, 5);
+        let model_params = template.param_count();
+        let config = FedGenConfig {
+            generator_fraction: 0.0,
+            ..Default::default()
+        };
+        let mut algo = FedGen::new(template.params_flat(), config);
+        let sim = Simulation::new(quick_config(2, 2), &data, template);
+        let result = sim.run(&mut algo);
+        assert_eq!(
+            result.comm.overhead_class(model_params),
+            fedcross_flsim::CommOverheadClass::Low
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn generator_fraction_above_one_is_rejected() {
+        let _ = FedGen::new(
+            vec![0.0],
+            FedGenConfig {
+                generator_fraction: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

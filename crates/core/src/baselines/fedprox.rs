@@ -1,0 +1,143 @@
+//! FedProx (Li et al. 2020): FedAvg with a proximal term on the local loss.
+
+use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
+use fedcross_nn::params::weighted_average;
+use std::sync::Arc;
+
+/// FedProx: each client minimises `f_i(w) + (μ/2)·||w - w_global||²`, which
+/// adds `μ·(w - w_global)` to every gradient. The server aggregation is the
+/// same as FedAvg, so the communication profile is identical (Table I: Low).
+pub struct FedProx {
+    global: Vec<f32>,
+    mu: f32,
+}
+
+impl FedProx {
+    /// Creates FedProx with proximal coefficient `mu` (the paper tunes μ per
+    /// dataset from {0.001, 0.01, 0.1, 1.0}).
+    pub fn new(init_params: Vec<f32>, mu: f32) -> Self {
+        assert!(!init_params.is_empty(), "initial parameters must not be empty");
+        assert!(mu >= 0.0, "mu must be non-negative");
+        Self {
+            global: init_params,
+            mu,
+        }
+    }
+
+    /// The proximal coefficient μ.
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+}
+
+impl FederatedAlgorithm for FedProx {
+    fn name(&self) -> String {
+        format!("fedprox(mu={})", self.mu)
+    }
+
+    fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+        let selected = ctx.select_clients();
+        let anchor = Arc::new(self.global.clone());
+        let mu = self.mu;
+
+        let jobs: Vec<TrainJob> = selected
+            .iter()
+            .map(|&client| {
+                let anchor = Arc::clone(&anchor);
+                TrainJob {
+                    client,
+                    params: self.global.clone(),
+                    correction: Some(Box::new(move |i, w, g| g + mu * (w - anchor[i]))),
+                    extra_download: 0,
+                    extra_upload: 0,
+                }
+            })
+            .collect();
+        let updates = ctx.local_train_jobs(jobs);
+        if updates.is_empty() {
+            // Every selected client dropped out this round (possible under an
+            // availability model); the global model simply carries over.
+            return RoundReport::default();
+        }
+
+        let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+        let weights: Vec<f32> = updates
+            .iter()
+            .map(|u| u.num_samples.max(1) as f32)
+            .collect();
+        self.global = weighted_average(&params, &weights);
+        RoundReport::from_updates(&updates)
+    }
+
+    fn global_params(&self) -> Vec<f32> {
+        self.global.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::fedavg::FedAvg;
+    use crate::baselines::test_support::{quick_config, tiny_image_setup};
+    use fedcross_flsim::Simulation;
+    use fedcross_nn::params::euclidean;
+    use fedcross_nn::Model;
+
+    #[test]
+    fn fedprox_runs_with_low_comm_overhead() {
+        let (data, template) = tiny_image_setup(0, 6);
+        let mut algo = FedProx::new(template.params_flat(), 0.01);
+        let params = template.param_count();
+        let sim = Simulation::new(quick_config(3, 3), &data, template);
+        let result = sim.run(&mut algo);
+        assert_eq!(result.history.len(), 3);
+        assert_eq!(
+            result.comm.overhead_class(params),
+            fedcross_flsim::CommOverheadClass::Low
+        );
+        assert!(algo.name().contains("0.01"));
+    }
+
+    #[test]
+    fn large_mu_keeps_the_global_model_closer_to_initialisation() {
+        let (data, template) = tiny_image_setup(1, 6);
+        let init = template.params_flat();
+
+        let run = |mu: f32| {
+            let (data, template) = (data.clone(), template.clone_model());
+            let mut algo = FedProx::new(init.clone(), mu);
+            let sim = Simulation::new(quick_config(3, 3), &data, template);
+            let _ = sim.run(&mut algo);
+            euclidean(&algo.global_params(), &init)
+        };
+        let tight = run(10.0);
+        let loose = run(0.0);
+        assert!(
+            tight < loose,
+            "mu=10 distance {tight} should be below mu=0 distance {loose}"
+        );
+    }
+
+    #[test]
+    fn mu_zero_matches_fedavg_exactly() {
+        let (data, template) = tiny_image_setup(2, 6);
+        let init = template.params_flat();
+
+        let mut prox = FedProx::new(init.clone(), 0.0);
+        let sim1 = Simulation::new(quick_config(2, 3), &data, template.clone_model());
+        let _ = sim1.run(&mut prox);
+
+        let mut avg = FedAvg::new(init);
+        let sim2 = Simulation::new(quick_config(2, 3), &data, template);
+        let _ = sim2.run(&mut avg);
+
+        let d = euclidean(&prox.global_params(), &avg.global_params());
+        assert!(d < 1e-4, "FedProx(mu=0) diverged from FedAvg by {d}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_mu_is_rejected() {
+        let _ = FedProx::new(vec![0.0], -0.1);
+    }
+}

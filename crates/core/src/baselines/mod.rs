@@ -1,0 +1,28 @@
+//! The five baseline FL methods the paper compares FedCross against
+//! (Table I / Section IV-A2).
+//!
+//! | Method | Category | Comm. overhead | Module |
+//! |---|---|---|---|
+//! | FedAvg | classic one-to-multi | Low | [`fedavg`] |
+//! | FedProx | global control variable (proximal term μ) | Low | [`fedprox`] |
+//! | SCAFFOLD | global control variable (control variates) | High | [`scaffold`] |
+//! | FedGen | knowledge distillation (built-in generator) | Medium | [`fedgen`] |
+//! | CluSamp | client grouping (gradient-similarity clusters) | Low | [`clusamp`] |
+//!
+//! All of them implement [`fedcross_flsim::FederatedAlgorithm`], so the same
+//! simulation engine and the same benchmark harness drive every method.
+
+pub mod clusamp;
+pub mod fedavg;
+pub mod fedgen;
+pub mod fedprox;
+pub mod scaffold;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use clusamp::CluSamp;
+pub use fedavg::FedAvg;
+pub use fedgen::FedGen;
+pub use fedprox::FedProx;
+pub use scaffold::Scaffold;

@@ -1,0 +1,53 @@
+//! Shared fixtures for the baseline unit tests: a tiny synthetic image task
+//! and a fast simulation configuration.
+
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::{LocalTrainConfig, SimulationConfig};
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_nn::Model;
+use fedcross_tensor::SeededRng;
+
+/// A small Dirichlet-skewed image federation plus a tiny CNN template.
+pub(crate) fn tiny_image_setup(seed: u64, clients: usize) -> (FederatedDataset, Box<dyn Model>) {
+    let mut rng = SeededRng::new(seed);
+    let data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: clients,
+            samples_per_client: 25,
+            test_samples: 60,
+            ..Default::default()
+        },
+        Heterogeneity::Dirichlet(0.5),
+        &mut rng,
+    );
+    let template = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (4, 8),
+            fc_hidden: 16,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+    (data, template)
+}
+
+/// A fast simulation configuration for unit tests.
+pub(crate) fn quick_config(rounds: usize, clients_per_round: usize) -> SimulationConfig {
+    SimulationConfig {
+        rounds,
+        clients_per_round,
+        eval_every: 1,
+        eval_batch_size: 64,
+        local: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 10,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        },
+        seed: 11,
+    }
+}

@@ -1,0 +1,153 @@
+//! A small registry mapping method names/specs to ready-to-run algorithms.
+//!
+//! The benchmark harness sweeps over the six methods of the paper; this
+//! module gives it (and downstream users) a single constructor.
+
+use crate::acceleration::Acceleration;
+use crate::algorithm::{FedCross, FedCrossConfig};
+use crate::baselines::{CluSamp, FedAvg, FedGen, FedProx, Scaffold};
+use crate::baselines::fedgen::FedGenConfig;
+use crate::selection::SelectionStrategy;
+use fedcross_flsim::FederatedAlgorithm;
+
+/// A declarative description of which FL method to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgorithmSpec {
+    /// Classic federated averaging.
+    FedAvg,
+    /// FedProx with proximal coefficient μ.
+    FedProx {
+        /// Proximal coefficient μ.
+        mu: f32,
+    },
+    /// SCAFFOLD with server/client control variates.
+    Scaffold,
+    /// Simplified FedGen (see `baselines::fedgen`).
+    FedGen,
+    /// Clustered client sampling.
+    CluSamp,
+    /// FedCross multi-model cross-aggregation.
+    FedCross {
+        /// Cross-aggregation weight α.
+        alpha: f32,
+        /// Collaborative-model selection strategy.
+        strategy: SelectionStrategy,
+        /// Optional training acceleration.
+        acceleration: Acceleration,
+    },
+}
+
+impl AlgorithmSpec {
+    /// The paper's recommended FedCross configuration (α = 0.99, lowest
+    /// similarity, no acceleration).
+    pub fn fedcross_default() -> Self {
+        AlgorithmSpec::FedCross {
+            alpha: 0.99,
+            strategy: SelectionStrategy::LowestSimilarity,
+            acceleration: Acceleration::None,
+        }
+    }
+
+    /// The six methods of Table II in paper order, using the paper's
+    /// hyper-parameters (`mu` as tuned for CIFAR-10).
+    pub fn paper_lineup() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::FedAvg,
+            AlgorithmSpec::FedProx { mu: 0.01 },
+            AlgorithmSpec::Scaffold,
+            AlgorithmSpec::FedGen,
+            AlgorithmSpec::CluSamp,
+            AlgorithmSpec::fedcross_default(),
+        ]
+    }
+
+    /// A short display label ("FedAvg", "FedCross", ...), matching the paper's
+    /// table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::FedAvg => "FedAvg",
+            AlgorithmSpec::FedProx { .. } => "FedProx",
+            AlgorithmSpec::Scaffold => "SCAFFOLD",
+            AlgorithmSpec::FedGen => "FedGen",
+            AlgorithmSpec::CluSamp => "CluSamp",
+            AlgorithmSpec::FedCross { .. } => "FedCross",
+        }
+    }
+}
+
+/// Builds a runnable algorithm from a spec.
+///
+/// * `init_params` — the shared initial model every method starts from,
+/// * `total_clients` — federation size `N` (needed by SCAFFOLD and CluSamp),
+/// * `clients_per_round` — the paper's `K` (the number of FedCross middleware
+///   models).
+pub fn build_algorithm(
+    spec: AlgorithmSpec,
+    init_params: Vec<f32>,
+    total_clients: usize,
+    clients_per_round: usize,
+) -> Box<dyn FederatedAlgorithm> {
+    match spec {
+        AlgorithmSpec::FedAvg => Box::new(FedAvg::new(init_params)),
+        AlgorithmSpec::FedProx { mu } => Box::new(FedProx::new(init_params, mu)),
+        AlgorithmSpec::Scaffold => Box::new(Scaffold::new(init_params, total_clients)),
+        AlgorithmSpec::FedGen => Box::new(FedGen::new(init_params, FedGenConfig::default())),
+        AlgorithmSpec::CluSamp => Box::new(CluSamp::new(init_params, total_clients)),
+        AlgorithmSpec::FedCross {
+            alpha,
+            strategy,
+            acceleration,
+        } => Box::new(FedCross::new(
+            FedCrossConfig {
+                alpha,
+                strategy,
+                acceleration,
+                ..Default::default()
+            },
+            init_params,
+            clients_per_round,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lineup_has_six_methods_in_order() {
+        let lineup = AlgorithmSpec::paper_lineup();
+        assert_eq!(lineup.len(), 6);
+        let labels: Vec<&str> = lineup.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["FedAvg", "FedProx", "SCAFFOLD", "FedGen", "CluSamp", "FedCross"]
+        );
+    }
+
+    #[test]
+    fn build_algorithm_produces_named_methods() {
+        let init = vec![0.0f32; 8];
+        for spec in AlgorithmSpec::paper_lineup() {
+            let algo = build_algorithm(spec, init.clone(), 10, 4);
+            assert!(!algo.name().is_empty());
+            assert_eq!(algo.global_params(), init);
+        }
+    }
+
+    #[test]
+    fn fedcross_default_matches_paper_recommendation() {
+        match AlgorithmSpec::fedcross_default() {
+            AlgorithmSpec::FedCross {
+                alpha,
+                strategy,
+                acceleration,
+            } => {
+                assert!((alpha - 0.99).abs() < 1e-6);
+                assert_eq!(strategy, SelectionStrategy::LowestSimilarity);
+                assert_eq!(acceleration, Acceleration::None);
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+}

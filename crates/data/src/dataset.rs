@@ -1,0 +1,299 @@
+//! In-memory labelled dataset and mini-batching.
+
+use fedcross_tensor::{SeededRng, Tensor};
+
+/// One mini-batch: a feature tensor whose first dimension is the batch size,
+/// and one integer label per sample.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Features, shape `[batch, ...sample dims]`.
+    pub features: Tensor,
+    /// Class labels, one per sample.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A labelled dataset stored as one dense feature tensor plus a label vector.
+///
+/// This is the unit of data ownership in the simulation: each client holds one
+/// `Dataset`, and the server holds one for global evaluation.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    /// Panics if the number of feature rows and labels differ, or a label is
+    /// out of range.
+    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert!(features.rank() >= 1, "features must have a batch dimension");
+        assert_eq!(
+            features.dims()[0],
+            labels.len(),
+            "feature rows and labels must match"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "labels must be < num_classes"
+        );
+        Self {
+            features,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Creates an empty dataset with the given per-sample dims.
+    pub fn empty(sample_dims: &[usize], num_classes: usize) -> Self {
+        let mut dims = vec![0usize];
+        dims.extend_from_slice(sample_dims);
+        Self {
+            features: Tensor::zeros(&dims),
+            labels: Vec::new(),
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct classes the labels are drawn from.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full feature tensor, `[len, ...sample dims]`.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Per-sample feature dimensions (without the batch dimension).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.features.dims()[1..]
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Returns a new dataset containing only the given sample indices (in the
+    /// given order).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features = self.features.index_select0(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Concatenates several datasets (which must agree on sample dims and
+    /// class count).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the parts are incompatible.
+    pub fn concat(parts: &[&Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "concat requires at least one dataset");
+        let num_classes = parts[0].num_classes;
+        let mut labels = Vec::new();
+        let tensors: Vec<&Tensor> = parts
+            .iter()
+            .map(|d| {
+                assert_eq!(d.num_classes, num_classes, "class counts must match");
+                labels.extend_from_slice(&d.labels);
+                &d.features
+            })
+            .collect();
+        Dataset {
+            features: Tensor::concat0(&tensors),
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Splits the dataset into `(train, test)` with `test_fraction` of the
+    /// samples (rounded down, at least one if possible) going to the test set.
+    pub fn split(&self, test_fraction: f32, rng: &mut SeededRng) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_fraction), "fraction must be in [0, 1)");
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let n_test = ((n as f32) * test_fraction) as usize;
+        let (test_idx, train_idx) = order.split_at(n_test);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Splits the dataset into shuffled mini-batches of at most `batch_size`
+    /// samples. With `rng = None` the original order is kept (deterministic
+    /// evaluation); with an RNG the order is reshuffled every call (training).
+    pub fn minibatches(&self, batch_size: usize, rng: Option<&mut SeededRng>) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        if let Some(rng) = rng {
+            rng.shuffle(&mut order);
+        }
+        order
+            .chunks(batch_size)
+            .map(|chunk| Batch {
+                features: self.features.index_select0(chunk),
+                labels: chunk.iter().map(|&i| self.labels[i]).collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize, classes: usize) -> Dataset {
+        let features = Tensor::from_vec((0..n * 3).map(|i| i as f32).collect(), &[n, 3]);
+        let labels = (0..n).map(|i| i % classes).collect();
+        Dataset::new(features, labels, classes)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ds = toy_dataset(10, 3);
+        assert_eq!(ds.len(), 10);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.sample_dims(), &[3]);
+        assert_eq!(ds.class_counts(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_label_out_of_range() {
+        let features = Tensor::zeros(&[2, 2]);
+        let _ = Dataset::new(features, vec![0, 5], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_mismatched_lengths() {
+        let features = Tensor::zeros(&[3, 2]);
+        let _ = Dataset::new(features, vec![0, 1], 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::empty(&[4, 4], 10);
+        assert!(ds.is_empty());
+        assert_eq!(ds.sample_dims(), &[4, 4]);
+        assert!(ds.minibatches(8, None).is_empty());
+    }
+
+    #[test]
+    fn subset_preserves_order_and_labels() {
+        let ds = toy_dataset(6, 2);
+        let sub = ds.subset(&[4, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[0, 1]);
+        assert_eq!(sub.features().row(0).data(), &[12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn concat_combines_samples() {
+        let a = toy_dataset(3, 2);
+        let b = toy_dataset(2, 2);
+        let c = Dataset::concat(&[&a, &b]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.labels().len(), 5);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = toy_dataset(20, 4);
+        let mut rng = SeededRng::new(0);
+        let (train, test) = ds.split(0.25, &mut rng);
+        assert_eq!(train.len() + test.len(), 20);
+        assert_eq!(test.len(), 5);
+    }
+
+    #[test]
+    fn minibatches_cover_every_sample_exactly_once() {
+        let ds = toy_dataset(23, 3);
+        let mut rng = SeededRng::new(1);
+        let batches = ds.minibatches(5, Some(&mut rng));
+        assert_eq!(batches.len(), 5);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 23);
+        // Every feature row must appear exactly once: track by first feature value.
+        let mut seen: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| {
+                (0..b.len())
+                    .map(|i| b.features.get(&[i, 0]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f32> = (0..23).map(|i| (i * 3) as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn unshuffled_minibatches_keep_original_order() {
+        let ds = toy_dataset(6, 2);
+        let batches = ds.minibatches(4, None);
+        assert_eq!(batches[0].labels, vec![0, 1, 0, 1]);
+        assert_eq!(batches[1].labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn shuffled_minibatches_differ_between_calls() {
+        let ds = toy_dataset(50, 5);
+        let mut rng = SeededRng::new(2);
+        let a: Vec<usize> = ds
+            .minibatches(50, Some(&mut rng))
+            .remove(0)
+            .labels;
+        let b: Vec<usize> = ds
+            .minibatches(50, Some(&mut rng))
+            .remove(0)
+            .labels;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,259 @@
+//! Client partitioning: IID and Dirichlet label-skew splits.
+//!
+//! The paper controls heterogeneity on CIFAR-10/100 with a Dirichlet prior
+//! `Dir(β)` over per-client class proportions (Section IV-A1, Figure 3):
+//! smaller β ⇒ more skewed clients. [`dirichlet_partition`] reproduces that
+//! construction; [`class_count_matrix`] regenerates the Figure 3 dot plots.
+
+use fedcross_tensor::SeededRng;
+
+/// How client data heterogeneity is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Heterogeneity {
+    /// Independent and identically distributed: samples are shuffled and dealt
+    /// evenly to clients.
+    Iid,
+    /// Label-skewed split driven by a symmetric Dirichlet prior with the given
+    /// concentration β (the paper uses 0.1, 0.5 and 1.0).
+    Dirichlet(f32),
+}
+
+impl Heterogeneity {
+    /// A short label used in experiment tables ("IID" or "beta=0.1").
+    pub fn label(&self) -> String {
+        match self {
+            Heterogeneity::Iid => "IID".to_string(),
+            Heterogeneity::Dirichlet(beta) => format!("beta={beta}"),
+        }
+    }
+}
+
+/// Splits `n_samples` indices into `n_clients` IID shards of (near-)equal
+/// size.
+///
+/// # Panics
+/// Panics if `n_clients` is zero.
+pub fn iid_partition(
+    n_samples: usize,
+    n_clients: usize,
+    rng: &mut SeededRng,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    let mut order: Vec<usize> = (0..n_samples).collect();
+    rng.shuffle(&mut order);
+    let mut shards = vec![Vec::new(); n_clients];
+    for (i, idx) in order.into_iter().enumerate() {
+        shards[i % n_clients].push(idx);
+    }
+    shards
+}
+
+/// Splits samples into label-skewed shards using a Dirichlet prior.
+///
+/// For each class, the class's sample indices are distributed across clients
+/// according to proportions drawn from `Dir(β)` (Hsu et al. 2019). Every
+/// sample is assigned to exactly one client; clients can end up with very few
+/// samples when β is small, exactly as in the paper's Figure 3(a).
+///
+/// # Panics
+/// Panics if `n_clients == 0`, `beta <= 0`, or a label is `>= num_classes`.
+pub fn dirichlet_partition(
+    labels: &[usize],
+    num_classes: usize,
+    n_clients: usize,
+    beta: f32,
+    rng: &mut SeededRng,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(beta > 0.0, "beta must be positive");
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < num_classes, "label {l} out of range");
+        by_class[l].push(i);
+    }
+
+    let mut shards = vec![Vec::new(); n_clients];
+    for class_indices in by_class.iter_mut() {
+        if class_indices.is_empty() {
+            continue;
+        }
+        rng.shuffle(class_indices);
+        let proportions = rng.dirichlet(n_clients, beta);
+        // Convert proportions into cumulative cut points over the class's samples.
+        let n = class_indices.len();
+        let mut cut_points = Vec::with_capacity(n_clients);
+        let mut acc = 0f32;
+        for &p in &proportions {
+            acc += p;
+            cut_points.push(((acc * n as f32).round() as usize).min(n));
+        }
+        // Ensure the last cut covers every sample despite rounding.
+        if let Some(last) = cut_points.last_mut() {
+            *last = n;
+        }
+        let mut start = 0usize;
+        for (client, &end) in cut_points.iter().enumerate() {
+            let end = end.max(start);
+            shards[client].extend_from_slice(&class_indices[start..end]);
+            start = end;
+        }
+    }
+    shards
+}
+
+/// Applies a [`Heterogeneity`] setting to produce client shards.
+pub fn partition(
+    labels: &[usize],
+    num_classes: usize,
+    n_clients: usize,
+    heterogeneity: Heterogeneity,
+    rng: &mut SeededRng,
+) -> Vec<Vec<usize>> {
+    match heterogeneity {
+        Heterogeneity::Iid => iid_partition(labels.len(), n_clients, rng),
+        Heterogeneity::Dirichlet(beta) => {
+            dirichlet_partition(labels, num_classes, n_clients, beta, rng)
+        }
+    }
+}
+
+/// Per-client class-count matrix: `counts[client][class]` = number of samples
+/// of `class` held by `client`. This is the data behind the paper's Figure 3
+/// dot plots.
+pub fn class_count_matrix(
+    labels: &[usize],
+    shards: &[Vec<usize>],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    shards
+        .iter()
+        .map(|shard| {
+            let mut counts = vec![0usize; num_classes];
+            for &idx in shard {
+                counts[labels[idx]] += 1;
+            }
+            counts
+        })
+        .collect()
+}
+
+/// A scalar summary of label skew: the mean (over clients) of the fraction of
+/// a client's samples belonging to its single most common class. 1/num_classes
+/// for perfectly balanced clients, → 1.0 as clients become single-class.
+pub fn skew_score(counts: &[Vec<usize>]) -> f32 {
+    let mut total = 0f32;
+    let mut clients = 0usize;
+    for client in counts {
+        let n: usize = client.iter().sum();
+        if n == 0 {
+            continue;
+        }
+        let max = *client.iter().max().unwrap_or(&0);
+        total += max as f32 / n as f32;
+        clients += 1;
+    }
+    if clients == 0 {
+        0.0
+    } else {
+        total / clients as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced_labels(per_class: usize, classes: usize) -> Vec<usize> {
+        (0..per_class * classes).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn iid_partition_covers_every_sample_once() {
+        let mut rng = SeededRng::new(0);
+        let shards = iid_partition(103, 10, &mut rng);
+        assert_eq!(shards.len(), 10);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Balanced within one sample.
+        let sizes: Vec<usize> = shards.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn dirichlet_partition_covers_every_sample_once() {
+        let mut rng = SeededRng::new(1);
+        let labels = balanced_labels(50, 10);
+        let shards = dirichlet_partition(&labels, 10, 20, 0.5, &mut rng);
+        let mut all: Vec<usize> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_beta_is_more_skewed_than_large_beta() {
+        let mut rng = SeededRng::new(2);
+        let labels = balanced_labels(100, 10);
+        let sharp = dirichlet_partition(&labels, 10, 20, 0.1, &mut rng);
+        let mild = dirichlet_partition(&labels, 10, 20, 10.0, &mut rng);
+        let sharp_skew = skew_score(&class_count_matrix(&labels, &sharp, 10));
+        let mild_skew = skew_score(&class_count_matrix(&labels, &mild, 10));
+        assert!(
+            sharp_skew > mild_skew + 0.1,
+            "Dir(0.1) skew {sharp_skew} should exceed Dir(10) skew {mild_skew}"
+        );
+    }
+
+    #[test]
+    fn iid_partition_is_close_to_uniform_class_mix() {
+        let mut rng = SeededRng::new(3);
+        let labels = balanced_labels(100, 10);
+        let shards = iid_partition(labels.len(), 10, &mut rng);
+        let counts = class_count_matrix(&labels, &shards, 10);
+        let skew = skew_score(&counts);
+        assert!(skew < 0.2, "IID skew {skew} should be near 0.1");
+    }
+
+    #[test]
+    fn heterogeneity_labels() {
+        assert_eq!(Heterogeneity::Iid.label(), "IID");
+        assert_eq!(Heterogeneity::Dirichlet(0.5).label(), "beta=0.5");
+    }
+
+    #[test]
+    fn partition_dispatches_on_heterogeneity() {
+        let mut rng = SeededRng::new(4);
+        let labels = balanced_labels(20, 4);
+        let iid = partition(&labels, 4, 5, Heterogeneity::Iid, &mut rng);
+        let dir = partition(&labels, 4, 5, Heterogeneity::Dirichlet(0.1), &mut rng);
+        assert_eq!(iid.iter().map(Vec::len).sum::<usize>(), 80);
+        assert_eq!(dir.iter().map(Vec::len).sum::<usize>(), 80);
+    }
+
+    #[test]
+    fn class_count_matrix_shape_and_totals() {
+        let mut rng = SeededRng::new(5);
+        let labels = balanced_labels(10, 5);
+        let shards = iid_partition(labels.len(), 4, &mut rng);
+        let counts = class_count_matrix(&labels, &shards, 5);
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().all(|c| c.len() == 5));
+        let total: usize = counts.iter().flatten().sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn skew_score_of_single_class_clients_is_one() {
+        let counts = vec![vec![10, 0], vec![0, 7]];
+        assert!((skew_score(&counts) - 1.0).abs() < 1e-6);
+        assert_eq!(skew_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn dirichlet_partition_is_deterministic_for_a_seed() {
+        let labels = balanced_labels(30, 5);
+        let a = dirichlet_partition(&labels, 5, 7, 0.3, &mut SeededRng::new(9));
+        let b = dirichlet_partition(&labels, 5, 7, 0.3, &mut SeededRng::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,346 @@
+//! Class-conditional synthetic image generator.
+//!
+//! Each class owns a smooth "prototype" pattern (a coarse random grid
+//! bilinearly upsampled to the target resolution); a sample is its class
+//! prototype plus optional per-client style offset plus pixel noise. A small
+//! CNN can learn these classes from a few hundred samples, while the noise
+//! and style terms keep the task non-trivial and give clients genuinely
+//! different conditional distributions — the property the FedCross evaluation
+//! depends on.
+
+use crate::dataset::Dataset;
+use fedcross_tensor::{SeededRng, Tensor};
+
+/// Configuration of the synthetic image distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthImageConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Image channels (3 for the CIFAR stand-ins, 1 for FEMNIST).
+    pub channels: usize,
+    /// Square image side length.
+    pub size: usize,
+    /// Standard deviation of the additive pixel noise.
+    pub noise_std: f32,
+    /// Side length of the coarse grid the prototypes are upsampled from
+    /// (smaller ⇒ smoother, easier classes).
+    pub prototype_grid: usize,
+    /// How strongly class prototypes deviate from a shared base pattern
+    /// (1.0 = fully independent prototypes; small values make classes overlap
+    /// and the task genuinely hard — used by the benchmark harness so methods
+    /// do not all saturate at 100%).
+    pub class_distinctness: f32,
+}
+
+impl Default for SynthImageConfig {
+    fn default() -> Self {
+        Self {
+            num_classes: 10,
+            channels: 3,
+            size: 16,
+            noise_std: 0.4,
+            prototype_grid: 4,
+            class_distinctness: 1.0,
+        }
+    }
+}
+
+impl SynthImageConfig {
+    /// CIFAR-10 stand-in: 10 classes, 3×16×16.
+    pub fn cifar10() -> Self {
+        Self::default()
+    }
+
+    /// CIFAR-100 stand-in: 100 classes, 3×16×16, slightly less noise so the
+    /// harder label space stays learnable at small sample counts.
+    pub fn cifar100() -> Self {
+        Self {
+            num_classes: 100,
+            noise_std: 0.3,
+            ..Self::default()
+        }
+    }
+
+    /// FEMNIST stand-in: 62 classes (10 digits + 52 letters), 1×16×16.
+    pub fn femnist() -> Self {
+        Self {
+            num_classes: 62,
+            channels: 1,
+            size: 16,
+            noise_std: 0.3,
+            prototype_grid: 4,
+            class_distinctness: 1.0,
+        }
+    }
+}
+
+/// A frozen synthetic image distribution: class prototypes plus noise model.
+#[derive(Debug, Clone)]
+pub struct SynthImages {
+    config: SynthImageConfig,
+    prototypes: Vec<Tensor>, // one [C, H, W] per class
+}
+
+impl SynthImages {
+    /// Builds the class prototypes from `rng`. Two instances built from RNGs
+    /// with the same seed describe the same distribution.
+    pub fn new(config: SynthImageConfig, rng: &mut SeededRng) -> Self {
+        assert!(config.num_classes > 0 && config.channels > 0 && config.size > 0);
+        assert!(config.prototype_grid >= 2, "prototype grid must be >= 2");
+        assert!(
+            config.class_distinctness > 0.0,
+            "class_distinctness must be positive"
+        );
+        // Every class prototype is a shared base pattern plus a class-specific
+        // deviation; class_distinctness controls how far apart classes sit.
+        let base = Self::smooth_pattern(config.channels, config.size, config.prototype_grid, rng);
+        let prototypes = (0..config.num_classes)
+            .map(|_| {
+                let mut class_pattern = Self::smooth_pattern(
+                    config.channels,
+                    config.size,
+                    config.prototype_grid,
+                    rng,
+                );
+                class_pattern.scale(config.class_distinctness);
+                class_pattern.add_assign(&base);
+                class_pattern
+            })
+            .collect();
+        Self { config, prototypes }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &SynthImageConfig {
+        &self.config
+    }
+
+    /// Per-sample feature dims `[C, H, W]`.
+    pub fn sample_dims(&self) -> [usize; 3] {
+        [self.config.channels, self.config.size, self.config.size]
+    }
+
+    /// Generates a smooth per-client "writer style" offset pattern with the
+    /// given strength. Used for the FEMNIST stand-in where each client is one
+    /// writer.
+    pub fn style_pattern(&self, strength: f32, rng: &mut SeededRng) -> Tensor {
+        let mut style = Self::smooth_pattern(
+            self.config.channels,
+            self.config.size,
+            self.config.prototype_grid,
+            rng,
+        );
+        style.scale(strength);
+        style
+    }
+
+    /// Generates `n` labelled samples with uniformly random classes.
+    pub fn generate(&self, n: usize, rng: &mut SeededRng) -> Dataset {
+        self.generate_with(n, None, None, rng)
+    }
+
+    /// Generates `n` labelled samples restricted to `classes` (if given) and
+    /// shifted by a per-client `style` pattern (if given).
+    pub fn generate_with(
+        &self,
+        n: usize,
+        classes: Option<&[usize]>,
+        style: Option<&Tensor>,
+        rng: &mut SeededRng,
+    ) -> Dataset {
+        let [c, h, w] = self.sample_dims();
+        let sample_len = c * h * w;
+        let mut features = vec![0f32; n * sample_len];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = match classes {
+                Some(allowed) => {
+                    assert!(!allowed.is_empty(), "allowed class list must not be empty");
+                    allowed[rng.below(allowed.len())]
+                }
+                None => rng.below(self.config.num_classes),
+            };
+            assert!(class < self.config.num_classes, "class out of range");
+            labels.push(class);
+            let proto = &self.prototypes[class];
+            let dst = &mut features[i * sample_len..(i + 1) * sample_len];
+            for (j, d) in dst.iter_mut().enumerate() {
+                let mut v = proto.data()[j] + rng.normal_with(0.0, self.config.noise_std);
+                if let Some(style) = style {
+                    v += style.data()[j];
+                }
+                *d = v;
+            }
+        }
+        Dataset::new(
+            Tensor::from_vec(features, &[n, c, h, w]),
+            labels,
+            self.config.num_classes,
+        )
+    }
+
+    /// A smooth pattern: coarse random grid, bilinearly upsampled, roughly
+    /// unit variance.
+    fn smooth_pattern(channels: usize, size: usize, grid: usize, rng: &mut SeededRng) -> Tensor {
+        let mut out = vec![0f32; channels * size * size];
+        for ch in 0..channels {
+            // Coarse grid values.
+            let coarse: Vec<f32> = (0..grid * grid).map(|_| rng.normal()).collect();
+            for y in 0..size {
+                for x in 0..size {
+                    // Map pixel to coarse-grid coordinates.
+                    let gy = y as f32 / (size - 1).max(1) as f32 * (grid - 1) as f32;
+                    let gx = x as f32 / (size - 1).max(1) as f32 * (grid - 1) as f32;
+                    let y0 = gy.floor() as usize;
+                    let x0 = gx.floor() as usize;
+                    let y1 = (y0 + 1).min(grid - 1);
+                    let x1 = (x0 + 1).min(grid - 1);
+                    let fy = gy - y0 as f32;
+                    let fx = gx - x0 as f32;
+                    let v00 = coarse[y0 * grid + x0];
+                    let v01 = coarse[y0 * grid + x1];
+                    let v10 = coarse[y1 * grid + x0];
+                    let v11 = coarse[y1 * grid + x1];
+                    let v = v00 * (1.0 - fy) * (1.0 - fx)
+                        + v01 * (1.0 - fy) * fx
+                        + v10 * fy * (1.0 - fx)
+                        + v11 * fy * fx;
+                    out[(ch * size + y) * size + x] = v;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[channels, size, size])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_number_of_samples() {
+        let mut rng = SeededRng::new(0);
+        let gen = SynthImages::new(SynthImageConfig::cifar10(), &mut rng);
+        let ds = gen.generate(25, &mut rng);
+        assert_eq!(ds.len(), 25);
+        assert_eq!(ds.sample_dims(), &[3, 16, 16]);
+        assert_eq!(ds.num_classes(), 10);
+        assert!(ds.labels().iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn same_seed_gives_same_distribution() {
+        let gen_a = SynthImages::new(SynthImageConfig::cifar10(), &mut SeededRng::new(7));
+        let gen_b = SynthImages::new(SynthImageConfig::cifar10(), &mut SeededRng::new(7));
+        let a = gen_a.generate(5, &mut SeededRng::new(1));
+        let b = gen_b.generate(5, &mut SeededRng::new(1));
+        assert_eq!(a.features().data(), b.features().data());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn samples_of_same_class_are_more_similar_than_different_classes() {
+        let mut rng = SeededRng::new(1);
+        let gen = SynthImages::new(SynthImageConfig::cifar10(), &mut rng);
+        // Generate many samples and compare within-class vs across-class distance.
+        let ds = gen.generate(200, &mut rng);
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                let a = ds.features().index_select0(&[i]).flatten();
+                let b = ds.features().index_select0(&[j]).flatten();
+                let d = a.distance(&b);
+                if ds.labels()[i] == ds.labels()[j] {
+                    within.push(d);
+                } else {
+                    across.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        assert!(
+            mean(&within) < mean(&across),
+            "within-class distance {} should be below across-class {}",
+            mean(&within),
+            mean(&across)
+        );
+    }
+
+    #[test]
+    fn class_restriction_is_respected() {
+        let mut rng = SeededRng::new(2);
+        let gen = SynthImages::new(SynthImageConfig::femnist(), &mut rng);
+        let ds = gen.generate_with(30, Some(&[3, 7, 11]), None, &mut rng);
+        assert!(ds.labels().iter().all(|l| [3, 7, 11].contains(l)));
+        assert_eq!(ds.num_classes(), 62);
+    }
+
+    #[test]
+    fn style_offset_shifts_samples() {
+        let mut rng = SeededRng::new(3);
+        let gen = SynthImages::new(SynthImageConfig::femnist(), &mut rng);
+        let style = gen.style_pattern(2.0, &mut rng);
+        let plain = gen.generate_with(40, Some(&[0]), None, &mut SeededRng::new(5));
+        let styled = gen.generate_with(40, Some(&[0]), Some(&style), &mut SeededRng::new(5));
+        let diff = styled.features().mean() - plain.features().mean();
+        assert!(
+            (diff - style.mean()).abs() < 0.05,
+            "styled mean shift {diff} should track style mean {}",
+            style.mean()
+        );
+    }
+
+    #[test]
+    fn low_distinctness_brings_class_prototypes_closer() {
+        let distinct = SynthImages::new(SynthImageConfig::cifar10(), &mut SeededRng::new(8));
+        let overlapping = SynthImages::new(
+            SynthImageConfig {
+                class_distinctness: 0.2,
+                ..SynthImageConfig::cifar10()
+            },
+            &mut SeededRng::new(8),
+        );
+        let spread = |gen: &SynthImages| {
+            // Mean pairwise distance between noiseless class prototypes, probed
+            // through near-noiseless samples.
+            let mut rng = SeededRng::new(9);
+            let cfg = SynthImageConfig {
+                noise_std: 1e-4,
+                ..*gen.config()
+            };
+            let quiet = SynthImages {
+                config: cfg,
+                prototypes: gen.prototypes.clone(),
+            };
+            let a = quiet.generate_with(1, Some(&[0]), None, &mut rng).features().flatten();
+            let b = quiet.generate_with(1, Some(&[1]), None, &mut rng).features().flatten();
+            a.distance(&b)
+        };
+        assert!(
+            spread(&overlapping) < spread(&distinct) * 0.6,
+            "low distinctness should shrink inter-class distance ({} vs {})",
+            spread(&overlapping),
+            spread(&distinct)
+        );
+    }
+
+    #[test]
+    fn cifar100_config_has_100_classes() {
+        let cfg = SynthImageConfig::cifar100();
+        assert_eq!(cfg.num_classes, 100);
+        let mut rng = SeededRng::new(4);
+        let gen = SynthImages::new(cfg, &mut rng);
+        let ds = gen.generate(10, &mut rng);
+        assert_eq!(ds.num_classes(), 100);
+    }
+
+    #[test]
+    fn prototypes_have_roughly_unit_scale() {
+        let mut rng = SeededRng::new(5);
+        let gen = SynthImages::new(SynthImageConfig::cifar10(), &mut rng);
+        let ds = gen.generate(100, &mut rng);
+        let std = ds.features().variance().sqrt();
+        assert!(std > 0.3 && std < 3.0, "feature std {std} out of range");
+    }
+}

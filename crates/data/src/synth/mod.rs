@@ -1,0 +1,11 @@
+//! Synthetic data generators standing in for the paper's datasets.
+//!
+//! | Paper dataset | Stand-in | Preserved property |
+//! |---|---|---|
+//! | CIFAR-10 / CIFAR-100 | [`images::SynthImages`] | class-conditional image structure, Dirichlet label skew applied on top |
+//! | FEMNIST | [`images::SynthImages`] with per-client writer styles | natural non-IIDness: every client is one writer |
+//! | Shakespeare | [`text::SynthNextChar`] | per-client character distribution (each client is one role) |
+//! | Sent140 | [`text::SynthSentiment`] | per-client vocabulary/topic bias (each client is one user) |
+
+pub mod images;
+pub mod text;

@@ -1,0 +1,155 @@
+//! Client availability models (dropout / straggler simulation).
+//!
+//! Real federations lose clients mid-round: devices go offline, stragglers
+//! miss the aggregation deadline, users revoke participation. The FL
+//! fault-tolerance literature the paper cites in Section II-B treats this as a
+//! first-class concern, and the paper's own multi-to-multi scheme raises the
+//! obvious robustness question: what happens to a middleware model whose host
+//! client never uploads? [`AvailabilityModel`] lets the simulation answer that
+//! question by dropping selected clients before their local training runs;
+//! algorithms observe the smaller update set and must cope (see the
+//! `ablation_dropout` harness and the FedCross partial-participation handling
+//! in the `fedcross` crate).
+
+use fedcross_tensor::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Decides, per round and per selected client, whether the client completes
+/// its local training and uploads an update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AvailabilityModel {
+    /// Every selected client always responds (the paper's setting).
+    AlwaysOn,
+    /// Each selected client independently fails with the given probability.
+    RandomDropout {
+        /// Per-round, per-client failure probability in `[0, 1)`.
+        prob: f32,
+    },
+    /// A deterministic straggler pattern: the client drops whenever
+    /// `(client + round) % period == 0`, i.e. roughly one in `period`
+    /// contacts fails, rotating through the federation.
+    PeriodicStraggler {
+        /// Drop period (must be at least 2; larger means fewer failures).
+        period: usize,
+    },
+}
+
+impl Default for AvailabilityModel {
+    fn default() -> Self {
+        AvailabilityModel::AlwaysOn
+    }
+}
+
+impl AvailabilityModel {
+    /// Whether the given client responds in the given round. `rng` supplies
+    /// the randomness for the stochastic models; deterministic models ignore
+    /// it (and consume nothing from it).
+    pub fn is_available(&self, round: usize, client: usize, rng: &mut SeededRng) -> bool {
+        match *self {
+            AvailabilityModel::AlwaysOn => true,
+            AvailabilityModel::RandomDropout { prob } => {
+                debug_assert!((0.0..1.0).contains(&prob), "dropout prob must be in [0, 1)");
+                rng.uniform() >= prob
+            }
+            AvailabilityModel::PeriodicStraggler { period } => {
+                debug_assert!(period >= 2, "straggler period must be at least 2");
+                (client + round) % period.max(2) != 0
+            }
+        }
+    }
+
+    /// Short label used in ablation tables.
+    pub fn label(&self) -> String {
+        match *self {
+            AvailabilityModel::AlwaysOn => "always-on".to_string(),
+            AvailabilityModel::RandomDropout { prob } => format!("dropout-{:.0}%", prob * 100.0),
+            AvailabilityModel::PeriodicStraggler { period } => {
+                format!("straggler-1/{period}")
+            }
+        }
+    }
+
+    /// The long-run expected fraction of client contacts that fail.
+    pub fn expected_failure_rate(&self) -> f32 {
+        match *self {
+            AvailabilityModel::AlwaysOn => 0.0,
+            AvailabilityModel::RandomDropout { prob } => prob,
+            AvailabilityModel::PeriodicStraggler { period } => 1.0 / period.max(2) as f32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_never_drops_and_consumes_no_randomness() {
+        let mut rng = SeededRng::new(0);
+        let before = rng.uniform();
+        let mut rng = SeededRng::new(0);
+        for round in 0..5 {
+            for client in 0..5 {
+                assert!(AvailabilityModel::AlwaysOn.is_available(round, client, &mut rng));
+            }
+        }
+        assert_eq!(rng.uniform(), before, "AlwaysOn must not consume randomness");
+        assert_eq!(AvailabilityModel::default(), AvailabilityModel::AlwaysOn);
+        assert_eq!(AvailabilityModel::AlwaysOn.expected_failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn random_dropout_matches_the_configured_rate() {
+        let model = AvailabilityModel::RandomDropout { prob: 0.3 };
+        let mut rng = SeededRng::new(1);
+        let trials = 20_000;
+        let mut dropped = 0usize;
+        for i in 0..trials {
+            if !model.is_available(i, i % 17, &mut rng) {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f32 / trials as f32;
+        assert!((rate - 0.3).abs() < 0.02, "observed dropout rate {rate}");
+        assert!((model.expected_failure_rate() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_probability_dropout_never_drops() {
+        let model = AvailabilityModel::RandomDropout { prob: 0.0 };
+        let mut rng = SeededRng::new(2);
+        assert!((0..100).all(|i| model.is_available(i, i, &mut rng)));
+    }
+
+    #[test]
+    fn periodic_straggler_rotates_through_clients() {
+        let model = AvailabilityModel::PeriodicStraggler { period: 4 };
+        let mut rng = SeededRng::new(3);
+        // Client 0 drops in rounds 0, 4, 8, ...; client 1 in rounds 3, 7, ...
+        assert!(!model.is_available(0, 0, &mut rng));
+        assert!(model.is_available(1, 0, &mut rng));
+        assert!(!model.is_available(3, 1, &mut rng));
+        assert!(!model.is_available(4, 0, &mut rng));
+        // Over a full period every client drops exactly once.
+        for client in 0..8 {
+            let drops = (0..4)
+                .filter(|&round| !model.is_available(round, client, &mut rng))
+                .count();
+            assert_eq!(drops, 1);
+        }
+        assert!((model.expected_failure_rate() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labels_describe_the_model() {
+        assert_eq!(AvailabilityModel::AlwaysOn.label(), "always-on");
+        assert_eq!(
+            AvailabilityModel::RandomDropout { prob: 0.25 }.label(),
+            "dropout-25%"
+        );
+        assert_eq!(
+            AvailabilityModel::PeriodicStraggler { period: 5 }.label(),
+            "straggler-1/5"
+        );
+    }
+}

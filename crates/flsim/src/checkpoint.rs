@@ -1,0 +1,192 @@
+//! Training checkpoints: save and resume federated runs.
+//!
+//! The paper's experiments run for thousands of communication rounds; a
+//! production deployment of FedCross needs to survive server restarts without
+//! losing the middleware models (which, unlike FedAvg's single global model,
+//! are the *only* training state). A [`Checkpoint`] captures everything needed
+//! to resume: the deployable global parameters, the optional middleware model
+//! list, the round counter and the learning-curve history, serialised as JSON
+//! next to the experiment results.
+
+use crate::history::TrainingHistory;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A resumable snapshot of a federated training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Name of the algorithm that produced the snapshot.
+    pub algorithm: String,
+    /// Number of communication rounds completed.
+    pub rounds_completed: usize,
+    /// The deployable global model parameters.
+    pub global_params: Vec<f32>,
+    /// FedCross middleware models (absent for single-model methods).
+    pub middleware: Option<Vec<Vec<f32>>>,
+    /// Learning curve recorded so far.
+    pub history: TrainingHistory,
+}
+
+impl Checkpoint {
+    /// Creates a snapshot for a single-model method (FedAvg-style).
+    pub fn single_model(
+        algorithm: impl Into<String>,
+        rounds_completed: usize,
+        global_params: Vec<f32>,
+        history: TrainingHistory,
+    ) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            rounds_completed,
+            global_params,
+            middleware: None,
+            history,
+        }
+    }
+
+    /// Creates a snapshot for a multi-model method (FedCross), storing the
+    /// middleware list alongside the derived global model.
+    ///
+    /// # Panics
+    /// Panics if the middleware list is empty or its models have inconsistent
+    /// lengths.
+    pub fn multi_model(
+        algorithm: impl Into<String>,
+        rounds_completed: usize,
+        global_params: Vec<f32>,
+        middleware: Vec<Vec<f32>>,
+        history: TrainingHistory,
+    ) -> Self {
+        assert!(!middleware.is_empty(), "middleware list must not be empty");
+        let dim = middleware[0].len();
+        assert!(
+            middleware.iter().all(|m| m.len() == dim),
+            "middleware models must have identical lengths"
+        );
+        Self {
+            algorithm: algorithm.into(),
+            rounds_completed,
+            global_params,
+            middleware: Some(middleware),
+            history,
+        }
+    }
+
+    /// Number of scalar parameters of the checkpointed model.
+    pub fn param_count(&self) -> usize {
+        self.global_params.len()
+    }
+
+    /// Serialises the checkpoint as pretty JSON to `path`, creating parent
+    /// directories as needed.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))?;
+        fs::write(path, json)
+    }
+
+    /// Loads a checkpoint previously written by [`Checkpoint::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RoundRecord;
+
+    fn sample_history() -> TrainingHistory {
+        let mut history = TrainingHistory::new();
+        history.push(RoundRecord {
+            round: 0,
+            accuracy: 0.2,
+            test_loss: 2.1,
+            train_loss: 2.3,
+        });
+        history.push(RoundRecord {
+            round: 5,
+            accuracy: 0.5,
+            test_loss: 1.4,
+            train_loss: 1.2,
+        });
+        history
+    }
+
+    #[test]
+    fn single_model_checkpoint_round_trips_through_json() {
+        let checkpoint = Checkpoint::single_model("fedavg", 6, vec![0.5, -1.0, 2.0], sample_history());
+        let dir = std::env::temp_dir().join("fedcross-checkpoint-test-single");
+        let path = dir.join("ckpt.json");
+        checkpoint.save(&path).expect("save succeeds");
+        let restored = Checkpoint::load(&path).expect("load succeeds");
+        assert_eq!(restored, checkpoint);
+        assert_eq!(restored.param_count(), 3);
+        assert!(restored.middleware.is_none());
+        assert_eq!(restored.history.len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn multi_model_checkpoint_preserves_the_middleware_list() {
+        let middleware = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let checkpoint = Checkpoint::multi_model(
+            "fedcross",
+            10,
+            vec![3.0, 4.0],
+            middleware.clone(),
+            TrainingHistory::new(),
+        );
+        let dir = std::env::temp_dir().join("fedcross-checkpoint-test-multi");
+        let path = dir.join("ckpt.json");
+        checkpoint.save(&path).expect("save succeeds");
+        let restored = Checkpoint::load(&path).expect("load succeeds");
+        assert_eq!(restored.middleware.as_deref(), Some(middleware.as_slice()));
+        assert_eq!(restored.rounds_completed, 10);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_middleware_list_is_rejected() {
+        let _ = Checkpoint::multi_model("fedcross", 0, vec![], vec![], TrainingHistory::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_middleware_list_is_rejected() {
+        let _ = Checkpoint::multi_model(
+            "fedcross",
+            0,
+            vec![0.0],
+            vec![vec![1.0], vec![1.0, 2.0]],
+            TrainingHistory::new(),
+        );
+    }
+
+    #[test]
+    fn loading_a_missing_file_is_an_error() {
+        let missing = std::env::temp_dir().join("fedcross-checkpoint-does-not-exist.json");
+        assert!(Checkpoint::load(missing).is_err());
+    }
+
+    #[test]
+    fn loading_corrupt_json_is_an_invalid_data_error() {
+        let dir = std::env::temp_dir().join("fedcross-checkpoint-test-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = Checkpoint::load(&path).expect_err("corrupt file must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,302 @@
+//! Client-side local training.
+//!
+//! Every FL method in the paper shares the same client behaviour: receive a
+//! parameter vector, run `E` epochs of mini-batch SGD on the local dataset,
+//! upload the trained parameters. The methods differ only in (i) which vector
+//! is dispatched and (ii) an optional per-parameter gradient correction
+//! (FedProx's proximal term, SCAFFOLD's control variates), which is injected
+//! here as a [`GradCorrection`] closure.
+
+use fedcross_data::Dataset;
+use fedcross_nn::loss::softmax_cross_entropy;
+use fedcross_nn::optim::Sgd;
+use fedcross_nn::Model;
+use fedcross_tensor::SeededRng;
+
+/// A per-parameter gradient correction applied during local SGD.
+///
+/// Receives `(parameter index, parameter value, raw gradient)` and returns the
+/// gradient actually used by the optimizer.
+pub type GradCorrection = Box<dyn Fn(usize, f32, f32) -> f32 + Send + Sync>;
+
+/// Hyper-parameters of client-side local training.
+///
+/// The defaults are the paper's Section IV-A settings: batch size 50, five
+/// local epochs, SGD with learning rate 0.01 and momentum 0.5.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalTrainConfig {
+    /// Number of passes over the client's local data per round.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for LocalTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 50,
+            lr: 0.01,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl LocalTrainConfig {
+    /// A faster configuration for unit tests and quick experiments.
+    pub fn fast() -> Self {
+        Self {
+            epochs: 1,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// The result of one client's local training: the trained parameters plus
+/// bookkeeping the server-side aggregation rules need.
+#[derive(Debug, Clone)]
+pub struct LocalUpdate {
+    /// Index of the client that produced the update.
+    pub client: usize,
+    /// Trained (uploaded) parameter vector.
+    pub params: Vec<f32>,
+    /// Number of local training samples (FedAvg weighting).
+    pub num_samples: usize,
+    /// Mean training loss over the last local epoch.
+    pub train_loss: f32,
+    /// Number of SGD steps performed.
+    pub steps: usize,
+}
+
+/// Runs local training of `model` (already loaded with the dispatched
+/// parameters) on `data`, returning the trained parameter vector and stats.
+///
+/// `correction` optionally adjusts every per-parameter gradient before the
+/// SGD update — the hook FedProx and SCAFFOLD use.
+pub fn local_train(
+    client: usize,
+    model: &mut dyn Model,
+    data: &Dataset,
+    config: &LocalTrainConfig,
+    rng: &mut SeededRng,
+    correction: Option<&GradCorrection>,
+) -> LocalUpdate {
+    assert!(config.epochs > 0, "at least one local epoch is required");
+    let mut optimizer = Sgd::new(config.lr, config.momentum, config.weight_decay);
+    let mut steps = 0usize;
+    let mut last_epoch_loss = 0f32;
+
+    for epoch in 0..config.epochs {
+        let mut epoch_loss = 0f32;
+        let mut epoch_batches = 0usize;
+        for batch in data.minibatches(config.batch_size, Some(rng)) {
+            model.zero_grads();
+            let logits = model.forward(&batch.features, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
+            model.backward(&grad);
+            match correction {
+                Some(correct) => optimizer.step_with(model, |i, w, g| correct(i, w, g)),
+                None => optimizer.step(model),
+            }
+            epoch_loss += loss;
+            epoch_batches += 1;
+            steps += 1;
+        }
+        if epoch == config.epochs - 1 && epoch_batches > 0 {
+            last_epoch_loss = epoch_loss / epoch_batches as f32;
+        }
+    }
+
+    LocalUpdate {
+        client,
+        params: model.params_flat(),
+        num_samples: data.len(),
+        train_loss: last_epoch_loss,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+    use fedcross_data::Heterogeneity;
+    use fedcross_nn::models::mlp;
+    use fedcross_tensor::Tensor;
+
+    fn tiny_task(seed: u64) -> (FederatedDataset, Box<dyn Model>) {
+        let mut rng = SeededRng::new(seed);
+        let data = FederatedDataset::synth_cifar10(
+            &SynthCifar10Config {
+                num_clients: 3,
+                samples_per_client: 30,
+                test_samples: 30,
+                ..Default::default()
+            },
+            Heterogeneity::Iid,
+            &mut rng,
+        );
+        let model = mlp(3 * 16 * 16, &[32], 10, &mut rng);
+        (data, model)
+    }
+
+    fn flatten_images(data: &Dataset) -> Dataset {
+        let n = data.len();
+        let dim: usize = data.sample_dims().iter().product();
+        Dataset::new(
+            data.features().reshape(&[n, dim]),
+            data.labels().to_vec(),
+            data.num_classes(),
+        )
+    }
+
+    #[test]
+    fn local_training_reduces_loss_and_returns_params() {
+        let (data, template) = tiny_task(0);
+        let client_data = flatten_images(data.client(0));
+        let mut model = template.clone_model();
+        let before = model.params_flat();
+        let config = LocalTrainConfig {
+            epochs: 5,
+            batch_size: 10,
+            lr: 0.1,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        };
+        let mut rng = SeededRng::new(1);
+        let update = local_train(0, model.as_mut(), &client_data, &config, &mut rng, None);
+        assert_eq!(update.client, 0);
+        assert_eq!(update.num_samples, client_data.len());
+        assert_eq!(update.params.len(), before.len());
+        assert_ne!(update.params, before);
+        assert!(update.steps >= config.epochs * 3);
+        assert!(update.train_loss.is_finite());
+    }
+
+    #[test]
+    fn more_epochs_move_parameters_further() {
+        let (data, template) = tiny_task(2);
+        let client_data = flatten_images(data.client(1));
+        let start = template.params_flat();
+
+        let run = |epochs: usize| {
+            let mut model = template.clone_model();
+            let config = LocalTrainConfig {
+                epochs,
+                batch_size: 10,
+                lr: 0.05,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            };
+            let mut rng = SeededRng::new(3);
+            let update = local_train(1, model.as_mut(), &client_data, &config, &mut rng, None);
+            fedcross_nn::params::euclidean(&update.params, &start)
+        };
+        assert!(run(4) > run(1));
+    }
+
+    #[test]
+    fn zero_correction_freezes_the_model() {
+        let (data, template) = tiny_task(4);
+        let client_data = flatten_images(data.client(2));
+        let mut model = template.clone_model();
+        let before = model.params_flat();
+        let config = LocalTrainConfig::fast();
+        let mut rng = SeededRng::new(5);
+        let freeze: GradCorrection = Box::new(|_, _, _| 0.0);
+        let update = local_train(2, model.as_mut(), &client_data, &config, &mut rng, Some(&freeze));
+        assert_eq!(update.params, before);
+    }
+
+    #[test]
+    fn proximal_style_correction_keeps_params_closer_to_anchor() {
+        let (data, template) = tiny_task(6);
+        let client_data = flatten_images(data.client(0));
+        let anchor = template.params_flat();
+        let config = LocalTrainConfig {
+            epochs: 3,
+            batch_size: 10,
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        };
+
+        // Plain local training.
+        let mut plain_model = template.clone_model();
+        let plain = local_train(
+            0,
+            plain_model.as_mut(),
+            &client_data,
+            &config,
+            &mut SeededRng::new(7),
+            None,
+        );
+
+        // FedProx-style: g + mu (w - w_anchor) with a large mu.
+        let anchor_for_closure = anchor.clone();
+        let prox: GradCorrection =
+            Box::new(move |i, w, g| g + 1.0 * (w - anchor_for_closure[i]));
+        let mut prox_model = template.clone_model();
+        let proxed = local_train(
+            0,
+            prox_model.as_mut(),
+            &client_data,
+            &config,
+            &mut SeededRng::new(7),
+            Some(&prox),
+        );
+
+        let plain_dist = fedcross_nn::params::euclidean(&plain.params, &anchor);
+        let prox_dist = fedcross_nn::params::euclidean(&proxed.params, &anchor);
+        assert!(
+            prox_dist < plain_dist,
+            "proximal term should pull parameters towards the anchor ({prox_dist} vs {plain_dist})"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let (data, template) = tiny_task(8);
+        let client_data = flatten_images(data.client(0));
+        let config = LocalTrainConfig::fast();
+        let run = |seed: u64| {
+            let mut model = template.clone_model();
+            let mut rng = SeededRng::new(seed);
+            local_train(0, model.as_mut(), &client_data, &config, &mut rng, None).params
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn empty_dataset_produces_no_steps() {
+        let (_, template) = tiny_task(11);
+        let empty = Dataset::empty(&[3 * 16 * 16], 10);
+        let mut model = template.clone_model();
+        let config = LocalTrainConfig::fast();
+        let mut rng = SeededRng::new(12);
+        let update = local_train(0, model.as_mut(), &empty, &config, &mut rng, None);
+        assert_eq!(update.steps, 0);
+        assert_eq!(update.num_samples, 0);
+    }
+
+    #[test]
+    fn paper_default_config_matches_section_iv() {
+        let c = LocalTrainConfig::default();
+        assert_eq!(c.epochs, 5);
+        assert_eq!(c.batch_size, 50);
+        assert!((c.lr - 0.01).abs() < 1e-9);
+        assert!((c.momentum - 0.5).abs() < 1e-9);
+        let _ = Tensor::zeros(&[1]); // keep Tensor import exercised
+    }
+}

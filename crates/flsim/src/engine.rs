@@ -1,0 +1,778 @@
+//! The federated round loop.
+//!
+//! An FL method is an implementation of [`FederatedAlgorithm`]: given a
+//! [`RoundContext`] it decides which parameter vectors to dispatch to which
+//! clients, receives their [`LocalUpdate`]s and performs its server-side
+//! aggregation. The [`Simulation`] drives the algorithm for a configured
+//! number of communication rounds, evaluates the deployed global model on the
+//! held-out test set and records the learning curve — i.e. it is the piece of
+//! the paper's experimental apparatus that is common to FedAvg, FedProx,
+//! SCAFFOLD, FedGen, CluSamp and FedCross.
+
+use crate::availability::AvailabilityModel;
+use crate::client::{local_train, GradCorrection, LocalTrainConfig, LocalUpdate};
+use crate::comm::CommTracker;
+use crate::eval::evaluate_params;
+use crate::history::{RoundRecord, TrainingHistory};
+use fedcross_data::FederatedDataset;
+use fedcross_nn::Model;
+use fedcross_tensor::SeededRng;
+use rayon::prelude::*;
+
+/// One client-training job: dispatch `params` to `client`, optionally with a
+/// per-parameter gradient correction applied during its local SGD.
+pub struct TrainJob {
+    /// Target client index.
+    pub client: usize,
+    /// Parameter vector dispatched to the client.
+    pub params: Vec<f32>,
+    /// Optional gradient correction (FedProx proximal term, SCAFFOLD control
+    /// variates).
+    pub correction: Option<GradCorrection>,
+    /// Auxiliary download payload in scalars (counted on top of the model).
+    pub extra_download: usize,
+    /// Auxiliary upload payload in scalars.
+    pub extra_upload: usize,
+}
+
+impl TrainJob {
+    /// A plain job with no correction and no auxiliary payload.
+    pub fn plain(client: usize, params: Vec<f32>) -> Self {
+        Self {
+            client,
+            params,
+            correction: None,
+            extra_download: 0,
+            extra_upload: 0,
+        }
+    }
+}
+
+/// Summary of one communication round returned by the algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundReport {
+    /// Number of clients that participated.
+    pub participants: usize,
+    /// Mean training loss reported by the participants.
+    pub mean_train_loss: f32,
+    /// Total number of local samples used this round.
+    pub total_samples: usize,
+}
+
+impl RoundReport {
+    /// Builds a report from the round's local updates.
+    pub fn from_updates(updates: &[LocalUpdate]) -> Self {
+        if updates.is_empty() {
+            return Self::default();
+        }
+        Self {
+            participants: updates.len(),
+            mean_train_loss: updates.iter().map(|u| u.train_loss).sum::<f32>()
+                / updates.len() as f32,
+            total_samples: updates.iter().map(|u| u.num_samples).sum(),
+        }
+    }
+}
+
+/// Everything an algorithm can touch during one communication round.
+pub struct RoundContext<'a> {
+    data: &'a FederatedDataset,
+    template: &'a dyn Model,
+    local: LocalTrainConfig,
+    clients_per_round: usize,
+    rng: SeededRng,
+    comm: &'a mut CommTracker,
+    availability: AvailabilityModel,
+    round: usize,
+    dropped: Vec<usize>,
+}
+
+impl<'a> RoundContext<'a> {
+    /// Creates a round context. Normally done by [`Simulation`]; exposed so
+    /// tests and custom harnesses can drive algorithms round by round.
+    pub fn new(
+        data: &'a FederatedDataset,
+        template: &'a dyn Model,
+        local: LocalTrainConfig,
+        clients_per_round: usize,
+        rng: SeededRng,
+        comm: &'a mut CommTracker,
+    ) -> Self {
+        assert!(clients_per_round >= 1, "need at least one client per round");
+        Self {
+            data,
+            template,
+            local,
+            clients_per_round,
+            rng,
+            comm,
+            availability: AvailabilityModel::AlwaysOn,
+            round: 0,
+            dropped: Vec::new(),
+        }
+    }
+
+    /// Attaches a client-availability model for this round (the round number
+    /// is needed by the deterministic straggler patterns). Defaults to
+    /// [`AvailabilityModel::AlwaysOn`].
+    pub fn with_availability(mut self, availability: AvailabilityModel, round: usize) -> Self {
+        self.availability = availability;
+        self.round = round;
+        self
+    }
+
+    /// Clients whose training job was discarded by the availability model
+    /// this round (in job order): they were selected but never responded.
+    pub fn dropped_clients(&self) -> &[usize] {
+        &self.dropped
+    }
+
+    /// Total number of clients in the federation.
+    pub fn num_clients(&self) -> usize {
+        self.data.num_clients()
+    }
+
+    /// Number of clients that participate per round (the paper's `K`).
+    pub fn clients_per_round(&self) -> usize {
+        self.clients_per_round.min(self.num_clients())
+    }
+
+    /// The federated dataset (client training shards + global test set).
+    pub fn data(&self) -> &FederatedDataset {
+        self.data
+    }
+
+    /// The architecture template used to instantiate client models.
+    pub fn template(&self) -> &dyn Model {
+        self.template
+    }
+
+    /// The local-training configuration every client uses.
+    pub fn local_config(&self) -> LocalTrainConfig {
+        self.local
+    }
+
+    /// Mutable access to the round's RNG (client selection, shuffling).
+    pub fn rng_mut(&mut self) -> &mut SeededRng {
+        &mut self.rng
+    }
+
+    /// Samples `clients_per_round` distinct clients uniformly at random
+    /// (Algorithm 1, line 4).
+    pub fn select_clients(&mut self) -> Vec<usize> {
+        let k = self.clients_per_round();
+        self.rng.sample_without_replacement(self.num_clients(), k)
+    }
+
+    /// Samples clients with probability proportional to `weights` (without
+    /// replacement), used by the clustered-sampling baseline.
+    pub fn select_clients_weighted(&mut self, weights: &[f32]) -> Vec<usize> {
+        assert_eq!(weights.len(), self.num_clients(), "one weight per client");
+        let k = self.clients_per_round();
+        let mut remaining: Vec<usize> = (0..self.num_clients()).collect();
+        let mut w: Vec<f32> = weights.to_vec();
+        let mut picked = Vec::with_capacity(k);
+        for _ in 0..k {
+            if remaining.is_empty() {
+                break;
+            }
+            let total: f32 = w.iter().sum();
+            let idx = if total <= 0.0 {
+                self.rng.below(remaining.len())
+            } else {
+                self.rng.weighted_index(&w)
+            };
+            picked.push(remaining.remove(idx));
+            w.remove(idx);
+        }
+        picked
+    }
+
+    /// Trains one client on the dispatched parameters and returns its update,
+    /// recording the communication.
+    pub fn local_train(&mut self, client: usize, params: &[f32]) -> LocalUpdate {
+        let updates = self.local_train_jobs(vec![TrainJob::plain(client, params.to_vec())]);
+        updates.into_iter().next().expect("one job yields one update")
+    }
+
+    /// Trains several clients (in parallel) on plain jobs.
+    pub fn local_train_batch(&mut self, jobs: &[(usize, Vec<f32>)]) -> Vec<LocalUpdate> {
+        self.local_train_jobs(
+            jobs.iter()
+                .map(|(client, params)| TrainJob::plain(*client, params.clone()))
+                .collect(),
+        )
+    }
+
+    /// Trains several clients (in parallel), honouring per-job gradient
+    /// corrections and auxiliary payload accounting.
+    ///
+    /// Jobs whose client drops out under the configured
+    /// [`AvailabilityModel`] are discarded: they produce no update and no
+    /// communication, and the dropped client ids are recorded in
+    /// [`RoundContext::dropped_clients`]. Algorithms must therefore tolerate
+    /// receiving fewer updates than jobs they submitted.
+    pub fn local_train_jobs(&mut self, jobs: Vec<TrainJob>) -> Vec<LocalUpdate> {
+        // Apply the availability model before any communication happens: a
+        // dropped client never responds to the dispatch.
+        let availability = self.availability;
+        let round = self.round;
+        let jobs: Vec<TrainJob> = jobs
+            .into_iter()
+            .filter(|job| {
+                let available = availability.is_available(round, job.client, &mut self.rng);
+                if !available {
+                    self.dropped.push(job.client);
+                }
+                available
+            })
+            .collect();
+
+        // Record communication before training (dispatch + upload of the model,
+        // plus any auxiliary payload the algorithm declared).
+        for job in &jobs {
+            self.comm.record_model_roundtrip(job.params.len());
+            if job.extra_download > 0 {
+                self.comm.record_extra_download(job.extra_download);
+            }
+            if job.extra_upload > 0 {
+                self.comm.record_extra_upload(job.extra_upload);
+            }
+        }
+
+        // Prepare per-job state serially (model clones, RNG forks), then train
+        // in parallel — the paper's "parallel for" block (Algorithm 1, line 6).
+        let local = self.local;
+        let prepared: Vec<(TrainJob, Box<dyn Model>, SeededRng)> = jobs
+            .into_iter()
+            .map(|job| {
+                let mut model = self.template.clone_model();
+                model.set_params_flat(&job.params);
+                let rng = self.rng.fork(job.client as u64 + 1);
+                (job, model, rng)
+            })
+            .collect();
+
+        let data = self.data;
+        prepared
+            .into_par_iter()
+            .map(|(job, mut model, mut rng)| {
+                local_train(
+                    job.client,
+                    model.as_mut(),
+                    data.client(job.client),
+                    &local,
+                    &mut rng,
+                    job.correction.as_ref(),
+                )
+            })
+            .collect()
+    }
+
+    /// Records auxiliary server→client payload outside of a training job
+    /// (e.g. a broadcast generator).
+    pub fn record_extra_download(&mut self, scalars: usize) {
+        self.comm.record_extra_download(scalars);
+    }
+
+    /// Records auxiliary client→server payload outside of a training job.
+    pub fn record_extra_upload(&mut self, scalars: usize) {
+        self.comm.record_extra_upload(scalars);
+    }
+}
+
+/// A federated-learning method, pluggable into the [`Simulation`].
+pub trait FederatedAlgorithm {
+    /// Human-readable method name (used in tables and learning-curve labels).
+    fn name(&self) -> String;
+
+    /// Executes one communication round.
+    fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport;
+
+    /// The parameter vector of the model that would be deployed right now
+    /// (FedCross generates it on demand from the middleware models; FedAvg
+    /// simply returns its global model).
+    fn global_params(&self) -> Vec<f32>;
+}
+
+/// Simulation-level configuration (everything outside a single round).
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Number of communication rounds.
+    pub rounds: usize,
+    /// Clients selected per round (the paper selects 10% of clients).
+    pub clients_per_round: usize,
+    /// Evaluate the global model every this many rounds (1 = every round).
+    pub eval_every: usize,
+    /// Batch size used for test-set evaluation.
+    pub eval_batch_size: usize,
+    /// Client-side local training configuration.
+    pub local: LocalTrainConfig,
+    /// Master seed; every round derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 20,
+            clients_per_round: 10,
+            eval_every: 1,
+            eval_batch_size: 64,
+            local: LocalTrainConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// The result of a full simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Name of the algorithm that was run.
+    pub algorithm: String,
+    /// Learning curve (one record per evaluated round).
+    pub history: TrainingHistory,
+    /// Accumulated communication counters.
+    pub comm: CommTracker,
+    /// Number of scalar parameters of the trained model.
+    pub model_params: usize,
+}
+
+impl SimulationResult {
+    /// Final-round test accuracy in percent.
+    pub fn final_accuracy_pct(&self) -> f32 {
+        self.history.final_accuracy() * 100.0
+    }
+
+    /// Best test accuracy in percent.
+    pub fn best_accuracy_pct(&self) -> f32 {
+        self.history.best_accuracy() * 100.0
+    }
+}
+
+/// Drives a [`FederatedAlgorithm`] against a [`FederatedDataset`].
+pub struct Simulation<'a> {
+    config: SimulationConfig,
+    data: &'a FederatedDataset,
+    template: Box<dyn Model>,
+    availability: AvailabilityModel,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation. `template` defines the architecture every client
+    /// and the server-side evaluation use.
+    pub fn new(config: SimulationConfig, data: &'a FederatedDataset, template: Box<dyn Model>) -> Self {
+        assert!(config.rounds > 0, "at least one round is required");
+        assert!(config.eval_every > 0, "eval_every must be positive");
+        Self {
+            config,
+            data,
+            template,
+            availability: AvailabilityModel::AlwaysOn,
+        }
+    }
+
+    /// Simulates unreliable clients: selected clients may drop out according
+    /// to `availability` (default: every client always responds).
+    pub fn with_availability(mut self, availability: AvailabilityModel) -> Self {
+        self.availability = availability;
+        self
+    }
+
+    /// The architecture template.
+    pub fn template(&self) -> &dyn Model {
+        self.template.as_ref()
+    }
+
+    /// Runs the configured number of rounds of `algorithm`.
+    pub fn run(&self, algorithm: &mut dyn FederatedAlgorithm) -> SimulationResult {
+        self.run_with_observer(algorithm, |_, _| {})
+    }
+
+    /// Runs the simulation, invoking `observer(round, &record)` after every
+    /// evaluation — used by the benchmark harness to stream learning curves.
+    pub fn run_with_observer(
+        &self,
+        algorithm: &mut dyn FederatedAlgorithm,
+        mut observer: impl FnMut(usize, &RoundRecord),
+    ) -> SimulationResult {
+        let master = SeededRng::new(self.config.seed);
+        let mut comm = CommTracker::new();
+        let mut history = TrainingHistory::new();
+
+        for round in 0..self.config.rounds {
+            let report = {
+                let mut ctx = RoundContext::new(
+                    self.data,
+                    self.template.as_ref(),
+                    self.config.local,
+                    self.config.clients_per_round,
+                    master.fork(round as u64),
+                    &mut comm,
+                )
+                .with_availability(self.availability, round);
+                algorithm.run_round(round, &mut ctx)
+            };
+            comm.end_round();
+
+            let is_last = round + 1 == self.config.rounds;
+            if round % self.config.eval_every == 0 || is_last {
+                let evaluation = evaluate_params(
+                    self.template.as_ref(),
+                    &algorithm.global_params(),
+                    self.data.test_set(),
+                    self.config.eval_batch_size,
+                );
+                let record = RoundRecord {
+                    round,
+                    accuracy: evaluation.accuracy,
+                    test_loss: evaluation.loss,
+                    train_loss: report.mean_train_loss,
+                };
+                history.push(record);
+                observer(round, &record);
+            }
+        }
+
+        SimulationResult {
+            algorithm: algorithm.name(),
+            history,
+            comm,
+            model_params: self.template.param_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+    use fedcross_data::Heterogeneity;
+    use fedcross_nn::models::CnnConfig;
+    use fedcross_nn::params::average;
+
+    /// The minimal FedAvg used to exercise the engine from inside this crate.
+    struct EngineFedAvg {
+        global: Vec<f32>,
+    }
+
+    impl FederatedAlgorithm for EngineFedAvg {
+        fn name(&self) -> String {
+            "engine-fedavg".to_string()
+        }
+
+        fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+            let selected = ctx.select_clients();
+            let jobs: Vec<(usize, Vec<f32>)> = selected
+                .iter()
+                .map(|&c| (c, self.global.clone()))
+                .collect();
+            let updates = ctx.local_train_batch(&jobs);
+            let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+            self.global = average(&params);
+            RoundReport::from_updates(&updates)
+        }
+
+        fn global_params(&self) -> Vec<f32> {
+            self.global.clone()
+        }
+    }
+
+    fn tiny_setup(seed: u64) -> (FederatedDataset, Box<dyn Model>) {
+        let mut rng = SeededRng::new(seed);
+        let data = FederatedDataset::synth_cifar10(
+            &SynthCifar10Config {
+                num_clients: 6,
+                samples_per_client: 20,
+                test_samples: 60,
+                ..Default::default()
+            },
+            Heterogeneity::Iid,
+            &mut rng,
+        );
+        let template = fedcross_nn::models::cnn(
+            (3, 16, 16),
+            10,
+            CnnConfig {
+                conv_channels: (4, 8),
+                fc_hidden: 16,
+                kernel: 3,
+            },
+            &mut rng,
+        );
+        (data, template)
+    }
+
+    #[test]
+    fn simulation_runs_and_records_history() {
+        let (data, template) = tiny_setup(0);
+        let mut algo = EngineFedAvg {
+            global: template.params_flat(),
+        };
+        let config = SimulationConfig {
+            rounds: 3,
+            clients_per_round: 3,
+            eval_every: 1,
+            eval_batch_size: 32,
+            local: LocalTrainConfig::fast(),
+            seed: 1,
+        };
+        let sim = Simulation::new(config, &data, template);
+        let result = sim.run(&mut algo);
+        assert_eq!(result.history.len(), 3);
+        assert_eq!(result.algorithm, "engine-fedavg");
+        assert!(result.model_params > 0);
+        // 3 rounds x 3 clients = 9 model round trips.
+        assert_eq!(result.comm.client_contacts, 9);
+        assert_eq!(result.comm.rounds, 3);
+        assert!(result.final_accuracy_pct() >= 0.0);
+    }
+
+    #[test]
+    fn eval_every_reduces_history_length_but_keeps_last_round() {
+        let (data, template) = tiny_setup(1);
+        let mut algo = EngineFedAvg {
+            global: template.params_flat(),
+        };
+        let config = SimulationConfig {
+            rounds: 5,
+            clients_per_round: 2,
+            eval_every: 3,
+            eval_batch_size: 32,
+            local: LocalTrainConfig::fast(),
+            seed: 2,
+        };
+        let sim = Simulation::new(config, &data, template);
+        let result = sim.run(&mut algo);
+        // Evaluated at rounds 0, 3 and the final round 4.
+        let rounds: Vec<usize> = result.history.records().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn federated_training_improves_over_initialisation() {
+        let mut rng = SeededRng::new(2);
+        let data = FederatedDataset::synth_cifar10(
+            &SynthCifar10Config {
+                num_clients: 6,
+                samples_per_client: 50,
+                test_samples: 100,
+                ..Default::default()
+            },
+            Heterogeneity::Iid,
+            &mut rng,
+        );
+        let template = fedcross_nn::models::cnn(
+            (3, 16, 16),
+            10,
+            CnnConfig {
+                conv_channels: (6, 12),
+                fc_hidden: 32,
+                kernel: 3,
+            },
+            &mut rng,
+        );
+        let init_params = template.params_flat();
+        let init_eval = evaluate_params(template.as_ref(), &init_params, data.test_set(), 64);
+
+        let mut algo = EngineFedAvg {
+            global: init_params,
+        };
+        let config = SimulationConfig {
+            rounds: 12,
+            clients_per_round: 4,
+            eval_every: 3,
+            eval_batch_size: 64,
+            local: LocalTrainConfig {
+                epochs: 3,
+                batch_size: 10,
+                lr: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            seed: 3,
+        };
+        let sim = Simulation::new(config, &data, template);
+        let result = sim.run(&mut algo);
+        assert!(
+            result.history.best_accuracy() > init_eval.accuracy + 0.1
+                && result.history.best_accuracy() > 0.2,
+            "federated training should beat random init ({} vs {})",
+            result.history.best_accuracy(),
+            init_eval.accuracy
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_evaluation() {
+        let (data, template) = tiny_setup(3);
+        let mut algo = EngineFedAvg {
+            global: template.params_flat(),
+        };
+        let config = SimulationConfig {
+            rounds: 4,
+            clients_per_round: 2,
+            eval_every: 2,
+            eval_batch_size: 32,
+            local: LocalTrainConfig::fast(),
+            seed: 4,
+        };
+        let sim = Simulation::new(config, &data, template);
+        let mut seen = Vec::new();
+        let _ = sim.run_with_observer(&mut algo, |round, record| {
+            assert_eq!(round, record.round);
+            seen.push(round);
+        });
+        assert_eq!(seen, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn select_clients_respects_k_and_uniqueness() {
+        let (data, template) = tiny_setup(4);
+        let mut comm = CommTracker::new();
+        let mut ctx = RoundContext::new(
+            &data,
+            template.as_ref(),
+            LocalTrainConfig::fast(),
+            4,
+            SeededRng::new(5),
+            &mut comm,
+        );
+        let picked = ctx.select_clients();
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert!(picked.iter().all(|&c| c < ctx.num_clients()));
+    }
+
+    #[test]
+    fn weighted_selection_prefers_heavy_clients() {
+        let (data, template) = tiny_setup(5);
+        let mut counts = vec![0usize; data.num_clients()];
+        for trial in 0..40 {
+            let mut comm = CommTracker::new();
+            let mut ctx = RoundContext::new(
+                &data,
+                template.as_ref(),
+                LocalTrainConfig::fast(),
+                1,
+                SeededRng::new(trial),
+                &mut comm,
+            );
+            let mut weights = vec![0.01f32; data.num_clients()];
+            weights[2] = 10.0;
+            let picked = ctx.select_clients_weighted(&weights);
+            counts[picked[0]] += 1;
+        }
+        assert!(counts[2] > 25, "client 2 picked only {} / 40 times", counts[2]);
+    }
+
+    #[test]
+    fn train_jobs_record_extra_payload() {
+        let (data, template) = tiny_setup(6);
+        let mut comm = CommTracker::new();
+        {
+            let mut ctx = RoundContext::new(
+                &data,
+                template.as_ref(),
+                LocalTrainConfig::fast(),
+                2,
+                SeededRng::new(7),
+                &mut comm,
+            );
+            let params = template.params_flat();
+            let jobs = vec![
+                TrainJob {
+                    client: 0,
+                    params: params.clone(),
+                    correction: None,
+                    extra_download: 100,
+                    extra_upload: 50,
+                },
+                TrainJob::plain(1, params),
+            ];
+            let updates = ctx.local_train_jobs(jobs);
+            assert_eq!(updates.len(), 2);
+        }
+        assert_eq!(comm.extra_download, 100);
+        assert_eq!(comm.extra_upload, 50);
+        assert_eq!(comm.client_contacts, 2);
+    }
+
+    #[test]
+    fn parallel_batch_matches_expected_client_ids() {
+        let (data, template) = tiny_setup(7);
+        let mut comm = CommTracker::new();
+        let mut ctx = RoundContext::new(
+            &data,
+            template.as_ref(),
+            LocalTrainConfig::fast(),
+            3,
+            SeededRng::new(8),
+            &mut comm,
+        );
+        let params = template.params_flat();
+        let jobs: Vec<(usize, Vec<f32>)> = vec![(0, params.clone()), (3, params.clone()), (5, params)];
+        let updates = ctx.local_train_batch(&jobs);
+        let ids: Vec<usize> = updates.iter().map(|u| u.client).collect();
+        assert_eq!(ids, vec![0, 3, 5]);
+        assert!(updates.iter().all(|u| u.num_samples > 0));
+    }
+
+    #[test]
+    fn dropout_discards_jobs_and_their_communication() {
+        use crate::availability::AvailabilityModel;
+        let (data, template) = tiny_setup(9);
+        let mut comm = CommTracker::new();
+        let updates_len;
+        let dropped_len;
+        {
+            let mut ctx = RoundContext::new(
+                &data,
+                template.as_ref(),
+                LocalTrainConfig::fast(),
+                4,
+                SeededRng::new(11),
+                &mut comm,
+            )
+            .with_availability(AvailabilityModel::PeriodicStraggler { period: 2 }, 0);
+            let params = template.params_flat();
+            let jobs: Vec<(usize, Vec<f32>)> =
+                (0..4).map(|client| (client, params.clone())).collect();
+            let updates = ctx.local_train_batch(&jobs);
+            updates_len = updates.len();
+            dropped_len = ctx.dropped_clients().len();
+            // Period-2 straggler in round 0 drops the even-numbered clients.
+            assert_eq!(ctx.dropped_clients(), &[0, 2]);
+            assert!(updates.iter().all(|u| u.client % 2 == 1));
+        }
+        assert_eq!(updates_len, 2);
+        assert_eq!(dropped_len, 2);
+        // Only the surviving clients were contacted.
+        assert_eq!(comm.client_contacts, 2);
+    }
+
+    #[test]
+    fn simulation_with_dropout_still_completes_all_rounds() {
+        use crate::availability::AvailabilityModel;
+        let (data, template) = tiny_setup(10);
+        let mut algo = EngineFedAvg {
+            global: template.params_flat(),
+        };
+        let config = SimulationConfig {
+            rounds: 4,
+            clients_per_round: 3,
+            eval_every: 1,
+            eval_batch_size: 32,
+            local: LocalTrainConfig::fast(),
+            seed: 12,
+        };
+        let sim = Simulation::new(config, &data, template)
+            .with_availability(AvailabilityModel::RandomDropout { prob: 0.4 });
+        let result = sim.run(&mut algo);
+        assert_eq!(result.history.len(), 4);
+        assert!(result.comm.client_contacts <= 12);
+        assert!(algo.global_params().iter().all(|p| p.is_finite()));
+    }
+}

@@ -1,0 +1,85 @@
+//! # fedcross-flsim
+//!
+//! The federated-learning simulation engine the FedCross reproduction runs on:
+//! the cloud–client substrate that is independent of any particular
+//! aggregation rule.
+//!
+//! * [`client`] — local SGD training on one client's data, with optional
+//!   per-parameter gradient corrections (used by FedProx and SCAFFOLD),
+//! * [`eval`] — centralised evaluation of a model on the global test set,
+//! * [`comm`] — per-round communication accounting, reproducing the paper's
+//!   Table I / Section IV-C3 overhead comparison,
+//! * [`history`] — learning-curve recording (the data behind Figures 5–9),
+//! * [`landscape`] — loss-landscape surfaces and sharpness scores
+//!   (Figure 4 / RQ1),
+//! * [`availability`] — client dropout / straggler models for robustness
+//!   experiments,
+//! * [`checkpoint`] — JSON save/resume of training state (global model,
+//!   FedCross middleware list, learning curve),
+//! * [`fairness`] — per-client accuracy distribution of a deployed global
+//!   model (the measurement behind the paper's Figure 1 motivation),
+//! * [`engine`] — the round loop: an implementation of
+//!   [`engine::FederatedAlgorithm`] (FedCross and the five baselines live in
+//!   the `fedcross` crate) is driven round by round against a
+//!   [`fedcross_data::FederatedDataset`], with periodic evaluation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+//! use fedcross_data::Heterogeneity;
+//! use fedcross_flsim::engine::{RoundContext, RoundReport, FederatedAlgorithm, Simulation, SimulationConfig};
+//! use fedcross_nn::models::{cnn, CnnConfig};
+//! use fedcross_nn::Model;
+//! use fedcross_nn::params::average;
+//! use fedcross_tensor::SeededRng;
+//!
+//! // A minimal FedAvg implementation against the engine API.
+//! struct TinyFedAvg { global: Vec<f32> }
+//! impl FederatedAlgorithm for TinyFedAvg {
+//!     fn name(&self) -> String { "tiny-fedavg".to_string() }
+//!     fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+//!         let selected = ctx.select_clients();
+//!         let jobs: Vec<(usize, Vec<f32>)> =
+//!             selected.iter().map(|&c| (c, self.global.clone())).collect();
+//!         let updates = ctx.local_train_batch(&jobs);
+//!         self.global = average(&updates.iter().map(|u| u.params.clone()).collect::<Vec<_>>());
+//!         RoundReport::from_updates(&updates)
+//!     }
+//!     fn global_params(&self) -> Vec<f32> { self.global.clone() }
+//! }
+//!
+//! let mut rng = SeededRng::new(0);
+//! let data = FederatedDataset::synth_cifar10(
+//!     &SynthCifar10Config { num_clients: 4, samples_per_client: 8, test_samples: 16, ..Default::default() },
+//!     Heterogeneity::Iid,
+//!     &mut rng,
+//! );
+//! let cnn_config = CnnConfig { conv_channels: (2, 4), fc_hidden: 8, kernel: 3 };
+//! let template = cnn((3, 16, 16), 10, cnn_config, &mut rng);
+//! let mut algo = TinyFedAvg { global: template.params_flat() };
+//! let config = SimulationConfig { rounds: 2, clients_per_round: 2, eval_every: 1, ..Default::default() };
+//! let result = Simulation::new(config, &data, template).run(&mut algo);
+//! assert_eq!(result.history.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod availability;
+pub mod checkpoint;
+pub mod client;
+pub mod comm;
+pub mod engine;
+pub mod eval;
+pub mod fairness;
+pub mod history;
+pub mod landscape;
+
+pub use availability::AvailabilityModel;
+pub use checkpoint::Checkpoint;
+pub use client::{LocalTrainConfig, LocalUpdate};
+pub use comm::{CommOverheadClass, CommTracker};
+pub use engine::{FederatedAlgorithm, RoundContext, RoundReport, Simulation, SimulationConfig};
+pub use fairness::{per_client_fairness, FairnessReport};
+pub use history::{RoundRecord, TrainingHistory};

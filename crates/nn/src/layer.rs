@@ -1,0 +1,96 @@
+//! The [`Layer`] trait and the [`Param`] (value + gradient) pair.
+
+use fedcross_tensor::Tensor;
+
+/// A trainable parameter: its current value and the gradient accumulated by
+/// the most recent backward pass(es).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros_like(&value);
+        Self { value, grad }
+    }
+
+    /// Number of scalar values in the parameter.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+/// A differentiable network layer with explicit forward and backward passes.
+///
+/// Layers cache whatever they need from the forward pass (inputs, masks,
+/// im2col matrices, per-timestep LSTM states) to compute gradients in
+/// [`Layer::backward`]. Gradients accumulate into each [`Param::grad`]; the
+/// optimizer reads and the caller clears them.
+pub trait Layer: Send {
+    /// Forward pass. `train` enables training-time behaviour such as dropout.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: receives `dL/d(output)` and returns `dL/d(input)`,
+    /// accumulating parameter gradients internally.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Immutable access to this layer's parameters (possibly empty).
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable access to this layer's parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Resets all parameter gradients to zero.
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Short layer name for debugging / summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total number of scalar parameters in the layer.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Clones the layer behind a box (parameters, buffers and caches).
+    fn clone_layer(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_layer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_new_zeroes_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.numel(), 6);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn param_zero_grad_clears_accumulated_values() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.grad.fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! 2-D convolution layer implemented with `im2col`.
+
+use crate::layer::{Layer, Param};
+use fedcross_tensor::conv::{col2im, im2col, Conv2dGeom};
+use fedcross_tensor::{init, SeededRng, Tensor};
+
+/// A 2-D convolution with square kernels.
+///
+/// * input: `[N, in_channels, H, W]`
+/// * weight: `[out_channels, in_channels * k * k]` (each row is one filter)
+/// * bias: `[out_channels]`
+/// * output: `[N, out_channels, OH, OW]`
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    geom: Conv2dGeom,
+    in_channels: usize,
+    out_channels: usize,
+    cached_cols: Option<Tensor>,
+    cached_input_dims: Option<Vec<usize>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform filters and zero bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_uniform(&[out_channels, fan_in], fan_in, rng);
+        let bias = Tensor::zeros(&[out_channels]);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            geom: Conv2dGeom::new(kernel, stride, padding),
+            in_channels,
+            out_channels,
+            cached_cols: None,
+            cached_input_dims: None,
+        }
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Convolution geometry (kernel, stride, padding).
+    pub fn geometry(&self) -> Conv2dGeom {
+        self.geom
+    }
+
+    /// Converts the column-major matmul output `[N*OH*OW, OC]` into the image
+    /// layout `[N, OC, OH, OW]`.
+    fn cols_to_images(mat: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+        let mut out = vec![0f32; n * oc * oh * ow];
+        let data = mat.data();
+        for ni in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (ni * oh + oy) * ow + ox;
+                    for c in 0..oc {
+                        out[((ni * oc + c) * oh + oy) * ow + ox] = data[row * oc + c];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, oc, oh, ow])
+    }
+
+    /// Converts an image-layout gradient `[N, OC, OH, OW]` back into the
+    /// column-major layout `[N*OH*OW, OC]`.
+    fn images_to_cols(img: &Tensor) -> Tensor {
+        let dims = img.dims();
+        let (n, oc, oh, ow) = (dims[0], dims[1], dims[2], dims[3]);
+        let mut out = vec![0f32; n * oh * ow * oc];
+        let data = img.data();
+        for ni in 0..n {
+            for c in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let row = (ni * oh + oy) * ow + ox;
+                        out[row * oc + c] = data[((ni * oc + c) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n * oh * ow, oc])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects [N, C, H, W] input");
+        assert_eq!(
+            input.dims()[1],
+            self.in_channels,
+            "Conv2d input channel mismatch"
+        );
+        let dims = input.dims().to_vec();
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let oh = self.geom.out_size(h);
+        let ow = self.geom.out_size(w);
+
+        let cols = im2col(input, self.geom);
+        // [N*OH*OW, CKK] x [OC, CKK]^T -> [N*OH*OW, OC]
+        let mut mat = cols.matmul_a_bt(&self.weight.value);
+        mat = mat.add_row_broadcast(&self.bias.value);
+
+        self.cached_cols = Some(cols);
+        self.cached_input_dims = Some(dims);
+        Self::cols_to_images(&mat, n, self.out_channels, oh, ow)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("backward called before forward");
+        let input_dims = self
+            .cached_input_dims
+            .as_ref()
+            .expect("backward called before forward");
+
+        let grad_mat = Self::images_to_cols(grad_output); // [N*OH*OW, OC]
+
+        // dW = dY^T · cols  -> [OC, CKK]
+        let grad_w = grad_mat.matmul_at_b(cols);
+        self.weight.grad.add_assign(&grad_w);
+
+        // db = column sums of dY
+        let oc = self.out_channels;
+        let mut grad_b = vec![0f32; oc];
+        for row in grad_mat.data().chunks(oc) {
+            for (g, &v) in grad_b.iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        self.bias.grad.add_assign(&Tensor::from_vec(grad_b, &[oc]));
+
+        // dCols = dY · W  -> [N*OH*OW, CKK], then fold back to image space.
+        let grad_cols = grad_mat.matmul(&self.weight.value);
+        col2im(&grad_cols, input_dims, self.geom)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_follows_geometry() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+
+        let mut strided = Conv2d::new(3, 4, 3, 2, 1, &mut rng);
+        let y2 = strided.forward(&x, true);
+        assert_eq!(y2.dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn all_ones_filter_computes_patch_sums() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng);
+        conv.weight.value = Tensor::ones(&[1, 9]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = Tensor::arange(16).reshape(&[1, 1, 4, 4]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[45.0, 54.0, 81.0, 90.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut rng = SeededRng::new(2);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        conv.weight.value = Tensor::from_vec(vec![1.0, 0.0], &[2, 1]);
+        conv.bias.value = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = conv.forward(&x, true);
+        // Channel 0 = identity + 10, channel 1 = 0 + 20.
+        assert_eq!(y.data()[0..4], [11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(y.data()[4..8], [20.0, 20.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = init::normal(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let out = conv.forward(&x, true);
+        conv.zero_grads();
+        conv.backward(&Tensor::ones(out.dims()));
+
+        let eps = 1e-2;
+        for &(i, j) in &[(0usize, 0usize), (1, 5), (2, 17)] {
+            let orig = conv.weight.value.get(&[i, j]);
+            conv.weight.value.set(&[i, j], orig + eps);
+            let plus = conv.forward(&x, true).sum();
+            conv.weight.value.set(&[i, j], orig - eps);
+            let minus = conv.forward(&x, true).sum();
+            conv.weight.value.set(&[i, j], orig);
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = conv.weight.grad.get(&[i, j]);
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "weight ({i},{j}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(4);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = init::normal(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let out = conv.forward(&x, true);
+        conv.zero_grads();
+        let grad_in = conv.backward(&Tensor::ones(out.dims()));
+
+        let eps = 1e-2;
+        for &idx in &[0usize, 5, 10, 15] {
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let fp = conv.forward(&plus, true).sum();
+            let fm = conv.forward(&minus, true).sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.data()[idx]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "input {idx}: numeric {numeric} vs analytic {}",
+                grad_in.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_every_output_pixel() {
+        let mut rng = SeededRng::new(5);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let out = conv.forward(&x, true);
+        conv.zero_grads();
+        conv.backward(&Tensor::ones(out.dims()));
+        // Each of the two filters sees 4x4 = 16 output pixels with dY = 1.
+        assert_eq!(conv.bias.grad.data(), &[16.0, 16.0]);
+    }
+
+    #[test]
+    fn param_count_matches_filter_bank() {
+        let mut rng = SeededRng::new(6);
+        let conv = Conv2d::new(3, 16, 3, 1, 1, &mut rng);
+        assert_eq!(conv.param_count(), 16 * 27 + 16);
+        assert_eq!(conv.out_channels(), 16);
+        assert_eq!(conv.name(), "conv2d");
+    }
+}

@@ -1,0 +1,147 @@
+//! Inverted dropout layer.
+
+use crate::layer::{Layer, Param};
+use fedcross_tensor::{SeededRng, Tensor};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation is a
+/// pure identity.
+///
+/// The layer owns its RNG (forked per layer at construction) so dropped masks
+/// are reproducible for a fixed model seed.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: SeededRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, rng: &mut SeededRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self {
+            p,
+            rng: rng.fork(0xD0),
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros_like(input);
+        for m in mask.data_mut() {
+            *m = if self.rng.uniform() < keep { scale } else { 0.0 };
+        }
+        let out = input.mul(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_output.mul(mask),
+            None => grad_output.clone(),
+        }
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = SeededRng::new(0);
+        let mut layer = Dropout::new(0.5, &mut rng);
+        let x = Tensor::arange(10).reshape(&[2, 5]);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+        let g = layer.backward(&Tensor::ones(&[2, 5]));
+        assert_eq!(g.data(), &[1.0; 10]);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let mut rng = SeededRng::new(1);
+        let mut layer = Dropout::new(0.3, &mut rng);
+        let x = Tensor::ones(&[100, 100]);
+        let y = layer.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.05, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn surviving_activations_are_scaled() {
+        let mut rng = SeededRng::new(2);
+        let mut layer = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[10, 10]);
+        let y = layer.forward(&x, true);
+        for &v in y.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let mut rng = SeededRng::new(3);
+        let mut layer = Dropout::new(0.4, &mut rng);
+        let x = Tensor::ones(&[200, 200]);
+        let y = layer.forward(&x, true);
+        assert!((y.mean() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn backward_uses_same_mask_as_forward() {
+        let mut rng = SeededRng::new(4);
+        let mut layer = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[4, 4]);
+        let y = layer.forward(&x, true);
+        let g = layer.backward(&Tensor::ones(&[4, 4]));
+        // Gradient must be zero exactly where the output was dropped.
+        for (gy, yy) in g.data().iter().zip(y.data()) {
+            assert_eq!(*gy == 0.0, *yy == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train_mode() {
+        let mut rng = SeededRng::new(5);
+        let mut layer = Dropout::new(0.0, &mut rng);
+        let x = Tensor::arange(8).reshape(&[2, 4]);
+        assert_eq!(layer.forward(&x, true).data(), x.data());
+        assert_eq!(layer.probability(), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Token embedding layer for the text models (Shakespeare / Sent140 LSTMs).
+
+use crate::layer::{Layer, Param};
+use fedcross_tensor::{init, SeededRng, Tensor};
+
+/// Maps integer token ids to dense vectors.
+///
+/// * input: `[N, T]` token ids stored as `f32` (values must be integral and
+///   within `[0, vocab)`)
+/// * weight: `[vocab, dim]`
+/// * output: `[N, T, dim]`
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    weight: Param,
+    vocab: usize,
+    dim: usize,
+    cached_ids: Option<Vec<usize>>,
+    cached_batch: usize,
+    cached_steps: usize,
+}
+
+impl Embedding {
+    /// Creates an embedding table with small normal initialisation.
+    pub fn new(vocab: usize, dim: usize, rng: &mut SeededRng) -> Self {
+        let weight = init::normal(&[vocab, dim], 0.0, 0.1, rng);
+        Self {
+            weight: Param::new(weight),
+            vocab,
+            dim,
+            cached_ids: None,
+            cached_batch: 0,
+            cached_steps: 0,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 2, "Embedding expects [N, T] token ids");
+        let (n, t) = (input.dims()[0], input.dims()[1]);
+        let mut ids = Vec::with_capacity(n * t);
+        let mut out = vec![0f32; n * t * self.dim];
+        for (pos, &raw) in input.data().iter().enumerate() {
+            let id = raw.round() as usize;
+            assert!(
+                id < self.vocab,
+                "token id {id} out of range for vocab {}",
+                self.vocab
+            );
+            ids.push(id);
+            let src = &self.weight.value.data()[id * self.dim..(id + 1) * self.dim];
+            out[pos * self.dim..(pos + 1) * self.dim].copy_from_slice(src);
+        }
+        self.cached_ids = Some(ids);
+        self.cached_batch = n;
+        self.cached_steps = t;
+        Tensor::from_vec(out, &[n, t, self.dim])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let ids = self
+            .cached_ids
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(
+            grad_output.dims(),
+            &[self.cached_batch, self.cached_steps, self.dim],
+            "grad shape mismatch"
+        );
+        let gw = self.weight.grad.data_mut();
+        for (pos, &id) in ids.iter().enumerate() {
+            let grad_row = &grad_output.data()[pos * self.dim..(pos + 1) * self.dim];
+            let dst = &mut gw[id * self.dim..(id + 1) * self.dim];
+            for (d, &g) in dst.iter_mut().zip(grad_row) {
+                *d += g;
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient of the input shape.
+        Tensor::zeros(&[self.cached_batch, self.cached_steps])
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight]
+    }
+
+    fn name(&self) -> &'static str {
+        "embedding"
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_gathers_rows() {
+        let mut rng = SeededRng::new(0);
+        let mut emb = Embedding::new(5, 3, &mut rng);
+        // Make the table recognisable.
+        for v in 0..5 {
+            for d in 0..3 {
+                emb.weight.value.set(&[v, d], (v * 10 + d) as f32);
+            }
+        }
+        let ids = Tensor::from_vec(vec![0.0, 2.0, 4.0, 1.0], &[2, 2]);
+        let out = emb.forward(&ids, true);
+        assert_eq!(out.dims(), &[2, 2, 3]);
+        assert_eq!(&out.data()[0..3], &[0.0, 1.0, 2.0]);
+        assert_eq!(&out.data()[3..6], &[20.0, 21.0, 22.0]);
+        assert_eq!(&out.data()[6..9], &[40.0, 41.0, 42.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_into_used_rows_only() {
+        let mut rng = SeededRng::new(1);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let ids = Tensor::from_vec(vec![1.0, 1.0, 3.0], &[1, 3]);
+        emb.forward(&ids, true);
+        emb.zero_grads();
+        let grad = Tensor::ones(&[1, 3, 2]);
+        emb.backward(&grad);
+        // Row 1 used twice, row 3 once, rows 0 and 2 never.
+        assert_eq!(&emb.weight.grad.data()[0..2], &[0.0, 0.0]);
+        assert_eq!(&emb.weight.grad.data()[2..4], &[2.0, 2.0]);
+        assert_eq!(&emb.weight.grad.data()[4..6], &[0.0, 0.0]);
+        assert_eq!(&emb.weight.grad.data()[6..8], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_vocab_token_panics() {
+        let mut rng = SeededRng::new(2);
+        let mut emb = Embedding::new(3, 2, &mut rng);
+        let ids = Tensor::from_vec(vec![5.0], &[1, 1]);
+        emb.forward(&ids, true);
+    }
+
+    #[test]
+    fn param_count_is_vocab_times_dim() {
+        let mut rng = SeededRng::new(3);
+        let emb = Embedding::new(100, 16, &mut rng);
+        assert_eq!(emb.param_count(), 1600);
+        assert_eq!(emb.vocab_size(), 100);
+        assert_eq!(emb.dim(), 16);
+    }
+}

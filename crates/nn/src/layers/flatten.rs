@@ -1,0 +1,82 @@
+//! Flatten layer: collapses all non-batch dimensions.
+
+use crate::layer::{Layer, Param};
+use fedcross_tensor::Tensor;
+
+/// Flattens `[N, d1, d2, ...]` into `[N, d1*d2*...]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a new flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert!(input.rank() >= 1, "Flatten requires rank >= 1 input");
+        self.input_dims = Some(input.dims().to_vec());
+        let batch = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        input.reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
+        grad_output.reshape(dims)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_unflatten_roundtrip() {
+        let mut layer = Flatten::new();
+        let x = Tensor::arange(24).reshape(&[2, 3, 2, 2]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 12]);
+        let back = layer.backward(&y);
+        assert_eq!(back.dims(), x.dims());
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn flatten_has_no_params() {
+        assert_eq!(Flatten::new().param_count(), 0);
+        assert_eq!(Flatten::new().name(), "flatten");
+    }
+
+    #[test]
+    fn flatten_of_already_flat_input_is_identity() {
+        let mut layer = Flatten::new();
+        let x = Tensor::arange(6).reshape(&[3, 2]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.data(), x.data());
+    }
+}

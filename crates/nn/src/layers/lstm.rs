@@ -1,0 +1,357 @@
+//! A single-layer LSTM that encodes a sequence into its final hidden state.
+//!
+//! This is the recurrent backbone of the Shakespeare next-character and
+//! Sent140 sentiment classifiers used in the paper's Table II.
+
+use crate::layer::{Layer, Param};
+use fedcross_tensor::{init, SeededRng, Tensor};
+
+/// Per-timestep quantities cached during the forward pass for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,      // [N, D]
+    h_prev: Tensor, // [N, H]
+    c_prev: Tensor, // [N, H]
+    i: Tensor,      // [N, H]
+    f: Tensor,      // [N, H]
+    g: Tensor,      // [N, H]
+    o: Tensor,      // [N, H]
+    c: Tensor,      // [N, H]
+}
+
+/// A single-layer LSTM returning the last hidden state.
+///
+/// * input: `[N, T, D]`
+/// * output: `[N, H]` (hidden state after the last timestep)
+///
+/// Gate weights use the `[i | f | g | o]` block layout along the `4H`
+/// dimension.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    w_ih: Param, // [D, 4H]
+    w_hh: Param, // [H, 4H]
+    bias: Param, // [4H]
+    input_dim: usize,
+    hidden_dim: usize,
+    caches: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialised weights and a forget-gate bias
+    /// of 1 (the standard trick to ease gradient flow early in training).
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut SeededRng) -> Self {
+        let w_ih = init::xavier_uniform(&[input_dim, 4 * hidden_dim], input_dim, hidden_dim, rng);
+        let w_hh = init::xavier_uniform(&[hidden_dim, 4 * hidden_dim], hidden_dim, hidden_dim, rng);
+        let mut bias = Tensor::zeros(&[4 * hidden_dim]);
+        for j in hidden_dim..2 * hidden_dim {
+            bias.data_mut()[j] = 1.0;
+        }
+        Self {
+            w_ih: Param::new(w_ih),
+            w_hh: Param::new(w_hh),
+            bias: Param::new(bias),
+            input_dim,
+            hidden_dim,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Hidden state dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Extracts gate block `block` (0..4) from a `[N, 4H]` pre-activation.
+    fn gate_block(pre: &Tensor, block: usize, hidden: usize) -> Tensor {
+        let n = pre.dims()[0];
+        let mut out = vec![0f32; n * hidden];
+        for row in 0..n {
+            let src = &pre.data()[row * 4 * hidden + block * hidden..row * 4 * hidden + (block + 1) * hidden];
+            out[row * hidden..(row + 1) * hidden].copy_from_slice(src);
+        }
+        Tensor::from_vec(out, &[n, hidden])
+    }
+
+    /// Assembles four `[N, H]` gate gradients into a `[N, 4H]` tensor.
+    fn assemble_gates(blocks: [&Tensor; 4], hidden: usize) -> Tensor {
+        let n = blocks[0].dims()[0];
+        let mut out = vec![0f32; n * 4 * hidden];
+        for (b, block) in blocks.iter().enumerate() {
+            for row in 0..n {
+                let dst = &mut out[row * 4 * hidden + b * hidden..row * 4 * hidden + (b + 1) * hidden];
+                dst.copy_from_slice(&block.data()[row * hidden..(row + 1) * hidden]);
+            }
+        }
+        Tensor::from_vec(out, &[n, 4 * hidden])
+    }
+
+    /// Extracts timestep `t` from a `[N, T, D]` tensor as `[N, D]`.
+    fn timestep(input: &Tensor, t: usize) -> Tensor {
+        let dims = input.dims();
+        let (n, steps, d) = (dims[0], dims[1], dims[2]);
+        let mut out = vec![0f32; n * d];
+        for row in 0..n {
+            let src = &input.data()[(row * steps + t) * d..(row * steps + t + 1) * d];
+            out[row * d..(row + 1) * d].copy_from_slice(src);
+        }
+        Tensor::from_vec(out, &[n, d])
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 3, "Lstm expects [N, T, D] input");
+        let dims = input.dims();
+        let (n, steps, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.input_dim, "Lstm input dimension mismatch");
+        assert!(steps > 0, "Lstm requires at least one timestep");
+
+        let h_dim = self.hidden_dim;
+        let mut h = Tensor::zeros(&[n, h_dim]);
+        let mut c = Tensor::zeros(&[n, h_dim]);
+        self.caches.clear();
+        self.caches.reserve(steps);
+
+        for t in 0..steps {
+            let x_t = Self::timestep(input, t);
+            // pre = x W_ih + h W_hh + b
+            let mut pre = x_t.matmul(&self.w_ih.value);
+            pre.add_assign(&h.matmul(&self.w_hh.value));
+            let pre = pre.add_row_broadcast(&self.bias.value);
+
+            let i = Self::gate_block(&pre, 0, h_dim).sigmoid();
+            let f = Self::gate_block(&pre, 1, h_dim).sigmoid();
+            let g = Self::gate_block(&pre, 2, h_dim).tanh();
+            let o = Self::gate_block(&pre, 3, h_dim).sigmoid();
+
+            let c_new = f.mul(&c).add(&i.mul(&g));
+            let h_new = o.mul(&c_new.tanh());
+
+            self.caches.push(StepCache {
+                x: x_t,
+                h_prev: h,
+                c_prev: c,
+                i,
+                f,
+                g,
+                o,
+                c: c_new.clone(),
+            });
+            h = h_new;
+            c = c_new;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.caches.is_empty(), "backward called before forward");
+        let h_dim = self.hidden_dim;
+        let steps = self.caches.len();
+        let n = grad_output.dims()[0];
+        let d = self.input_dim;
+
+        let mut grad_input = Tensor::zeros(&[n, steps, d]);
+        let mut dh_next = grad_output.clone();
+        let mut dc_next = Tensor::zeros(&[n, h_dim]);
+
+        for t in (0..steps).rev() {
+            let cache = &self.caches[t];
+            let tanh_c = cache.c.tanh();
+
+            // dL/do, dL/dc
+            let do_gate = dh_next.mul(&tanh_c);
+            let dc = dc_next.add(&dh_next.mul(&cache.o).zip_map(&tanh_c, |g, th| g * (1.0 - th * th)));
+
+            let di = dc.mul(&cache.g);
+            let df = dc.mul(&cache.c_prev);
+            let dg = dc.mul(&cache.i);
+
+            // Pre-activation gradients through the gate nonlinearities.
+            let di_pre = di.zip_map(&cache.i, |g, y| g * y * (1.0 - y));
+            let df_pre = df.zip_map(&cache.f, |g, y| g * y * (1.0 - y));
+            let dg_pre = dg.zip_map(&cache.g, |g, y| g * (1.0 - y * y));
+            let do_pre = do_gate.zip_map(&cache.o, |g, y| g * y * (1.0 - y));
+
+            let dgates = Self::assemble_gates([&di_pre, &df_pre, &dg_pre, &do_pre], h_dim);
+
+            // Parameter gradients.
+            self.w_ih.grad.add_assign(&cache.x.matmul_at_b(&dgates));
+            self.w_hh.grad.add_assign(&cache.h_prev.matmul_at_b(&dgates));
+            let cols = 4 * h_dim;
+            let mut db = vec![0f32; cols];
+            for row in dgates.data().chunks(cols) {
+                for (b, &v) in db.iter_mut().zip(row) {
+                    *b += v;
+                }
+            }
+            self.bias.grad.add_assign(&Tensor::from_vec(db, &[cols]));
+
+            // Propagate to input and previous hidden / cell state.
+            let dx = dgates.matmul_a_bt(&self.w_ih.value);
+            for row in 0..n {
+                let src = &dx.data()[row * d..(row + 1) * d];
+                let dst_start = (row * steps + t) * d;
+                let dst = &mut grad_input.data_mut()[dst_start..dst_start + d];
+                dst.copy_from_slice(src);
+            }
+            dh_next = dgates.matmul_a_bt(&self.w_hh.value);
+            dc_next = dc.mul(&cache.f);
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w_ih, &self.w_hh, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_is_batch_by_hidden() {
+        let mut rng = SeededRng::new(0);
+        let mut lstm = Lstm::new(4, 6, &mut rng);
+        let x = init::normal(&[3, 5, 4], 0.0, 1.0, &mut rng);
+        let h = lstm.forward(&x, true);
+        assert_eq!(h.dims(), &[3, 6]);
+        assert!(!h.has_non_finite());
+    }
+
+    #[test]
+    fn hidden_state_is_bounded_by_tanh_envelope() {
+        let mut rng = SeededRng::new(1);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let x = init::normal(&[2, 20, 3], 0.0, 5.0, &mut rng);
+        let h = lstm.forward(&x, true);
+        // |h| = |o * tanh(c)| <= 1.
+        assert!(h.data().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn longer_sequences_change_the_output() {
+        let mut rng = SeededRng::new(2);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let short = init::normal(&[1, 2, 2], 0.0, 1.0, &mut rng);
+        let h_short = lstm.forward(&short, true).clone();
+        let long = Tensor::concat0(&[&short.reshape(&[2, 2]), &Tensor::ones(&[3, 2])])
+            .reshape(&[1, 5, 2]);
+        let h_long = lstm.forward(&long, true);
+        assert_ne!(h_short.data(), h_long.data());
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(3);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let x = init::normal(&[2, 3, 3], 0.0, 1.0, &mut rng);
+        let probe = init::normal(&[2, 4], 0.0, 1.0, &mut rng);
+
+        let loss = |lstm: &mut Lstm, x: &Tensor| -> f32 {
+            lstm.forward(x, true)
+                .data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let _ = loss(&mut lstm, &x);
+        lstm.zero_grads();
+        lstm.backward(&probe);
+
+        let eps = 1e-2;
+        // Check a few entries of each weight matrix.
+        for &(pi, i, j) in &[(0usize, 0usize, 0usize), (0, 2, 7), (1, 1, 5), (1, 3, 14)] {
+            let analytic;
+            let numeric;
+            if pi == 0 {
+                analytic = lstm.w_ih.grad.get(&[i, j]);
+                let orig = lstm.w_ih.value.get(&[i, j]);
+                lstm.w_ih.value.set(&[i, j], orig + eps);
+                let plus = loss(&mut lstm, &x);
+                lstm.w_ih.value.set(&[i, j], orig - eps);
+                let minus = loss(&mut lstm, &x);
+                lstm.w_ih.value.set(&[i, j], orig);
+                numeric = (plus - minus) / (2.0 * eps);
+            } else {
+                analytic = lstm.w_hh.grad.get(&[i, j]);
+                let orig = lstm.w_hh.value.get(&[i, j]);
+                lstm.w_hh.value.set(&[i, j], orig + eps);
+                let plus = loss(&mut lstm, &x);
+                lstm.w_hh.value.set(&[i, j], orig - eps);
+                let minus = loss(&mut lstm, &x);
+                lstm.w_hh.value.set(&[i, j], orig);
+                numeric = (plus - minus) / (2.0 * eps);
+            }
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "param {pi} ({i},{j}): numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(4);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let x = init::normal(&[1, 4, 2], 0.0, 1.0, &mut rng);
+        let probe = init::normal(&[1, 3], 0.0, 1.0, &mut rng);
+        let loss = |lstm: &mut Lstm, x: &Tensor| -> f32 {
+            lstm.forward(x, true)
+                .data()
+                .iter()
+                .zip(probe.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let _ = loss(&mut lstm, &x);
+        lstm.zero_grads();
+        let grad_in = lstm.backward(&probe);
+
+        let eps = 1e-2;
+        for idx in [0usize, 3, 5, 7] {
+            let mut plus = x.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (loss(&mut lstm, &plus) - loss(&mut lstm, &minus)) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.data()[idx]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                grad_in.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn forget_gate_bias_is_initialised_to_one() {
+        let mut rng = SeededRng::new(5);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        // Block 1 of the bias (forget gate) is all ones, other blocks zero.
+        let b = lstm.bias.value.data();
+        assert!(b[0..3].iter().all(|&v| v == 0.0));
+        assert!(b[3..6].iter().all(|&v| v == 1.0));
+        assert!(b[6..12].iter().all(|&v| v == 0.0));
+        assert_eq!(lstm.hidden_dim(), 3);
+    }
+
+    #[test]
+    fn param_count_matches_gate_matrices() {
+        let mut rng = SeededRng::new(6);
+        let lstm = Lstm::new(8, 16, &mut rng);
+        assert_eq!(lstm.param_count(), 8 * 64 + 16 * 64 + 64);
+    }
+}

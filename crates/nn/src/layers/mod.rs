@@ -1,0 +1,23 @@
+//! Network layers with explicit forward/backward passes.
+
+mod activation;
+mod batchnorm;
+mod conv2d;
+mod dropout;
+mod embedding;
+mod flatten;
+mod linear;
+mod lstm;
+mod pooling;
+mod residual;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use lstm::Lstm;
+pub use pooling::{GlobalAvgPool2d, MaxPool2d};
+pub use residual::ResidualBlock;

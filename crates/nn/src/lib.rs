@@ -1,0 +1,107 @@
+//! # fedcross-nn
+//!
+//! Neural-network layers, models, losses and optimizers for the FedCross
+//! federated-learning reproduction.
+//!
+//! The FedCross paper (ICDE 2024) evaluates its multi-model cross-aggregation
+//! scheme on four model families: the FedAvg two-conv CNN, ResNet-20, VGG-16
+//! and an LSTM text classifier. This crate provides architecture-faithful,
+//! CPU-scaled versions of all of them on top of the `fedcross-tensor`
+//! substrate, along with:
+//!
+//! * an explicit-backward [`Layer`] abstraction (no autograd graph — every
+//!   gradient is hand-derived and checked against finite differences in
+//!   tests),
+//! * a [`Model`] trait exposing the *flattened parameter vector* interface
+//!   that every FL aggregation rule in the workspace operates on,
+//! * [`Sequential`] composition plus residual blocks and an LSTM,
+//! * softmax cross-entropy loss ([`loss`]),
+//! * SGD with momentum and weight decay ([`optim`]), the optimizer used by
+//!   every client in the paper's experiments,
+//! * parameter-vector helpers ([`params`]) used by FedAvg-style weighted
+//!   averaging and FedCross cross-aggregation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fedcross_nn::models::mlp;
+//! use fedcross_nn::{loss::softmax_cross_entropy, optim::Sgd, Model};
+//! use fedcross_tensor::{SeededRng, Tensor};
+//!
+//! let mut rng = SeededRng::new(0);
+//! let mut model = mlp(4, &[16], 3, &mut rng);
+//! let x = Tensor::ones(&[2, 4]);
+//! let labels = vec![0usize, 2];
+//! let logits = model.forward(&x, true);
+//! let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+//! model.backward(&grad);
+//! let mut sgd = Sgd::new(0.1, 0.9, 0.0);
+//! sgd.step(model.as_mut());
+//! assert!(loss > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod optim;
+pub mod params;
+pub mod sequential;
+
+pub use layer::{Layer, Param};
+pub use sequential::Sequential;
+
+use fedcross_tensor::Tensor;
+
+/// A trainable model: a differentiable classifier exposing its parameters as a
+/// single flat `f32` vector.
+///
+/// The flat-vector interface is what federated aggregation operates on: the
+/// cloud server in FedAvg averages `params_flat()` across clients, and
+/// FedCross' cross-aggregation computes `α·v_i + (1-α)·v_co` over the same
+/// vectors before pushing them back with [`Model::set_params_flat`].
+pub trait Model: Send {
+    /// Runs the forward pass, returning logits of shape `[batch, classes]`.
+    ///
+    /// `train` toggles training-time behaviour (dropout, batch-norm batch
+    /// statistics).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Runs the backward pass given the gradient of the loss w.r.t. the
+    /// logits, accumulating parameter gradients internally.
+    fn backward(&mut self, grad_logits: &Tensor);
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize;
+
+    /// Returns all parameters concatenated into one flat vector.
+    fn params_flat(&self) -> Vec<f32>;
+
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`Model::params_flat`] (of this or an architecturally identical model).
+    fn set_params_flat(&mut self, flat: &[f32]);
+
+    /// Returns all accumulated gradients concatenated into one flat vector,
+    /// in the same order as [`Model::params_flat`].
+    fn grads_flat(&self) -> Vec<f32>;
+
+    /// Resets all accumulated gradients to zero.
+    fn zero_grads(&mut self);
+
+    /// Clones the model (architecture, parameters and buffers) behind a box.
+    fn clone_model(&self) -> Box<dyn Model>;
+
+    /// A short human-readable architecture name (e.g. `"cnn"`, `"resnet20"`).
+    fn arch_name(&self) -> &'static str {
+        "model"
+    }
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}

@@ -1,0 +1,150 @@
+//! The FedAvg CNN: two convolutions followed by two fully-connected layers.
+
+use crate::layers::{Conv2d, Flatten, Linear, MaxPool2d, Relu};
+use crate::models::ImageShape;
+use crate::{Model, Sequential};
+use fedcross_tensor::SeededRng;
+
+/// Configuration of the two-conv CNN (McMahan et al. 2017, used verbatim by
+/// the FedCross paper for its "CNN" rows in Table II).
+#[derive(Debug, Clone, Copy)]
+pub struct CnnConfig {
+    /// Channels of the first and second convolution.
+    pub conv_channels: (usize, usize),
+    /// Width of the hidden fully-connected layer.
+    pub fc_hidden: usize,
+    /// Convolution kernel size (the paper uses 5; the CPU-scaled default is 3).
+    pub kernel: usize,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        Self {
+            conv_channels: (16, 32),
+            fc_hidden: 64,
+            kernel: 3,
+        }
+    }
+}
+
+impl CnnConfig {
+    /// The paper-scale configuration (32/64 conv channels, 512-wide FC layer).
+    pub fn paper_scale() -> Self {
+        Self {
+            conv_channels: (32, 64),
+            fc_hidden: 512,
+            kernel: 3,
+        }
+    }
+}
+
+/// Builds the two-conv CNN for the given input shape and class count.
+///
+/// Architecture: `conv(k,pad)-relu-pool2 -> conv(k,pad)-relu-pool2 -> fc-relu -> fc`.
+///
+/// # Panics
+/// Panics if the spatial size is not divisible by 4 (two 2× poolings).
+pub fn cnn(
+    input: ImageShape,
+    classes: usize,
+    config: CnnConfig,
+    rng: &mut SeededRng,
+) -> Box<dyn Model> {
+    let (c, h, w) = input;
+    assert!(h % 4 == 0 && w % 4 == 0, "spatial size must be divisible by 4");
+    let (c1, c2) = config.conv_channels;
+    let pad = config.kernel / 2;
+    let flat = c2 * (h / 4) * (w / 4);
+    Sequential::new("cnn")
+        .push(Conv2d::new(c, c1, config.kernel, 1, pad, rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(2))
+        .push(Conv2d::new(c1, c2, config.kernel, 1, pad, rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(2))
+        .push(Flatten::new())
+        .push(Linear::new(flat, config.fc_hidden, rng))
+        .push(Relu::new())
+        .push(Linear::new(config.fc_hidden, classes, rng))
+        .boxed()
+}
+
+/// Builds the CNN with the CPU-scaled default configuration.
+pub fn fedavg_cnn(input: ImageShape, classes: usize, rng: &mut SeededRng) -> Box<dyn Model> {
+    cnn(input, classes, CnnConfig::default(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use fedcross_tensor::{init, Tensor};
+
+    #[test]
+    fn forward_shape_matches_class_count() {
+        let mut rng = SeededRng::new(0);
+        let mut model = fedavg_cnn((3, 16, 16), 10, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = model.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 10]);
+        assert_eq!(model.arch_name(), "cnn");
+    }
+
+    #[test]
+    fn paper_scale_has_more_parameters_than_default() {
+        let mut rng = SeededRng::new(1);
+        let small = fedavg_cnn((3, 16, 16), 10, &mut rng);
+        let big = cnn((3, 16, 16), 10, CnnConfig::paper_scale(), &mut rng);
+        assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_spatial_size_not_divisible_by_four() {
+        let mut rng = SeededRng::new(2);
+        let _ = fedavg_cnn((3, 10, 10), 10, &mut rng);
+    }
+
+    #[test]
+    fn cnn_can_fit_a_tiny_batch() {
+        let mut rng = SeededRng::new(3);
+        let mut model = cnn(
+            (1, 8, 8),
+            2,
+            CnnConfig {
+                conv_channels: (4, 8),
+                fc_hidden: 16,
+                kernel: 3,
+            },
+            &mut rng,
+        );
+        // Two distinguishable classes: bright top half vs bright bottom half.
+        let mut x = Tensor::zeros(&[8, 1, 8, 8]);
+        let mut labels = Vec::new();
+        for s in 0..8 {
+            let label = s % 2;
+            labels.push(label);
+            for yy in 0..8 {
+                for xx in 0..8 {
+                    let bright = if label == 0 { yy < 4 } else { yy >= 4 };
+                    x.set(&[s, 0, yy, xx], if bright { 1.0 } else { 0.0 });
+                }
+            }
+        }
+        let noise = init::normal(&[8, 1, 8, 8], 0.0, 0.05, &mut rng);
+        let x = x.add(&noise);
+
+        let mut sgd = Sgd::new(0.1, 0.9, 0.0);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..60 {
+            model.zero_grads();
+            let logits = model.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            sgd.step(model.as_mut());
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.2, "CNN failed to fit toy data, loss {last_loss}");
+    }
+}

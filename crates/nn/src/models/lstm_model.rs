@@ -1,0 +1,119 @@
+//! LSTM text classifiers for the Shakespeare and Sent140 tasks.
+
+use crate::layers::{Embedding, Linear, Lstm};
+use crate::{Model, Sequential};
+use fedcross_tensor::SeededRng;
+
+/// Configuration of the LSTM classifier.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmConfig {
+    /// Vocabulary size (characters for Shakespeare, words for Sent140).
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// LSTM hidden dimension.
+    pub hidden_dim: usize,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        Self {
+            vocab: 64,
+            embed_dim: 16,
+            hidden_dim: 32,
+        }
+    }
+}
+
+/// Builds the LSTM classifier: `embedding → LSTM → linear`.
+///
+/// The input is a `[batch, seq_len]` tensor of token ids; the output is a
+/// `[batch, classes]` logit matrix computed from the LSTM's final hidden
+/// state — the same head used by the LEAF reference models for Shakespeare
+/// (next-character prediction, `classes == vocab`) and Sent140 (binary
+/// sentiment, `classes == 2`).
+pub fn lstm_classifier(
+    config: LstmConfig,
+    classes: usize,
+    rng: &mut SeededRng,
+) -> Box<dyn Model> {
+    Sequential::new("lstm")
+        .push(Embedding::new(config.vocab, config.embed_dim, rng))
+        .push(Lstm::new(config.embed_dim, config.hidden_dim, rng))
+        .push(Linear::new(config.hidden_dim, classes, rng))
+        .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use fedcross_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_matches_class_count() {
+        let mut rng = SeededRng::new(0);
+        let mut model = lstm_classifier(LstmConfig::default(), 5, &mut rng);
+        let ids = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = model.forward(&ids, true);
+        assert_eq!(y.dims(), &[2, 5]);
+        assert_eq!(model.arch_name(), "lstm");
+    }
+
+    #[test]
+    fn lstm_learns_first_token_rule() {
+        // Classify sequences by their first token — requires information to
+        // survive the whole recurrence.
+        let mut rng = SeededRng::new(1);
+        let config = LstmConfig {
+            vocab: 8,
+            embed_dim: 8,
+            hidden_dim: 16,
+        };
+        let mut model = lstm_classifier(config, 2, &mut rng);
+        let mut sgd = Sgd::new(0.2, 0.9, 0.0);
+
+        let make_batch = |rng: &mut SeededRng| {
+            let batch = 16;
+            let steps = 5;
+            let mut data = Vec::with_capacity(batch * steps);
+            let mut labels = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                let label = rng.below(2);
+                labels.push(label);
+                // First token encodes the class; the rest is noise.
+                data.push(if label == 0 { 1.0 } else { 2.0 });
+                for _ in 1..steps {
+                    data.push(3.0 + rng.below(5) as f32);
+                }
+            }
+            (Tensor::from_vec(data, &[batch, steps]), labels)
+        };
+
+        let mut last_acc = 0.0;
+        for _ in 0..80 {
+            let (x, labels) = make_batch(&mut rng);
+            model.zero_grads();
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            sgd.step(model.as_mut());
+            last_acc = crate::loss::accuracy(&logits, &labels);
+        }
+        assert!(last_acc > 0.85, "LSTM failed to learn the rule, acc {last_acc}");
+    }
+
+    #[test]
+    fn param_count_sums_components() {
+        let mut rng = SeededRng::new(2);
+        let config = LstmConfig {
+            vocab: 10,
+            embed_dim: 4,
+            hidden_dim: 6,
+        };
+        let model = lstm_classifier(config, 3, &mut rng);
+        let expected = 10 * 4 + (4 * 24 + 6 * 24 + 24) + (6 * 3 + 3);
+        assert_eq!(model.param_count(), expected);
+    }
+}

@@ -1,0 +1,69 @@
+//! Multi-layer perceptron used for unit tests and quick experiments.
+
+use crate::layers::{Linear, Relu};
+use crate::{Model, Sequential};
+use fedcross_tensor::SeededRng;
+
+/// Builds a fully-connected ReLU network: `input -> hidden[0] -> ... -> classes`.
+pub fn mlp(
+    input_dim: usize,
+    hidden: &[usize],
+    classes: usize,
+    rng: &mut SeededRng,
+) -> Box<dyn Model> {
+    assert!(input_dim > 0 && classes > 0, "dimensions must be positive");
+    let mut model = Sequential::new("mlp");
+    let mut prev = input_dim;
+    for &h in hidden {
+        model = model.push(Linear::new(prev, h, rng)).push(Relu::new());
+        prev = h;
+    }
+    model = model.push(Linear::new(prev, classes, rng));
+    model.boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use fedcross_tensor::Tensor;
+
+    #[test]
+    fn mlp_shapes_and_param_count() {
+        let mut rng = SeededRng::new(0);
+        let mut model = mlp(10, &[32, 16], 4, &mut rng);
+        let x = Tensor::ones(&[3, 10]);
+        let y = model.forward(&x, true);
+        assert_eq!(y.dims(), &[3, 4]);
+        let expected = 10 * 32 + 32 + 32 * 16 + 16 + 16 * 4 + 4;
+        assert_eq!(model.param_count(), expected);
+        assert_eq!(model.arch_name(), "mlp");
+    }
+
+    #[test]
+    fn mlp_with_no_hidden_layers_is_logistic_regression() {
+        let mut rng = SeededRng::new(1);
+        let model = mlp(5, &[], 2, &mut rng);
+        assert_eq!(model.param_count(), 5 * 2 + 2);
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = SeededRng::new(2);
+        let mut model = mlp(2, &[16], 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
+        let labels = vec![0usize, 1, 1, 0];
+        let mut sgd = Sgd::new(0.5, 0.9, 0.0);
+        for _ in 0..300 {
+            model.zero_grads();
+            let logits = model.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            sgd.step(model.as_mut());
+        }
+        let logits = model.forward(&x, false);
+        let acc = crate::loss::accuracy(&logits, &labels);
+        assert!(acc > 0.99, "XOR accuracy {acc}");
+    }
+}

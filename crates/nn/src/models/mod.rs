@@ -1,0 +1,25 @@
+//! Model zoo: the architectures evaluated in the FedCross paper, scaled for
+//! CPU-only federated simulation.
+//!
+//! | Paper model | Constructor | Notes |
+//! |---|---|---|
+//! | FedAvg CNN (2 conv + 2 FC) | [`fedavg_cnn`] / [`cnn`] | same topology, 3×3 kernels |
+//! | ResNet-20 | [`resnet20`] / [`resnet20_lite`] | 3 stages of basic residual blocks with BN and projection shortcuts |
+//! | VGG-16 | [`vgg_lite`] | conv-conv-pool blocks + large FC head (width-scaled) |
+//! | LSTM (Shakespeare / Sent140) | [`lstm_classifier`] | embedding → LSTM → linear |
+//! | MLP (unit tests, quick experiments) | [`mlp`] | |
+
+mod cnn;
+mod lstm_model;
+mod mlp_model;
+mod resnet;
+mod vgg;
+
+pub use cnn::{cnn, fedavg_cnn, CnnConfig};
+pub use lstm_model::{lstm_classifier, LstmConfig};
+pub use mlp_model::mlp;
+pub use resnet::{resnet, resnet20, resnet20_lite, ResNetConfig};
+pub use vgg::{vgg_lite, VggConfig};
+
+/// Shape of an image input: `(channels, height, width)`.
+pub type ImageShape = (usize, usize, usize);

@@ -1,0 +1,157 @@
+//! ResNet-20 family (He et al. 2016), the second model of the paper's Table II.
+
+use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Relu, ResidualBlock};
+use crate::models::ImageShape;
+use crate::{Model, Sequential};
+use fedcross_tensor::SeededRng;
+
+/// Configuration of the residual network.
+#[derive(Debug, Clone, Copy)]
+pub struct ResNetConfig {
+    /// Channel width of the first stage (stages double it twice).
+    pub base_width: usize,
+    /// Number of residual blocks per stage (ResNet-20 uses 3).
+    pub blocks_per_stage: usize,
+}
+
+impl Default for ResNetConfig {
+    fn default() -> Self {
+        Self {
+            base_width: 8,
+            blocks_per_stage: 1,
+        }
+    }
+}
+
+impl ResNetConfig {
+    /// The genuine ResNet-20 configuration (16/32/64 channels, 3 blocks per
+    /// stage).
+    pub fn resnet20() -> Self {
+        Self {
+            base_width: 16,
+            blocks_per_stage: 3,
+        }
+    }
+}
+
+/// Builds a CIFAR-style residual network:
+/// `conv3x3 - bn - relu - stage1 - stage2(stride 2) - stage3(stride 2) - GAP - fc`.
+pub fn resnet(
+    input: ImageShape,
+    classes: usize,
+    config: ResNetConfig,
+    rng: &mut SeededRng,
+) -> Box<dyn Model> {
+    let (c, _h, _w) = input;
+    let w1 = config.base_width;
+    let w2 = 2 * w1;
+    let w3 = 4 * w1;
+
+    let mut model = Sequential::new("resnet20")
+        .push(Conv2d::new(c, w1, 3, 1, 1, rng))
+        .push(BatchNorm2d::new(w1))
+        .push(Relu::new());
+
+    let stages = [(w1, w1, 1usize), (w1, w2, 2), (w2, w3, 2)];
+    for &(in_c, out_c, stride) in &stages {
+        for b in 0..config.blocks_per_stage {
+            let (bi, bs) = if b == 0 { (in_c, stride) } else { (out_c, 1) };
+            model = model.push(ResidualBlock::new(bi, out_c, bs, rng));
+        }
+    }
+
+    model
+        .push(GlobalAvgPool2d::new())
+        .push(Linear::new(w3, classes, rng))
+        .boxed()
+}
+
+/// The genuine ResNet-20 (16/32/64 channels, 3 blocks per stage).
+pub fn resnet20(input: ImageShape, classes: usize, rng: &mut SeededRng) -> Box<dyn Model> {
+    resnet(input, classes, ResNetConfig::resnet20(), rng)
+}
+
+/// A CPU-scaled ResNet-20 variant (8/16/32 channels, 1 block per stage) that
+/// keeps the architecture family — residual blocks, batch norm, projection
+/// shortcuts, global average pooling — at simulation-friendly cost.
+pub fn resnet20_lite(input: ImageShape, classes: usize, rng: &mut SeededRng) -> Box<dyn Model> {
+    resnet(input, classes, ResNetConfig::default(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Sgd;
+    use fedcross_tensor::{init, Tensor};
+
+    #[test]
+    fn lite_forward_shape() {
+        let mut rng = SeededRng::new(0);
+        let mut model = resnet20_lite((3, 16, 16), 10, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = model.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 10]);
+        assert_eq!(model.arch_name(), "resnet20");
+    }
+
+    #[test]
+    fn full_resnet20_has_expected_depth_and_size() {
+        let mut rng = SeededRng::new(1);
+        let lite = resnet20_lite((3, 16, 16), 10, &mut rng);
+        let full = resnet20((3, 16, 16), 10, &mut rng);
+        assert!(full.param_count() > lite.param_count() * 4);
+    }
+
+    #[test]
+    fn backward_produces_finite_gradients() {
+        let mut rng = SeededRng::new(2);
+        let mut model = resnet20_lite((3, 8, 8), 4, &mut rng);
+        let x = init::normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        model.zero_grads();
+        let logits = model.forward(&x, true);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        model.backward(&grad);
+        let grads = model.grads_flat();
+        assert_eq!(grads.len(), model.param_count());
+        assert!(grads.iter().all(|g| g.is_finite()));
+        assert!(grads.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn resnet_can_fit_a_tiny_batch() {
+        let mut rng = SeededRng::new(3);
+        let mut model = resnet(
+            (1, 8, 8),
+            2,
+            ResNetConfig {
+                base_width: 4,
+                blocks_per_stage: 1,
+            },
+            &mut rng,
+        );
+        let mut x = Tensor::zeros(&[6, 1, 8, 8]);
+        let mut labels = Vec::new();
+        for s in 0..6 {
+            let label = s % 2;
+            labels.push(label);
+            for yy in 0..8 {
+                for xx in 0..8 {
+                    let bright = if label == 0 { xx < 4 } else { xx >= 4 };
+                    x.set(&[s, 0, yy, xx], if bright { 1.0 } else { -1.0 });
+                }
+            }
+        }
+        let mut sgd = Sgd::new(0.05, 0.9, 0.0);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..50 {
+            model.zero_grads();
+            let logits = model.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            sgd.step(model.as_mut());
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.3, "ResNet failed to fit toy data, loss {last_loss}");
+    }
+}

@@ -1,0 +1,135 @@
+//! VGG-16 style network, the largest model of the paper's Table II.
+//!
+//! VGG-16's defining traits for the paper's analysis are (i) stacked
+//! conv-conv-pool blocks and (ii) a parameter-heavy fully-connected head —
+//! the head is what makes VGG the slowest model to start converging in
+//! Figure 5(i)–(l). This width-scaled variant keeps both traits.
+
+use crate::layers::{Conv2d, Dropout, Flatten, Linear, MaxPool2d, Relu};
+use crate::models::ImageShape;
+use crate::{Model, Sequential};
+use fedcross_tensor::SeededRng;
+
+/// Configuration of the VGG-style network.
+#[derive(Debug, Clone)]
+pub struct VggConfig {
+    /// Channel widths of the three conv-conv-pool blocks.
+    pub block_widths: [usize; 3],
+    /// Widths of the two hidden fully-connected layers.
+    pub fc_widths: [usize; 2],
+    /// Dropout probability in the FC head (VGG uses 0.5).
+    pub dropout: f32,
+}
+
+impl Default for VggConfig {
+    fn default() -> Self {
+        Self {
+            block_widths: [8, 16, 32],
+            fc_widths: [128, 64],
+            dropout: 0.5,
+        }
+    }
+}
+
+impl VggConfig {
+    /// A larger configuration closer to the true VGG-16 channel progression.
+    pub fn paper_scale() -> Self {
+        Self {
+            block_widths: [64, 128, 256],
+            fc_widths: [512, 512],
+            dropout: 0.5,
+        }
+    }
+}
+
+/// Builds the VGG-style model: three `conv-relu-conv-relu-pool` blocks
+/// followed by `fc-relu-dropout-fc-relu-dropout-fc`.
+///
+/// # Panics
+/// Panics if the spatial size is not divisible by 8 (three 2× poolings).
+pub fn vgg_lite(
+    input: ImageShape,
+    classes: usize,
+    config: VggConfig,
+    rng: &mut SeededRng,
+) -> Box<dyn Model> {
+    let (c, h, w) = input;
+    assert!(h % 8 == 0 && w % 8 == 0, "spatial size must be divisible by 8");
+    let [w1, w2, w3] = config.block_widths;
+    let [f1, f2] = config.fc_widths;
+    let flat = w3 * (h / 8) * (w / 8);
+
+    let mut model = Sequential::new("vgg16");
+    let mut in_c = c;
+    for &out_c in &[w1, w2, w3] {
+        model = model
+            .push(Conv2d::new(in_c, out_c, 3, 1, 1, rng))
+            .push(Relu::new())
+            .push(Conv2d::new(out_c, out_c, 3, 1, 1, rng))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2));
+        in_c = out_c;
+    }
+    model
+        .push(Flatten::new())
+        .push(Linear::new(flat, f1, rng))
+        .push(Relu::new())
+        .push(Dropout::new(config.dropout, rng))
+        .push(Linear::new(f1, f2, rng))
+        .push(Relu::new())
+        .push(Dropout::new(config.dropout, rng))
+        .push(Linear::new(f2, classes, rng))
+        .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_tensor::Tensor;
+
+    #[test]
+    fn forward_shape_matches_class_count() {
+        let mut rng = SeededRng::new(0);
+        let mut model = vgg_lite((3, 16, 16), 10, VggConfig::default(), &mut rng);
+        let x = Tensor::zeros(&[2, 3, 16, 16]);
+        let y = model.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 10]);
+        assert_eq!(model.arch_name(), "vgg16");
+    }
+
+    #[test]
+    fn vgg_is_larger_than_cnn_and_resnet_lite() {
+        // Mirrors the paper's Section IV-C2 remark that VGG-16 dwarfs ResNet-20.
+        let mut rng = SeededRng::new(1);
+        let vgg = vgg_lite((3, 16, 16), 10, VggConfig::default(), &mut rng);
+        let cnn = crate::models::fedavg_cnn((3, 16, 16), 10, &mut rng);
+        let resnet = crate::models::resnet20_lite((3, 16, 16), 10, &mut rng);
+        assert!(vgg.param_count() > resnet.param_count());
+        assert!(vgg.param_count() > cnn.param_count() / 2);
+    }
+
+    #[test]
+    fn paper_scale_is_substantially_larger() {
+        let mut rng = SeededRng::new(2);
+        let small = vgg_lite((3, 16, 16), 10, VggConfig::default(), &mut rng);
+        let big = vgg_lite((3, 16, 16), 10, VggConfig::paper_scale(), &mut rng);
+        assert!(big.param_count() > 10 * small.param_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_spatial_size_not_divisible_by_eight() {
+        let mut rng = SeededRng::new(3);
+        let _ = vgg_lite((3, 12, 12), 10, VggConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic_despite_dropout() {
+        let mut rng = SeededRng::new(4);
+        let mut model = vgg_lite((1, 8, 8), 4, VggConfig::default(), &mut rng);
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let a = model.forward(&x, false);
+        let b = model.forward(&x, false);
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,236 @@
+//! Optimizers.
+//!
+//! Every client in the FedCross evaluation trains with SGD (learning rate
+//! 0.01, momentum 0.5 — Section IV-A). [`Sgd`] implements that update with
+//! optional weight decay, operating on the flat parameter vector a [`Model`]
+//! exposes. [`Sgd::step_with`] lets the FL baselines inject per-parameter
+//! gradient corrections (FedProx's proximal term, SCAFFOLD's control
+//! variates) without re-implementing the optimizer.
+
+use crate::Model;
+
+/// Stochastic gradient descent with classical momentum and weight decay.
+///
+/// The velocity buffer is lazily sized on the first step and reset whenever
+/// the parameter count changes (e.g. the optimizer is reused for a different
+/// architecture).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (0 disables decay).
+    pub weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates a new SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The paper's client optimizer: lr 0.01, momentum 0.5, no weight decay.
+    pub fn paper_default() -> Self {
+        Self::new(0.01, 0.5, 0.0)
+    }
+
+    /// Resets the momentum buffer (used when a client receives a fresh model).
+    pub fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+
+    /// Performs one update step using the gradients accumulated in `model`.
+    pub fn step(&mut self, model: &mut dyn Model) {
+        self.step_with(model, |_, _, g| g);
+    }
+
+    /// Performs one update step, passing each gradient through `transform`
+    /// first. The closure receives `(parameter index, parameter value, raw
+    /// gradient)` and returns the gradient actually applied.
+    ///
+    /// FedProx supplies `g + μ (w - w_global)`, SCAFFOLD supplies
+    /// `g - c_i + c`.
+    pub fn step_with(
+        &mut self,
+        model: &mut dyn Model,
+        transform: impl Fn(usize, f32, f32) -> f32,
+    ) {
+        let mut params = model.params_flat();
+        let grads = model.grads_flat();
+        debug_assert_eq!(params.len(), grads.len());
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0f32; params.len()];
+        }
+        for i in 0..params.len() {
+            let mut g = transform(i, params[i], grads[i]);
+            if self.weight_decay > 0.0 {
+                g += self.weight_decay * params[i];
+            }
+            let v = self.momentum * self.velocity[i] + g;
+            self.velocity[i] = v;
+            params[i] -= self.lr * v;
+        }
+        model.set_params_flat(&params);
+    }
+
+    /// Applies one SGD step directly to a raw parameter/gradient pair without
+    /// going through a model. Used by server-side optimisation (e.g. training
+    /// the FedGen generator).
+    pub fn step_raw(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0f32; params.len()];
+        }
+        for i in 0..params.len() {
+            let mut g = grads[i];
+            if self.weight_decay > 0.0 {
+                g += self.weight_decay * params[i];
+            }
+            let v = self.momentum * self.velocity[i] + g;
+            self.velocity[i] = v;
+            params[i] -= self.lr * v;
+        }
+    }
+}
+
+/// A simple step-decay learning-rate schedule: multiplies the rate by `gamma`
+/// every `step_every` rounds.
+#[derive(Debug, Clone)]
+pub struct StepLrSchedule {
+    /// Initial learning rate.
+    pub initial_lr: f32,
+    /// Multiplicative decay factor applied every `step_every` rounds.
+    pub gamma: f32,
+    /// Number of rounds between decays.
+    pub step_every: usize,
+}
+
+impl StepLrSchedule {
+    /// Creates a schedule. `step_every == 0` means "never decay".
+    pub fn new(initial_lr: f32, gamma: f32, step_every: usize) -> Self {
+        assert!(initial_lr > 0.0, "learning rate must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        Self {
+            initial_lr,
+            gamma,
+            step_every,
+        }
+    }
+
+    /// Learning rate to use at `round` (0-based).
+    pub fn lr_at(&self, round: usize) -> f32 {
+        if self.step_every == 0 {
+            return self.initial_lr;
+        }
+        let decays = (round / self.step_every) as i32;
+        self.initial_lr * self.gamma.powi(decays)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+    use crate::loss::softmax_cross_entropy;
+    use fedcross_tensor::{SeededRng, Tensor};
+
+    #[test]
+    fn sgd_reduces_loss_on_tiny_problem() {
+        let mut rng = SeededRng::new(0);
+        let mut model = mlp(2, &[8], 2, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0], &[4, 2]);
+        let labels = vec![0usize, 1, 1, 0];
+        let mut sgd = Sgd::new(0.5, 0.0, 0.0);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..200 {
+            model.zero_grads();
+            let logits = model.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            sgd.step(model.as_mut());
+            if first_loss.is_none() {
+                first_loss = Some(loss);
+            }
+            last_loss = loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.5, "loss did not decrease");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        // Single parameter, constant gradient 1: with momentum m the k-th step size
+        // is lr * (1 + m + m^2 + ...), so two steps with momentum move further than
+        // two steps without.
+        let mut with = Sgd::new(0.1, 0.9, 0.0);
+        let mut without = Sgd::new(0.1, 0.0, 0.0);
+        let mut p_with = vec![0f32];
+        let mut p_without = vec![0f32];
+        for _ in 0..3 {
+            with.step_raw(&mut p_with, &[1.0]);
+            without.step_raw(&mut p_without, &[1.0]);
+        }
+        assert!(p_with[0] < p_without[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_with_zero_gradient() {
+        let mut sgd = Sgd::new(0.1, 0.0, 0.5);
+        let mut params = vec![1.0f32, -2.0];
+        sgd.step_raw(&mut params, &[0.0, 0.0]);
+        assert!(params[0] < 1.0 && params[0] > 0.0);
+        assert!(params[1] > -2.0 && params[1] < 0.0);
+    }
+
+    #[test]
+    fn step_with_transform_overrides_gradient() {
+        let mut rng = SeededRng::new(1);
+        let mut model = mlp(2, &[4], 2, &mut rng);
+        let before = model.params_flat();
+        let mut sgd = Sgd::new(0.1, 0.0, 0.0);
+        // Transform that zeroes every gradient: parameters must not change.
+        sgd.step_with(model.as_mut(), |_, _, _| 0.0);
+        assert_eq!(model.params_flat(), before);
+    }
+
+    #[test]
+    fn paper_default_matches_section_iv() {
+        let sgd = Sgd::paper_default();
+        assert!((sgd.lr - 0.01).abs() < 1e-9);
+        assert!((sgd.momentum - 0.5).abs() < 1e-9);
+        assert_eq!(sgd.weight_decay, 0.0);
+    }
+
+    #[test]
+    fn reset_state_clears_velocity() {
+        let mut sgd = Sgd::new(0.1, 0.9, 0.0);
+        let mut p = vec![0f32; 3];
+        sgd.step_raw(&mut p, &[1.0, 1.0, 1.0]);
+        sgd.reset_state();
+        let mut p2 = vec![0f32; 3];
+        sgd.step_raw(&mut p2, &[1.0, 1.0, 1.0]);
+        // After reset the first step is identical to a fresh optimizer's.
+        assert_eq!(p2, vec![-0.1, -0.1, -0.1]);
+    }
+
+    #[test]
+    fn step_lr_schedule_decays() {
+        let sched = StepLrSchedule::new(0.1, 0.5, 10);
+        assert!((sched.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!((sched.lr_at(9) - 0.1).abs() < 1e-7);
+        assert!((sched.lr_at(10) - 0.05).abs() < 1e-7);
+        assert!((sched.lr_at(25) - 0.025).abs() < 1e-7);
+        let flat = StepLrSchedule::new(0.1, 0.5, 0);
+        assert!((flat.lr_at(1000) - 0.1).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,199 @@
+//! Flat parameter-vector helpers.
+//!
+//! Federated aggregation never looks inside a model: FedAvg, FedProx's
+//! proximal term, SCAFFOLD's control variates and FedCross' cross-aggregation
+//! all operate on the flattened parameter vectors exchanged between clients
+//! and the cloud server. This module collects the vector algebra they share.
+
+use fedcross_tensor::stats::{cosine_similarity, euclidean_distance};
+
+/// A flattened model parameter vector.
+pub type ParamVec = Vec<f32>;
+
+/// Element-wise mean of a set of equally weighted parameter vectors.
+///
+/// This is the `GlobalModelGen` step of FedCross (Section III-B3) as well as
+/// plain FedAvg over clients with equal sample counts.
+///
+/// # Panics
+/// Panics if `vectors` is empty or the vectors have different lengths.
+pub fn average(vectors: &[ParamVec]) -> ParamVec {
+    assert!(!vectors.is_empty(), "average requires at least one vector");
+    weighted_average(vectors, &vec![1.0; vectors.len()])
+}
+
+/// Weighted element-wise average of parameter vectors.
+///
+/// Weights are normalised internally, matching FedAvg's sample-count
+/// weighting `w = Σ (n_i / n) w_i`.
+///
+/// # Panics
+/// Panics if inputs are empty, lengths differ, or the weights sum to zero.
+pub fn weighted_average(vectors: &[ParamVec], weights: &[f32]) -> ParamVec {
+    assert!(!vectors.is_empty(), "weighted_average requires vectors");
+    assert_eq!(
+        vectors.len(),
+        weights.len(),
+        "one weight per vector is required"
+    );
+    let dim = vectors[0].len();
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut out = vec![0f32; dim];
+    for (vec, &w) in vectors.iter().zip(weights) {
+        assert_eq!(vec.len(), dim, "all vectors must have identical length");
+        let scale = w / total;
+        for (o, &v) in out.iter_mut().zip(vec) {
+            *o += scale * v;
+        }
+    }
+    out
+}
+
+/// Convex interpolation `alpha * a + (1 - alpha) * b`.
+///
+/// This is exactly the FedCross `CrossAggr` fusion rule (Section III-B2) with
+/// `a` the uploaded middleware model and `b` its collaborative model.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn interpolate(a: &[f32], b: &[f32], alpha: f32) -> ParamVec {
+    assert_eq!(a.len(), b.len(), "interpolate requires equal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| alpha * x + (1.0 - alpha) * y)
+        .collect()
+}
+
+/// In-place `target += alpha * delta`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn add_scaled(target: &mut [f32], delta: &[f32], alpha: f32) {
+    assert_eq!(target.len(), delta.len(), "add_scaled requires equal lengths");
+    for (t, &d) in target.iter_mut().zip(delta) {
+        *t += alpha * d;
+    }
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn difference(a: &[f32], b: &[f32]) -> ParamVec {
+    assert_eq!(a.len(), b.len(), "difference requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Squared L2 distance between two parameter vectors.
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "squared_distance requires equal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>() as f32
+}
+
+/// L2 norm of a parameter vector.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+}
+
+/// Cosine similarity between two parameter vectors (re-exported from the
+/// tensor crate so callers only need `fedcross-nn`).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    cosine_similarity(a, b)
+}
+
+/// Euclidean distance between two parameter vectors.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    euclidean_distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_identical_vectors_is_the_vector() {
+        let v = vec![1.0, -2.0, 3.0];
+        let avg = average(&[v.clone(), v.clone(), v.clone()]);
+        assert_eq!(avg, v);
+    }
+
+    #[test]
+    fn average_of_two_vectors_is_midpoint() {
+        let avg = average(&[vec![0.0, 0.0], vec![2.0, 4.0]]);
+        assert_eq!(avg, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let avg = weighted_average(&[vec![0.0], vec![10.0]], &[1.0, 3.0]);
+        assert!((avg[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_average_is_scale_invariant_in_weights() {
+        let vs = [vec![1.0, 2.0], vec![3.0, 6.0]];
+        let a = weighted_average(&vs, &[1.0, 2.0]);
+        let b = weighted_average(&vs, &[10.0, 20.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_average_rejects_zero_weights() {
+        let _ = weighted_average(&[vec![1.0]], &[0.0]);
+    }
+
+    #[test]
+    fn interpolate_endpoints() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(interpolate(&a, &b, 1.0), a);
+        assert_eq!(interpolate(&a, &b, 0.0), b);
+        assert_eq!(interpolate(&a, &b, 0.5), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn interpolate_matches_cross_aggr_formula() {
+        // CrossAggr(v, v_co) = α v + (1-α) v_co
+        let v = vec![2.0, -4.0, 8.0];
+        let co = vec![0.0, 0.0, 0.0];
+        let fused = interpolate(&v, &co, 0.99);
+        for (f, x) in fused.iter().zip(&v) {
+            assert!((f - 0.99 * x).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn add_scaled_updates_in_place() {
+        let mut t = vec![1.0, 1.0];
+        add_scaled(&mut t, &[2.0, -2.0], 0.5);
+        assert_eq!(t, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn difference_and_distance_agree() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.0, 0.0, 0.0];
+        let d = difference(&a, &b);
+        assert_eq!(d, a);
+        assert!((squared_distance(&a, &b) - 14.0).abs() < 1e-6);
+        assert!((l2_norm(&a) - 14f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_and_euclidean_wrappers() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!(cosine(&a, &b).abs() < 1e-6);
+        assert!((euclidean(&a, &b) - 2f32.sqrt()).abs() < 1e-6);
+    }
+}

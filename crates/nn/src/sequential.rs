@@ -1,0 +1,229 @@
+//! Sequential composition of layers and its [`Model`] implementation.
+
+use crate::layer::Layer;
+use crate::Model;
+use fedcross_tensor::Tensor;
+
+/// A model built from a linear chain of layers.
+///
+/// All model-zoo constructors in [`crate::models`] return a `Sequential`
+/// (boxed as `Box<dyn Model>`); residual and recurrent structure is expressed
+/// through composite layers ([`crate::layers::ResidualBlock`],
+/// [`crate::layers::Lstm`]) so the chain abstraction is sufficient for every
+/// architecture the paper evaluates.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    arch: &'static str,
+}
+
+impl Sequential {
+    /// Creates an empty sequential model with an architecture name.
+    pub fn new(arch: &'static str) -> Self {
+        Self {
+            layers: Vec::new(),
+            arch,
+        }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already boxed layer (builder style).
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in order, useful for summaries and debugging.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Converts the model into a boxed [`Model`] trait object.
+    pub fn boxed(self) -> Box<dyn Model> {
+        Box::new(self)
+    }
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Self {
+            layers: self.layers.clone(),
+            arch: self.arch,
+        }
+    }
+}
+
+impl Model for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current, train);
+        }
+        current
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) {
+        let mut grad = grad_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p.value.data());
+            }
+        }
+        out
+    }
+
+    fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter vector has wrong length"
+        );
+        let mut offset = 0usize;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let n = p.value.numel();
+                p.value
+                    .data_mut()
+                    .copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        }
+    }
+
+    fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p.grad.data());
+            }
+        }
+        out
+    }
+
+    fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    fn clone_model(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+
+    fn arch_name(&self) -> &'static str {
+        self.arch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use fedcross_tensor::SeededRng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        Sequential::new("tiny")
+            .push(Linear::new(3, 5, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(5, 2, &mut rng))
+    }
+
+    #[test]
+    fn forward_produces_logits_shape() {
+        let mut model = tiny_model(0);
+        let x = Tensor::ones(&[4, 3]);
+        let y = model.forward(&x, true);
+        assert_eq!(y.dims(), &[4, 2]);
+        assert_eq!(model.len(), 3);
+        assert!(!model.is_empty());
+        assert_eq!(model.layer_names(), vec!["linear", "relu", "linear"]);
+    }
+
+    #[test]
+    fn params_flat_roundtrip() {
+        let model = tiny_model(1);
+        let flat = model.params_flat();
+        assert_eq!(flat.len(), model.param_count());
+        let mut other = tiny_model(2);
+        assert_ne!(other.params_flat(), flat);
+        other.set_params_flat(&flat);
+        assert_eq!(other.params_flat(), flat);
+    }
+
+    #[test]
+    fn set_params_changes_forward_output() {
+        let mut a = tiny_model(3);
+        let mut b = tiny_model(4);
+        let x = Tensor::ones(&[1, 3]);
+        let ya = a.forward(&x, false);
+        let yb = b.forward(&x, false);
+        assert_ne!(ya.data(), yb.data());
+        let pa = a.params_flat();
+        b.set_params_flat(&pa);
+        let yb2 = b.forward(&x, false);
+        assert_eq!(ya.data(), yb2.data());
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_params_rejects_wrong_length() {
+        let mut model = tiny_model(5);
+        model.set_params_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulated_gradients() {
+        let mut model = tiny_model(6);
+        let x = Tensor::ones(&[2, 3]);
+        let y = model.forward(&x, true);
+        model.backward(&Tensor::ones(y.dims()));
+        assert!(model.grads_flat().iter().any(|&g| g != 0.0));
+        model.zero_grads();
+        assert!(model.grads_flat().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn clone_model_is_deep() {
+        let model = tiny_model(7);
+        let mut cloned = model.clone_model();
+        let flat = model.params_flat();
+        // Mutate the clone; original must be unaffected.
+        let zeros = vec![0f32; flat.len()];
+        cloned.set_params_flat(&zeros);
+        assert_eq!(model.params_flat(), flat);
+        assert_eq!(cloned.params_flat(), zeros);
+    }
+
+    #[test]
+    fn arch_name_is_preserved() {
+        let model = tiny_model(8);
+        assert_eq!(model.arch_name(), "tiny");
+        assert_eq!(model.boxed().arch_name(), "tiny");
+    }
+}

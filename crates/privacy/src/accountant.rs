@@ -1,0 +1,216 @@
+//! Rényi-DP accounting for the subsampled Gaussian mechanism.
+//!
+//! Differentially-private FL needs to answer "after `T` rounds with noise
+//! multiplier `z` and client sampling rate `q`, what (ε, δ) have we spent?".
+//! This module implements the standard moments-accountant style answer:
+//!
+//! 1. the per-round Rényi divergence bound of the subsampled Gaussian
+//!    mechanism at order `α` (the leading-order bound of Abadi et al. 2016,
+//!    `q²·α / ((1-q)·z²)`, exact `α/(2z²)` when every client participates),
+//! 2. linear composition of the per-round bound over rounds,
+//! 3. conversion of the composed Rényi bound to an (ε, δ) guarantee by
+//!    minimising `rdp(α) + log(1/δ)/(α-1)` over a grid of orders.
+//!
+//! The bound is the *leading-order* subsampling amplification term, which is
+//! the regime (small `q`, `z ≳ 1`) the benchmark harness sweeps; DESIGN.md
+//! records this as the accountant's scope.
+
+use serde::{Deserialize, Serialize};
+
+/// Orders α over which the RDP → (ε, δ) conversion is minimised.
+const DEFAULT_ORDERS: &[f64] = &[
+    1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0, 32.0,
+    48.0, 64.0, 96.0, 128.0, 256.0, 512.0,
+];
+
+/// Tracks the Rényi-DP budget spent by a subsampled Gaussian training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RdpAccountant {
+    noise_multiplier: f64,
+    sampling_rate: f64,
+    rounds: u64,
+}
+
+impl RdpAccountant {
+    /// Creates an accountant for a schedule with the given noise multiplier
+    /// `z` (noise std divided by sensitivity) and per-round client sampling
+    /// rate `q = K / N`.
+    ///
+    /// # Panics
+    /// Panics if the sampling rate lies outside `(0, 1]` or the noise
+    /// multiplier is negative.
+    pub fn new(noise_multiplier: f32, sampling_rate: f32) -> Self {
+        assert!(
+            sampling_rate > 0.0 && sampling_rate <= 1.0,
+            "sampling rate must lie in (0, 1]"
+        );
+        assert!(noise_multiplier >= 0.0, "noise multiplier must be >= 0");
+        Self {
+            noise_multiplier: noise_multiplier as f64,
+            sampling_rate: sampling_rate as f64,
+            rounds: 0,
+        }
+    }
+
+    /// Number of rounds recorded so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Records one completed round.
+    pub fn step(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Records `rounds` completed rounds at once.
+    pub fn step_many(&mut self, rounds: u64) {
+        self.rounds += rounds;
+    }
+
+    /// Per-round Rényi divergence bound at order `alpha`.
+    fn rdp_per_round(&self, alpha: f64) -> f64 {
+        if self.noise_multiplier == 0.0 {
+            return f64::INFINITY;
+        }
+        let z2 = self.noise_multiplier * self.noise_multiplier;
+        if (self.sampling_rate - 1.0).abs() < 1e-12 {
+            // Plain Gaussian mechanism: ε(α) = α / (2 z²).
+            alpha / (2.0 * z2)
+        } else {
+            // Leading-order subsampled-Gaussian bound (moments accountant):
+            // ε(α) ≤ q² α / ((1 - q) z²).
+            let q = self.sampling_rate;
+            q * q * alpha / ((1.0 - q) * z2)
+        }
+    }
+
+    /// The (ε, δ) guarantee after the recorded number of rounds.
+    pub fn epsilon(&self, delta: f64) -> f64 {
+        self.epsilon_after(self.rounds, delta)
+    }
+
+    /// The (ε, δ) guarantee after an arbitrary number of rounds (without
+    /// mutating the accountant), minimised over the default order grid.
+    pub fn epsilon_after(&self, rounds: u64, delta: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        if rounds == 0 {
+            return 0.0;
+        }
+        if self.noise_multiplier == 0.0 {
+            return f64::INFINITY;
+        }
+        let log_inv_delta = (1.0 / delta).ln();
+        DEFAULT_ORDERS
+            .iter()
+            .map(|&alpha| {
+                let total_rdp = rounds as f64 * self.rdp_per_round(alpha);
+                total_rdp + log_inv_delta / (alpha - 1.0)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The smallest number of rounds after which the (ε, δ) budget is
+    /// exceeded, or `None` if `max_rounds` rounds stay within budget.
+    pub fn rounds_until_budget(&self, epsilon: f64, delta: f64, max_rounds: u64) -> Option<u64> {
+        (1..=max_rounds).find(|&t| self.epsilon_after(t, delta) > epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rounds_spend_nothing() {
+        let accountant = RdpAccountant::new(1.0, 0.1);
+        assert_eq!(accountant.epsilon(1e-5), 0.0);
+        assert_eq!(accountant.rounds(), 0);
+    }
+
+    #[test]
+    fn epsilon_grows_with_rounds() {
+        let accountant = RdpAccountant::new(1.1, 0.1);
+        let e10 = accountant.epsilon_after(10, 1e-5);
+        let e100 = accountant.epsilon_after(100, 1e-5);
+        let e1000 = accountant.epsilon_after(1000, 1e-5);
+        assert!(e10 > 0.0);
+        assert!(e100 > e10);
+        assert!(e1000 > e100);
+        assert!(e1000.is_finite());
+    }
+
+    #[test]
+    fn epsilon_shrinks_with_more_noise() {
+        let low_noise = RdpAccountant::new(0.8, 0.1).epsilon_after(200, 1e-5);
+        let high_noise = RdpAccountant::new(2.0, 0.1).epsilon_after(200, 1e-5);
+        assert!(high_noise < low_noise);
+    }
+
+    #[test]
+    fn epsilon_shrinks_with_smaller_sampling_rate() {
+        let dense = RdpAccountant::new(1.1, 0.5).epsilon_after(200, 1e-5);
+        let sparse = RdpAccountant::new(1.1, 0.05).epsilon_after(200, 1e-5);
+        assert!(sparse < dense);
+    }
+
+    #[test]
+    fn no_noise_means_infinite_epsilon() {
+        let accountant = RdpAccountant::new(0.0, 0.1);
+        assert!(accountant.epsilon_after(1, 1e-5).is_infinite());
+    }
+
+    #[test]
+    fn full_participation_uses_the_plain_gaussian_bound() {
+        // With q = 1 and one round, ε ≈ min_α α/(2z²) + log(1/δ)/(α-1),
+        // which for z = 4 and δ = 1e-5 is well below the q→1 limit of the
+        // subsampled formula (which would diverge).
+        let accountant = RdpAccountant::new(4.0, 1.0);
+        let eps = accountant.epsilon_after(1, 1e-5);
+        assert!(eps.is_finite() && eps > 0.0);
+        assert!(eps < 5.0, "one round of z=4 should be modest, got {eps}");
+    }
+
+    #[test]
+    fn moments_accountant_magnitude_is_reasonable() {
+        // z = 1.1, q = 0.01, T = 1000, δ = 1e-5: the literature reports ε in
+        // the low single digits; the leading-order bound lands close to 2.
+        let eps = RdpAccountant::new(1.1, 0.01).epsilon_after(1000, 1e-5);
+        assert!(eps > 0.5 && eps < 4.0, "unexpected epsilon {eps}");
+    }
+
+    #[test]
+    fn stepping_matches_epsilon_after() {
+        let mut accountant = RdpAccountant::new(1.0, 0.2);
+        for _ in 0..25 {
+            accountant.step();
+        }
+        accountant.step_many(25);
+        assert_eq!(accountant.rounds(), 50);
+        let via_steps = accountant.epsilon(1e-6);
+        let direct = accountant.epsilon_after(50, 1e-6);
+        assert!((via_steps - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_until_budget_finds_the_crossing() {
+        let accountant = RdpAccountant::new(1.0, 0.1);
+        let budget = accountant.epsilon_after(100, 1e-5);
+        let crossing = accountant
+            .rounds_until_budget(budget, 1e-5, 500)
+            .expect("budget must be exceeded within 500 rounds");
+        assert!(crossing > 100 && crossing <= 500);
+        assert!(accountant.rounds_until_budget(f64::INFINITY, 1e-5, 50).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_sampling_rate_is_rejected() {
+        let _ = RdpAccountant::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_delta_is_rejected() {
+        let _ = RdpAccountant::new(1.0, 0.5).epsilon_after(1, 1.5);
+    }
+}

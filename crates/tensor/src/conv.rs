@@ -1,0 +1,378 @@
+//! Convolution and pooling kernels (`im2col` / `col2im`, max / average pooling).
+//!
+//! Layout convention: image batches are rank-4 `[N, C, H, W]` (batch, channel,
+//! height, width), matching the layer implementations in `fedcross-nn`.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Kernel height/width (square kernels only).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding added to each spatial border.
+    pub padding: usize,
+}
+
+impl Conv2dGeom {
+    /// Creates a geometry descriptor.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of extent `size`.
+    pub fn out_size(&self, size: usize) -> usize {
+        (size + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+}
+
+/// Unfolds an `[N, C, H, W]` batch into the `im2col` matrix
+/// `[N * OH * OW, C * k * k]`.
+///
+/// Each output row contains the receptive field of one output pixel, so a 2-D
+/// convolution becomes a single matrix product against the reshaped kernel
+/// bank.
+///
+/// # Panics
+/// Panics if `input` is not rank-4.
+pub fn im2col(input: &Tensor, geom: Conv2dGeom) -> Tensor {
+    assert_eq!(input.rank(), 4, "im2col expects an [N, C, H, W] tensor");
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let k = geom.kernel;
+    let oh = geom.out_size(h);
+    let ow = geom.out_size(w);
+    let row_len = c * k * k;
+    let mut out = vec![0f32; n * oh * ow * row_len];
+    let data = input.data();
+
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (ni * oh + oy) * ow + ox;
+                let row = &mut out[row_idx * row_len..(row_idx + 1) * row_len];
+                let iy0 = (oy * geom.stride) as isize - geom.padding as isize;
+                let ix0 = (ox * geom.stride) as isize - geom.padding as isize;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            let col = (ci * k + ky) * k + kx;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                let src =
+                                    ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                                row[col] = data[src];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, row_len])
+}
+
+/// Folds an `im2col` matrix back into an `[N, C, H, W]` tensor, summing
+/// overlapping contributions. This is the adjoint of [`im2col`] and is used to
+/// propagate gradients through a convolution to its input.
+///
+/// # Panics
+/// Panics if the column matrix does not match the geometry implied by
+/// `input_dims` and `geom`.
+pub fn col2im(cols: &Tensor, input_dims: &[usize], geom: Conv2dGeom) -> Tensor {
+    assert_eq!(input_dims.len(), 4, "col2im expects [N, C, H, W] dims");
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let k = geom.kernel;
+    let oh = geom.out_size(h);
+    let ow = geom.out_size(w);
+    let row_len = c * k * k;
+    assert_eq!(
+        cols.dims(),
+        &[n * oh * ow, row_len],
+        "col matrix shape does not match geometry"
+    );
+
+    let mut out = vec![0f32; n * c * h * w];
+    let data = cols.data();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (ni * oh + oy) * ow + ox;
+                let row = &data[row_idx * row_len..(row_idx + 1) * row_len];
+                let iy0 = (oy * geom.stride) as isize - geom.padding as isize;
+                let ix0 = (ox * geom.stride) as isize - geom.padding as isize;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                let dst =
+                                    ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                                out[dst] += row[(ci * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, input_dims)
+}
+
+/// Result of a max-pooling forward pass: the pooled tensor plus the flat index
+/// (into the input) of each selected maximum, needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled tensor `[N, C, OH, OW]`.
+    pub output: Tensor,
+    /// For each output element, the flat index of the input element that won.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling over an `[N, C, H, W]` tensor.
+pub fn max_pool2d(input: &Tensor, geom: Conv2dGeom) -> MaxPoolOutput {
+    assert_eq!(input.rank(), 4, "max_pool2d expects an [N, C, H, W] tensor");
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let k = geom.kernel;
+    let oh = geom.out_size(h);
+    let ow = geom.out_size(w);
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let out_idx = ((ni * c + ci) * oh + oy) * ow + ox;
+                    let iy0 = (oy * geom.stride) as isize - geom.padding as isize;
+                    let ix0 = (ox * geom.stride) as isize - geom.padding as isize;
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[out_idx] = best;
+                    argmax[out_idx] = best_idx;
+                }
+            }
+        }
+    }
+    MaxPoolOutput {
+        output: Tensor::from_vec(out, &[n, c, oh, ow]),
+        argmax,
+    }
+}
+
+/// Backward pass of max pooling: routes each output gradient to the input
+/// position that produced the maximum.
+pub fn max_pool2d_backward(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Tensor {
+    assert_eq!(
+        grad_output.numel(),
+        argmax.len(),
+        "argmax length must match output size"
+    );
+    let mut grad_input = Tensor::zeros(input_dims);
+    let gi = grad_input.data_mut();
+    for (g, &idx) in grad_output.data().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    grad_input
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+pub fn global_avg_pool2d(input: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 4, "global_avg_pool2d expects rank-4 input");
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let area = (h * w) as f32;
+    let mut out = vec![0f32; n * c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let start = (ni * c + ci) * h * w;
+            let sum: f32 = input.data()[start..start + h * w].iter().sum();
+            out[ni * c + ci] = sum / area;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward pass of global average pooling: spreads each gradient uniformly
+/// over the spatial positions it averaged.
+pub fn global_avg_pool2d_backward(grad_output: &Tensor, input_dims: &[usize]) -> Tensor {
+    assert_eq!(input_dims.len(), 4, "expected [N, C, H, W] dims");
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    assert_eq!(grad_output.dims(), &[n, c], "grad_output must be [N, C]");
+    let area = (h * w) as f32;
+    let mut out = vec![0f32; n * c * h * w];
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = grad_output.data()[ni * c + ci] / area;
+            let start = (ni * c + ci) * h * w;
+            for v in &mut out[start..start + h * w] {
+                *v = g;
+            }
+        }
+    }
+    Tensor::from_vec(out, input_dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_out_size() {
+        let g = Conv2dGeom::new(3, 1, 1);
+        assert_eq!(g.out_size(8), 8);
+        let g2 = Conv2dGeom::new(2, 2, 0);
+        assert_eq!(g2.out_size(8), 4);
+        let g3 = Conv2dGeom::new(3, 2, 1);
+        assert_eq!(g3.out_size(8), 4);
+    }
+
+    #[test]
+    fn im2col_identity_kernel_geometry() {
+        // 1x1 kernel, stride 1, no padding: im2col is a pure reshape/permute.
+        let input = Tensor::arange(2 * 3 * 2 * 2).reshape(&[2, 3, 2, 2]);
+        let cols = im2col(&input, Conv2dGeom::new(1, 1, 0));
+        assert_eq!(cols.dims(), &[2 * 2 * 2, 3]);
+        // First output pixel of first image should contain channel values at (0,0).
+        assert_eq!(cols.row(0).data(), &[0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        // Single 1-channel 3x3 image, 2x2 kernel, stride 1, no padding.
+        let input = Tensor::arange(9).reshape(&[1, 1, 3, 3]);
+        let cols = im2col(&input, Conv2dGeom::new(2, 1, 0));
+        assert_eq!(cols.dims(), &[4, 4]);
+        assert_eq!(cols.row(0).data(), &[0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(cols.row(3).data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_respects_padding() {
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let cols = im2col(&input, Conv2dGeom::new(3, 1, 1));
+        assert_eq!(cols.dims(), &[4, 9]);
+        // Top-left output: only the bottom-right 2x2 of the kernel overlaps the image.
+        let row = cols.row(0);
+        let nonzero = row.data().iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(nonzero, 4);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct_computation() {
+        // 1 image, 1 channel 4x4, one 3x3 kernel of all ones => output = sum of each patch.
+        let input = Tensor::arange(16).reshape(&[1, 1, 4, 4]);
+        let geom = Conv2dGeom::new(3, 1, 0);
+        let cols = im2col(&input, geom);
+        let kernel = Tensor::ones(&[9, 1]); // [C*k*k, out_channels]
+        let out = cols.matmul(&kernel); // [4, 1]
+        // Patch sums computed by hand.
+        assert_eq!(out.data(), &[45.0, 54.0, 81.0, 90.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y (adjoint test).
+        let geom = Conv2dGeom::new(3, 1, 1);
+        let dims = [2usize, 2, 5, 5];
+        let x = Tensor::from_vec(
+            (0..dims.iter().product::<usize>())
+                .map(|i| ((i * 7 % 11) as f32) - 5.0)
+                .collect(),
+            &dims,
+        );
+        let cols = im2col(&x, geom);
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|i| ((i * 3 % 13) as f32) - 6.0).collect(),
+            cols.dims(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, &dims, geom);
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let pooled = max_pool2d(&input, Conv2dGeom::new(2, 2, 0));
+        assert_eq!(pooled.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(pooled.output.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_gradient_to_argmax() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.0], &[1, 1, 2, 2]);
+        let pooled = max_pool2d(&input, Conv2dGeom::new(2, 2, 0));
+        let grad_out = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]);
+        let grad_in = max_pool2d_backward(&grad_out, &pooled.argmax, input.dims());
+        assert_eq!(grad_in.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_averages_each_channel() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+        );
+        let out = global_avg_pool2d(&input);
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_spreads_uniformly() {
+        let grad_out = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let grad_in = global_avg_pool2d_backward(&grad_out, &[1, 2, 2, 2]);
+        assert_eq!(grad_in.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_with_stride_one_overlapping_windows() {
+        let input = Tensor::arange(9).reshape(&[1, 1, 3, 3]);
+        let pooled = max_pool2d(&input, Conv2dGeom::new(2, 1, 0));
+        assert_eq!(pooled.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(pooled.output.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+}

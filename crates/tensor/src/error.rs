@@ -1,0 +1,135 @@
+//! Error type for fallible tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+///
+/// Most hot-path operations in this crate panic on shape mismatch (they are
+/// programming errors inside the training loop), but construction from
+/// user-provided data and reshaping expose fallible variants that return this
+/// error so callers such as dataset loaders can surface problems gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by the shape does not match the data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors were expected to have identical shapes but did not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    InvalidReshape {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count implied by the target shape.
+        to: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// An operation required a tensor of a particular rank.
+    RankMismatch {
+        /// Expected rank (number of dimensions).
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A generic invalid-argument error with a description.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were provided"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimension mismatch: left has {left_cols} cols, right has {right_rows} rows"
+            ),
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "cannot reshape tensor of {from} elements into {to} elements")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank-{expected} tensor, got rank-{actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_data_mismatch() {
+        let e = TensorError::ShapeDataMismatch {
+            expected: 6,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("6"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn display_matmul_mismatch() {
+        let e = TensorError::MatmulDimMismatch {
+            left_cols: 3,
+            right_rows: 5,
+        };
+        assert!(e.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn display_invalid_reshape() {
+        let e = TensorError::InvalidReshape { from: 8, to: 9 };
+        assert!(e.to_string().contains("reshape"));
+    }
+
+    #[test]
+    fn display_rank_mismatch() {
+        let e = TensorError::RankMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("rank"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&TensorError::InvalidArgument("x".into()));
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic weight initialisation schemes.
+//!
+//! All model parameters in the reproduction are initialised through these
+//! helpers with a forked [`SeededRng`], so middleware models, baselines and
+//! repeated experiment runs start from bit-identical weights for a given seed
+//! — a prerequisite for the fairness claim of Table II ("the same initial
+//! model for every method").
+
+use crate::rng::SeededRng;
+use crate::Tensor;
+
+/// Fills a new tensor with samples from `U[-limit, limit]`.
+pub fn uniform(dims: &[usize], limit: f32, rng: &mut SeededRng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.uniform_range(-limit, limit);
+    }
+    t
+}
+
+/// Fills a new tensor with samples from `N(mean, std^2)`.
+pub fn normal(dims: &[usize], mean: f32, std: f32, rng: &mut SeededRng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.normal_with(mean, std);
+    }
+    t
+}
+
+/// Kaiming/He uniform initialisation for layers followed by ReLU.
+///
+/// `fan_in` is the number of input connections per output unit.
+pub fn kaiming_uniform(dims: &[usize], fan_in: usize, rng: &mut SeededRng) -> Tensor {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(dims, limit, rng)
+}
+
+/// Xavier/Glorot uniform initialisation for linear / tanh / sigmoid layers.
+pub fn xavier_uniform(
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut SeededRng,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(dims, limit, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = SeededRng::new(1);
+        let t = uniform(&[100, 10], 0.3, &mut rng);
+        assert!(t.data().iter().all(|&x| x.abs() <= 0.3));
+        // Not all identical.
+        assert!(t.variance() > 0.0);
+    }
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let mut rng = SeededRng::new(2);
+        let t = normal(&[50, 100], 1.0, 0.5, &mut rng);
+        assert!((t.mean() - 1.0).abs() < 0.05);
+        assert!((t.variance().sqrt() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn kaiming_limit_shrinks_with_fan_in() {
+        let mut rng = SeededRng::new(3);
+        let small_fan = uniform(&[1000], (6.0f32 / 10.0).sqrt(), &mut rng);
+        let t = kaiming_uniform(&[1000], 1000, &mut rng);
+        assert!(t.data().iter().all(|&x| x.abs() <= (6.0f32 / 1000.0).sqrt() + 1e-6));
+        assert!(t.max() < small_fan.max());
+    }
+
+    #[test]
+    fn xavier_limit_uses_both_fans() {
+        let mut rng = SeededRng::new(4);
+        let t = xavier_uniform(&[2000], 300, 100, &mut rng);
+        let limit = (6.0f32 / 400.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn same_seed_gives_identical_init() {
+        let mut a = SeededRng::new(77);
+        let mut b = SeededRng::new(77);
+        let ta = kaiming_uniform(&[32, 32], 32, &mut a);
+        let tb = kaiming_uniform(&[32, 32], 32, &mut b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_give_different_init() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let ta = kaiming_uniform(&[16, 16], 16, &mut a);
+        let tb = kaiming_uniform(&[16, 16], 16, &mut b);
+        assert_ne!(ta, tb);
+    }
+}

@@ -1,0 +1,287 @@
+//! Dense linear algebra: matrix multiplication and transposition.
+//!
+//! Matrix multiplication is the dominant kernel of every model in the
+//! reproduction (fully-connected layers directly, convolutions via `im2col`,
+//! LSTM gate projections), so it is the one place this crate parallelises with
+//! rayon and blocks the inner loops for cache friendliness.
+
+use crate::Tensor;
+use rayon::prelude::*;
+
+/// Minimum number of output elements before matmul switches to rayon.
+///
+/// Tiny products (LSTM cells on small hidden sizes, per-sample ops) are faster
+/// single-threaded than paying the fork/join overhead.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    /// Panics if either tensor is not rank-2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul: left operand must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul: right operand must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0f32; m * n];
+
+        let row_kernel = |row_out: &mut [f32], i: usize| {
+            // ikj loop order: stream through b rows, accumulate into the output row.
+            for p in 0..k {
+                let a_ip = a[i * k + p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row_out.iter_mut().zip(b_row) {
+                    *o += a_ip * bv;
+                }
+            }
+        };
+
+        if m * n >= PAR_THRESHOLD {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| row_kernel(row, i));
+        } else {
+            for (i, row) in out.chunks_mut(n).enumerate() {
+                row_kernel(row, i);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Computes `self^T * other` without materialising the transpose:
+    /// `[k, m]^T x [k, n] -> [m, n]`.
+    ///
+    /// Used by linear/conv backward passes to form weight gradients.
+    pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_at_b: left operand must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul_at_b: right operand must be rank-2");
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_at_b: leading dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0f32; m * n];
+        // out[i, j] = sum_p a[p, i] * b[p, j]
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Computes `self * other^T` without materialising the transpose:
+    /// `[m, k] x [n, k]^T -> [m, n]`.
+    ///
+    /// Used by linear/conv backward passes to propagate gradients to inputs.
+    pub fn matmul_a_bt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_a_bt: left operand must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul_a_bt: right operand must be rank-2");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul_a_bt: inner dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0f32; m * n];
+
+        let row_kernel = |row_out: &mut [f32], i: usize| {
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, o) in row_out.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        };
+
+        if m * n >= PAR_THRESHOLD {
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| row_kernel(row, i));
+        } else {
+            for (i, row) in out.chunks_mut(n).enumerate() {
+                row_kernel(row, i);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Matrix–vector product: `[m, n] x [n] -> [m]`.
+    ///
+    /// # Panics
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec: matrix must be rank-2");
+        assert_eq!(v.rank(), 1, "matvec: vector must be rank-1");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        assert_eq!(n, v.numel(), "matvec: dimension mismatch");
+        let mut out = vec![0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data()[i * n..(i + 1) * n];
+            *o = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] x [n] -> [m, n]`.
+    pub fn outer(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 1, "outer: left operand must be rank-1");
+        assert_eq!(other.rank(), 1, "outer: right operand must be rank-1");
+        let (m, n) = (self.numel(), other.numel());
+        let mut out = vec![0f32; m * n];
+        for (i, &a) in self.data().iter().enumerate() {
+            for (j, &b) in other.data().iter().enumerate() {
+                out[i * n + j] = a * b;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &[f32], b: &[f32], tol: f32) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::arange(9).reshape(&[3, 3]);
+        let c = a.matmul(&Tensor::eye(3));
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_rejects_bad_inner_dim() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn matmul_large_matches_naive() {
+        // Large enough to cross the parallel threshold.
+        let m = 130;
+        let k = 40;
+        let n = 135;
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect(),
+            &[m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i % 7) as f32) * 0.5 - 1.0).collect(),
+            &[k, n],
+        );
+        let c = a.matmul(&b);
+        // Naive reference for a few probed entries.
+        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (64, 77), (3, 100)] {
+            let mut acc = 0f32;
+            for p in 0..k {
+                acc += a.get(&[i, p]) * b.get(&[p, j]);
+            }
+            assert!((c.get(&[i, j]) - acc).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_at_b_equals_explicit_transpose() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[4, 3]);
+        let b = Tensor::from_vec((0..8).map(|i| (i as f32) * 0.5).collect(), &[4, 2]);
+        let fused = a.matmul_at_b(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(approx_eq(fused.data(), explicit.data(), 1e-5));
+    }
+
+    #[test]
+    fn matmul_a_bt_equals_explicit_transpose() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..20).map(|i| (i as f32) - 10.0).collect(), &[5, 4]);
+        let fused = a.matmul_a_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(approx_eq(fused.data(), explicit.data(), 1e-5));
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = Tensor::arange(6).reshape(&[2, 3]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let v = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        assert_eq!(a.matvec(&v).data(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn outer_product_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]);
+        let o = a.outer(&b);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matmul_associativity_with_identity_chain() {
+        let a = Tensor::arange(4).reshape(&[2, 2]);
+        let i = Tensor::eye(2);
+        let left = a.matmul(&i).matmul(&i);
+        assert_eq!(left, a);
+    }
+}

@@ -1,0 +1,199 @@
+//! Element-wise activations and row-wise softmax / log-softmax.
+//!
+//! Backward passes live in `fedcross-nn`; the masks / Jacobian-vector products
+//! they need are expressed in terms of the forward outputs defined here.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Rectified linear unit: `max(x, 0)` element-wise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| if x > 0.0 { x } else { 0.0 })
+    }
+
+    /// Element-wise derivative mask of ReLU evaluated at `self` (1 where
+    /// `x > 0`, else 0).
+    pub fn relu_mask(&self) -> Tensor {
+        self.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&self, alpha: f32) -> Tensor {
+        self.map(|x| if x > 0.0 { x } else { alpha * x })
+    }
+
+    /// Logistic sigmoid `1 / (1 + e^{-x})`, numerically stable for large |x|.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| {
+            if x >= 0.0 {
+                1.0 / (1.0 + (-x).exp())
+            } else {
+                let e = x.exp();
+                e / (1.0 + e)
+            }
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Element-wise natural exponent.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Element-wise natural logarithm (values clamped away from zero first).
+    pub fn ln_clamped(&self) -> Tensor {
+        self.map(|x| x.max(1e-12).ln())
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Row-wise softmax of a rank-2 tensor `[rows, cols]`.
+    ///
+    /// Each row is shifted by its maximum before exponentiation for numerical
+    /// stability, then normalised to sum to one.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows requires a rank-2 tensor");
+        let cols = self.dims()[1];
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            let inv = 1.0 / sum.max(f32::MIN_POSITIVE);
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "log_softmax_rows requires a rank-2 tensor");
+        let cols = self.dims()[1];
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_mut(cols) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            for x in row.iter_mut() {
+                *x -= log_sum;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(x.relu().data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(x.relu_mask().data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let x = Tensor::from_vec(vec![-2.0, 3.0], &[2]);
+        assert_eq!(x.leaky_relu(0.1).data(), &[-0.2, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_known_values_and_stability() {
+        let x = Tensor::from_vec(vec![0.0, 100.0, -100.0], &[3]);
+        let s = x.sigmoid();
+        assert!((s.data()[0] - 0.5).abs() < 1e-6);
+        assert!((s.data()[1] - 1.0).abs() < 1e-6);
+        assert!(s.data()[2].abs() < 1e-6);
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let x = Tensor::from_vec(vec![0.7, -0.7], &[2]);
+        let t = x.tanh();
+        assert!((t.data()[0] + t.data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_and_ln_are_inverse() {
+        let x = Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]);
+        let back = x.exp().ln_clamped();
+        for (a, b) in back.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn square_squares() {
+        assert_eq!(
+            Tensor::from_vec(vec![-3.0, 2.0], &[2]).square().data(),
+            &[9.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = x.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).data().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Larger logits get larger probabilities.
+        assert!(s.get(&[0, 2]) > s.get(&[0, 0]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let shifted = x.add_scalar(100.0);
+        let a = x.softmax_rows();
+        let b = shifted.softmax_rows();
+        for (p, q) in a.data().iter().zip(b.data()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 0.0, -1000.0], &[1, 3]);
+        let s = x.softmax_rows();
+        assert!(!s.has_non_finite());
+        assert!((s.data()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec(vec![0.2, -1.3, 2.7, 0.0, 0.0, 0.0], &[2, 3]);
+        let ls = x.log_softmax_rows();
+        let ref_ls = x.softmax_rows().ln_clamped();
+        for (a, b) in ls.data().iter().zip(ref_ls.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_values_are_nonpositive() {
+        let x = Tensor::from_vec(vec![5.0, 1.0, -2.0, 0.3], &[2, 2]);
+        assert!(x.log_softmax_rows().data().iter().all(|&v| v <= 1e-6));
+    }
+}

@@ -1,0 +1,343 @@
+//! Deterministic, seedable random number generation.
+//!
+//! Every stochastic component of the reproduction (weight initialisation,
+//! Dirichlet partitioning, client selection, batch shuffling, the random
+//! middleware-model dispatch of FedCross Algorithm 1 line 4–5) draws from a
+//! [`SeededRng`], so whole experiments are reproducible from a single seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator wrapper used across the workspace.
+///
+/// Internally a [`StdRng`] seeded from a `u64`. The wrapper exists so the rest
+/// of the workspace does not depend on the concrete `rand` RNG type and so
+/// derived seeds (`fork`) are constructed consistently everywhere.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SeededRng {
+    /// Creates a new generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Returns the seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child seed mixes the parent seed with `stream` using a
+    /// SplitMix64-style finaliser so children with nearby stream ids are
+    /// decorrelated. Used to give every client / round / model its own stream.
+    pub fn fork(&self, stream: u64) -> SeededRng {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SeededRng::new(z)
+    }
+
+    /// Samples a uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Samples a uniform `f32` in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Samples a standard-normal `f32` via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        // Box–Muller keeps us independent of rand_distr in the hot init path.
+        let u1 = self.uniform().max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Samples a normal `f32` with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Samples a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(n) requires n > 0");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns `k` distinct indices sampled uniformly from `[0, n)`.
+    ///
+    /// Uses a partial Fisher–Yates shuffle; order of the returned indices is
+    /// random.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_without_replacement(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        let n = slice.len();
+        if n <= 1 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples an index according to (unnormalised, non-negative) weights.
+    ///
+    /// # Panics
+    /// Panics if the weights are empty or sum to zero.
+    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index requires weights");
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Samples from a symmetric Dirichlet-like distribution of dimension `dim`
+    /// with concentration `beta`, returning a probability vector.
+    ///
+    /// Implemented by normalising Gamma(β, 1) samples (Marsaglia–Tsang for
+    /// β ≥ 1, boost-by-uniform otherwise), matching how the paper constructs
+    /// Dir(β) label skews (Hsu et al. 2019).
+    pub fn dirichlet(&mut self, dim: usize, beta: f32) -> Vec<f32> {
+        assert!(dim > 0, "dirichlet requires dim > 0");
+        assert!(beta > 0.0, "dirichlet requires beta > 0");
+        let mut samples = vec![0f32; dim];
+        for s in samples.iter_mut() {
+            *s = self.gamma(beta);
+        }
+        let total: f32 = samples.iter().sum();
+        if total <= f32::MIN_POSITIVE {
+            // Extremely small beta can underflow every component; fall back to
+            // a one-hot draw which is the limiting Dir(β→0) behaviour.
+            let hot = self.below(dim);
+            let mut one_hot = vec![0f32; dim];
+            one_hot[hot] = 1.0;
+            return one_hot;
+        }
+        for s in samples.iter_mut() {
+            *s /= total;
+        }
+        samples
+    }
+
+    /// Samples Gamma(alpha, 1).
+    fn gamma(&mut self, alpha: f32) -> f32 {
+        if alpha < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+            let u = self.uniform().max(f32::MIN_POSITIVE);
+            return self.gamma(alpha + 1.0) * u.powf(1.0 / alpha);
+        }
+        // Marsaglia–Tsang squeeze method.
+        let d = alpha - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.normal();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = self.uniform().max(f32::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl RngCore for SeededRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SeededRng::new(7);
+        let mut b = SeededRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 32);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_decorrelated() {
+        let parent = SeededRng::new(42);
+        let mut c1 = parent.fork(0);
+        let mut c1_again = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        assert_eq!(c1.uniform().to_bits(), c1_again.uniform().to_bits());
+        assert_ne!(c1.seed(), c2.seed());
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = SeededRng::new(3);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = SeededRng::new(9);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SeededRng::new(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = SeededRng::new(11);
+        let picks = rng.sample_without_replacement(50, 20);
+        assert_eq!(picks.len(), 20);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(picks.iter().all(|&p| p < 50));
+    }
+
+    #[test]
+    fn sample_all_is_permutation() {
+        let mut rng = SeededRng::new(13);
+        let mut picks = rng.sample_without_replacement(10, 10);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = SeededRng::new(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut rng = SeededRng::new(19);
+        let weights = [0.05, 0.9, 0.05];
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert!(counts[1] > counts[0] + counts[2]);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = SeededRng::new(23);
+        for &beta in &[0.1f32, 0.5, 1.0, 10.0] {
+            let p = rng.dirichlet(10, beta);
+            let sum: f32 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "beta {beta} sum {sum}");
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn small_beta_is_skewed_large_beta_is_flat() {
+        let mut rng = SeededRng::new(29);
+        let avg_max = |rng: &mut SeededRng, beta: f32| -> f32 {
+            (0..200)
+                .map(|_| {
+                    rng.dirichlet(10, beta)
+                        .into_iter()
+                        .fold(0f32, f32::max)
+                })
+                .sum::<f32>()
+                / 200.0
+        };
+        let skewed = avg_max(&mut rng, 0.1);
+        let flat = avg_max(&mut rng, 10.0);
+        assert!(
+            skewed > flat + 0.2,
+            "Dir(0.1) should concentrate mass: {skewed} vs {flat}"
+        );
+    }
+
+    #[test]
+    fn rng_core_impl_works() {
+        let mut rng = SeededRng::new(31);
+        let a = rng.next_u32();
+        let b = rng.next_u64();
+        assert!(a as u64 != b || a != 0); // trivially exercises the path
+        let mut buf = [0u8; 16];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Shape and stride bookkeeping for row-major dense tensors.
+
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Shapes are stored in row-major (C) order: the last dimension is contiguous
+/// in memory. A rank-0 shape (empty dimension list) denotes a scalar with one
+/// element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Returns the dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Returns the number of dimensions (the rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns the total number of elements the shape describes.
+    ///
+    /// A rank-0 shape has one element (a scalar).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns the extent of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Returns row-major strides (in elements) for this shape.
+    ///
+    /// `strides()[i]` is the number of elements to skip to advance by one along
+    /// dimension `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.dims.len()];
+        let mut acc = 1usize;
+        for (i, d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// Returns `None` if the index has the wrong rank or any component is out
+    /// of bounds.
+    pub fn flat_index(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut offset = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            offset += i * s;
+        }
+        Some(offset)
+    }
+
+    /// Converts a flat row-major offset back into a multi-dimensional index.
+    ///
+    /// Returns `None` if the offset is out of range.
+    pub fn unflatten_index(&self, mut offset: usize) -> Option<Vec<usize>> {
+        if offset >= self.numel() {
+            return None;
+        }
+        let strides = self.strides();
+        let mut index = vec![0usize; self.dims.len()];
+        for (i, &s) in strides.iter().enumerate() {
+            index[i] = offset / s;
+            offset %= s;
+        }
+        Some(index)
+    }
+
+    /// Returns `true` when both shapes describe the same extents.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_empty_shape_is_one() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn numel_multiplies_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).numel(), 24);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn flat_index_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.numel() {
+            let idx = s.unflatten_index(flat).unwrap();
+            assert_eq!(s.flat_index(&idx), Some(flat));
+        }
+    }
+
+    #[test]
+    fn flat_index_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert_eq!(s.flat_index(&[2, 0]), None);
+        assert_eq!(s.flat_index(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn unflatten_rejects_out_of_range() {
+        let s = Shape::new(&[2, 2]);
+        assert_eq!(s.unflatten_index(4), None);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+
+    #[test]
+    fn dim_accessor() {
+        let s = Shape::new(&[7, 9]);
+        assert_eq!(s.dim(0), 7);
+        assert_eq!(s.dim(1), 9);
+        assert_eq!(s.rank(), 2);
+    }
+
+    #[test]
+    fn from_vec_and_slice() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = (&[1usize, 2][..]).into();
+        assert!(a.same_as(&b));
+    }
+}

@@ -1,0 +1,288 @@
+//! Reductions, norms, distances and model-similarity measures.
+//!
+//! [`cosine_similarity`] is the similarity measure FedCross uses to pick
+//! collaborative models (Section III-B1 of the paper); the flat-parameter
+//! variants here operate directly on the flattened model vectors that the
+//! cloud server holds.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        self.sum() / self.numel() as f32
+    }
+
+    /// Population variance of all elements.
+    pub fn variance(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / self.numel() as f32
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in a rank-1 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(self.numel() > 0, "argmax of empty tensor");
+        self.data()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Row-wise argmax of a rank-2 tensor (one index per row).
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows requires a rank-2 tensor");
+        let cols = self.dims()[1];
+        self.data()
+            .chunks(cols)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Dot product with another tensor of identical shape.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.numel(),
+            other.numel(),
+            "dot: element counts differ ({} vs {})",
+            self.numel(),
+            other.numel()
+        );
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean (L2) norm of all elements.
+    pub fn l2_norm(&self) -> f32 {
+        self.data().iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute values (L1 norm).
+    pub fn l1_norm(&self) -> f32 {
+        self.data().iter().map(|&x| x.abs()).sum()
+    }
+
+    /// Squared Euclidean distance to another tensor of identical shape.
+    pub fn squared_distance(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.numel(),
+            other.numel(),
+            "squared_distance: element counts differ"
+        );
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Euclidean distance to another tensor of identical shape.
+    pub fn distance(&self, other: &Tensor) -> f32 {
+        self.squared_distance(other).sqrt()
+    }
+}
+
+/// Cosine similarity between two flat parameter slices.
+///
+/// Defined as `<x, y> / (||x|| * ||y||)` and clamped to `[-1, 1]`; returns 0
+/// when either vector has (near-)zero norm so that freshly-initialised models
+/// never produce NaNs in the selection strategies.
+pub fn cosine_similarity(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "cosine_similarity: lengths differ");
+    let mut dot = 0f64;
+    let mut nx = 0f64;
+    let mut ny = 0f64;
+    for (&a, &b) in x.iter().zip(y) {
+        dot += a as f64 * b as f64;
+        nx += a as f64 * a as f64;
+        ny += b as f64 * b as f64;
+    }
+    let denom = nx.sqrt() * ny.sqrt();
+    if denom <= f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    (dot / denom).clamp(-1.0, 1.0) as f32
+}
+
+/// Cosine similarity between two tensors of identical element count.
+pub fn cosine_similarity_tensors(x: &Tensor, y: &Tensor) -> f32 {
+    cosine_similarity(x.data(), y.data())
+}
+
+/// Euclidean distance between two flat parameter slices.
+pub fn euclidean_distance(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "euclidean_distance: lengths differ");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let d = (a - b) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// Mean of a slice of f32 values (0 for an empty slice).
+pub fn mean_of(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Sample standard deviation of a slice (0 for fewer than two values).
+pub fn std_dev_of(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = mean_of(values);
+    let var = values
+        .iter()
+        .map(|&x| (x - mean) * (x - mean))
+        .sum::<f32>()
+        / (values.len() - 1) as f32;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_mean_variance() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert!((t.variance() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_argmax() {
+        let t = Tensor::from_vec(vec![3.0, -1.0, 7.0, 2.0], &[4]);
+        assert_eq!(t.max(), 7.0);
+        assert_eq!(t.min(), -1.0);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn argmax_rows_per_row() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1], &[2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(a.dot(&b), 11.0);
+        assert_eq!(a.l2_norm(), 5.0);
+        assert_eq!(a.l1_norm(), 7.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Tensor::from_vec(vec![0.0, 0.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.squared_distance(&b), 25.0);
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn cosine_similarity_identical_vectors_is_one() {
+        let x = vec![0.5, -1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&x, &x) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_opposite_vectors_is_minus_one() {
+        let x = vec![1.0, 2.0, -3.0];
+        let y: Vec<f32> = x.iter().map(|v| -v).collect();
+        assert!((cosine_similarity(&x, &y) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_orthogonal_vectors_is_zero() {
+        let x = vec![1.0, 0.0];
+        let y = vec![0.0, 1.0];
+        assert!(cosine_similarity(&x, &y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_scale_invariant() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![0.2, -0.4, 1.7];
+        let scaled: Vec<f32> = y.iter().map(|v| v * 42.0).collect();
+        assert!((cosine_similarity(&x, &y) - cosine_similarity(&x, &scaled)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_similarity_zero_vector_returns_zero() {
+        let x = vec![0.0, 0.0, 0.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(cosine_similarity(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn cosine_similarity_tensor_wrapper() {
+        let a = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        assert!((cosine_similarity_tensors(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn euclidean_distance_matches_tensor_distance() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, 6.0, 3.0];
+        assert!((euclidean_distance(&a, &b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_and_std_helpers() {
+        assert_eq!(mean_of(&[]), 0.0);
+        assert_eq!(mean_of(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev_of(&[1.0]), 0.0);
+        let sd = std_dev_of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.138).abs() < 1e-2);
+    }
+}

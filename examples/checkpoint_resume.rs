@@ -1,0 +1,111 @@
+//! Checkpoint and resume: stop a FedCross run half-way, persist its state
+//! (middleware models + learning curve) to JSON, reload it and finish the run.
+//!
+//! FedCross' training state is the middleware model list — the deployable
+//! global model is derived from it — so a production server has to checkpoint
+//! the whole list, not one model. This example demonstrates the round trip and
+//! verifies the resumed run keeps improving.
+//!
+//! ```text
+//! cargo run -p fedcross-examples --release --bin checkpoint_resume
+//! ```
+
+use fedcross::{FedCross, FedCrossConfig};
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::{Checkpoint, FederatedAlgorithm, LocalTrainConfig, Simulation, SimulationConfig};
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_tensor::SeededRng;
+
+fn main() {
+    let mut rng = SeededRng::new(55);
+    let data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: 12,
+            samples_per_client: 40,
+            test_samples: 200,
+            ..Default::default()
+        },
+        Heterogeneity::Dirichlet(0.5),
+        &mut rng,
+    );
+    let template = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (8, 16),
+            fc_hidden: 32,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+
+    let fed_config = FedCrossConfig {
+        alpha: 0.9,
+        ..Default::default()
+    };
+    let sim_config = SimulationConfig {
+        rounds: 10,
+        clients_per_round: 4,
+        eval_every: 2,
+        eval_batch_size: 64,
+        local: LocalTrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        },
+        seed: 13,
+    };
+
+    // Phase 1: train for 10 rounds and checkpoint.
+    let mut algo = FedCross::new(fed_config, template.params_flat(), 4);
+    let first = Simulation::new(sim_config, &data, template.clone_model()).run(&mut algo);
+    println!(
+        "phase 1: {} rounds, final accuracy {:.1}%",
+        sim_config.rounds,
+        first.final_accuracy_pct()
+    );
+
+    let checkpoint_path = std::env::temp_dir().join("fedcross-example-checkpoint.json");
+    let checkpoint = Checkpoint::multi_model(
+        algo.name(),
+        sim_config.rounds,
+        algo.global_params(),
+        algo.middleware().to_vec(),
+        first.history.clone(),
+    );
+    checkpoint.save(&checkpoint_path).expect("checkpoint saves");
+    println!(
+        "checkpointed {} middleware models ({} parameters each) to {}",
+        checkpoint.middleware.as_ref().map_or(0, Vec::len),
+        checkpoint.param_count(),
+        checkpoint_path.display()
+    );
+
+    // Phase 2: pretend the server restarted — reload and continue training.
+    let restored = Checkpoint::load(&checkpoint_path).expect("checkpoint loads");
+    let mut resumed = FedCross::with_initial_models(
+        fed_config,
+        restored.middleware.clone().expect("FedCross checkpoints store middleware"),
+    );
+    let mut resume_config = sim_config;
+    resume_config.rounds = 10;
+    resume_config.seed = 14; // fresh client-selection stream for the new rounds
+    let second = Simulation::new(resume_config, &data, template.clone_model()).run(&mut resumed);
+    println!(
+        "phase 2 (resumed after restart): {} more rounds, final accuracy {:.1}%",
+        resume_config.rounds,
+        second.final_accuracy_pct()
+    );
+
+    let improved = second.best_accuracy_pct() >= first.final_accuracy_pct() - 1.0;
+    println!(
+        "resumed run kept (or improved) the checkpointed accuracy: {}",
+        if improved { "yes" } else { "no" }
+    );
+    let _ = std::fs::remove_file(&checkpoint_path);
+    println!("\nExpected: phase 2 starts from the checkpointed accuracy level instead of from");
+    println!("scratch, demonstrating lossless persistence of the multi-model training state.");
+}

@@ -1,0 +1,86 @@
+//! Compressed uploads: shrink client→server traffic with quantization and
+//! top-k sparsification and see what it costs in accuracy.
+//!
+//! ```text
+//! cargo run -p fedcross-examples --release --bin compressed_uploads
+//! ```
+
+use fedcross_compress::{CompressedFedAvg, Compressor, Identity, TopK, UniformQuantizer};
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::{FederatedAlgorithm, LocalTrainConfig, Simulation, SimulationConfig};
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_tensor::SeededRng;
+
+fn main() {
+    let mut rng = SeededRng::new(33);
+    let data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: 12,
+            samples_per_client: 40,
+            test_samples: 200,
+            ..Default::default()
+        },
+        Heterogeneity::Dirichlet(0.5),
+        &mut rng,
+    );
+    let template = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (8, 16),
+            fc_hidden: 32,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+    println!(
+        "federation: {} clients, model: {} parameters ({:.2} MiB per upload)\n",
+        data.num_clients(),
+        template.param_count(),
+        template.param_count() as f64 * 4.0 / (1024.0 * 1024.0)
+    );
+
+    let sim_config = SimulationConfig {
+        rounds: 20,
+        clients_per_round: 4,
+        eval_every: 5,
+        eval_batch_size: 64,
+        local: LocalTrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        },
+        seed: 11,
+    };
+
+    let schemes: Vec<(Box<dyn Compressor>, bool)> = vec![
+        (Box::new(Identity), false),
+        (Box::new(UniformQuantizer::new(8, true)), false),
+        (Box::new(TopK::new(0.1)), true),
+    ];
+
+    for (compressor, error_feedback) in schemes {
+        let mut algo = CompressedFedAvg::new(
+            template.params_flat(),
+            compressor,
+            error_feedback,
+            77,
+        );
+        let name = algo.name();
+        let result = Simulation::new(sim_config, &data, template.clone_model()).run(&mut algo);
+        let stats = algo.upload_stats();
+        println!(
+            "{name:<32} best accuracy {:>5.1}%   upload {:>5.1}x smaller   saved {:.2} MiB",
+            result.best_accuracy_pct(),
+            stats.ratio(),
+            stats.saved_mib()
+        );
+    }
+
+    println!("\nExpected: 8-bit quantized uploads match the uncompressed accuracy at ~4x less");
+    println!("traffic; top-10% sparsification with error feedback trades a little accuracy for");
+    println!("~5x less traffic.");
+}

@@ -1,0 +1,122 @@
+//! Differentially-private federated training: run DP-FedAvg and DP-FedCross
+//! on the same skewed federation and watch the privacy budget accumulate.
+//!
+//! The paper's Section IV-F1 claims FedCross composes with FedAvg-style
+//! privacy mechanisms because the client-side pipeline is unchanged; this
+//! example exercises exactly that composition, printing the accuracy and the
+//! (ε, δ = 1e-5) guarantee after every few rounds.
+//!
+//! ```text
+//! cargo run -p fedcross-examples --release --bin dp_federated_training
+//! ```
+
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::{FederatedAlgorithm, LocalTrainConfig, Simulation, SimulationConfig};
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_privacy::algorithms::{DpFedAvg, DpFedCross, DpFedCrossConfig};
+use fedcross_privacy::mechanism::{DpConfig, NoisePlacement};
+use fedcross_tensor::SeededRng;
+
+const DELTA: f64 = 1e-5;
+
+fn main() {
+    // A 20-client federation with strong label skew (Dirichlet beta = 0.3).
+    let mut rng = SeededRng::new(21);
+    let data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: 20,
+            samples_per_client: 40,
+            test_samples: 200,
+            ..Default::default()
+        },
+        Heterogeneity::Dirichlet(0.3),
+        &mut rng,
+    );
+    let template = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (8, 16),
+            fc_hidden: 32,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+    println!(
+        "federation: {} clients, model: {} parameters",
+        data.num_clients(),
+        template.param_count()
+    );
+
+    // Clip every client delta to L2 norm 5 and add central Gaussian noise with
+    // multiplier 0.1 — a mild setting that should cost little accuracy.
+    let dp = DpConfig {
+        clip_norm: 5.0,
+        noise_multiplier: 0.1,
+        placement: NoisePlacement::Central,
+    };
+    println!(
+        "privacy mechanism: clip C={}, noise multiplier z={}, {} placement\n",
+        dp.clip_norm, dp.noise_multiplier, dp.placement
+    );
+
+    let sim_config = SimulationConfig {
+        rounds: 24,
+        clients_per_round: 4,
+        eval_every: 4,
+        eval_batch_size: 64,
+        local: LocalTrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        },
+        seed: 5,
+    };
+
+    // DP-FedAvg.
+    let mut dp_fedavg = DpFedAvg::new(template.params_flat(), dp, 101);
+    let result = Simulation::new(sim_config, &data, template.clone_model())
+        .run_with_observer(&mut dp_fedavg, |round, record| {
+            println!(
+                "  [DP-FedAvg  ] round {:>3}: accuracy {:>5.1}%",
+                round,
+                record.accuracy * 100.0
+            );
+        });
+    println!(
+        "DP-FedAvg   : best accuracy {:.1}%, spent epsilon = {:.2} at delta = {DELTA}\n",
+        result.best_accuracy_pct(),
+        dp_fedavg.epsilon(DELTA).unwrap_or(f64::INFINITY)
+    );
+
+    // DP-FedCross with the same mechanism on every middleware upload.
+    let mut dp_fedcross = DpFedCross::new(
+        DpFedCrossConfig {
+            alpha: 0.9,
+            dp,
+            ..Default::default()
+        },
+        template.params_flat(),
+        sim_config.clients_per_round,
+        103,
+    );
+    let result = Simulation::new(sim_config, &data, template.clone_model())
+        .run_with_observer(&mut dp_fedcross, |round, record| {
+            println!(
+                "  [DP-FedCross] round {:>3}: accuracy {:>5.1}%",
+                round,
+                record.accuracy * 100.0
+            );
+        });
+    println!(
+        "DP-FedCross : best accuracy {:.1}%, spent epsilon = {:.2} at delta = {DELTA}",
+        result.best_accuracy_pct(),
+        dp_fedcross.epsilon(DELTA).unwrap_or(f64::INFINITY)
+    );
+    println!("(name of the second algorithm: {})", dp_fedcross.name());
+    println!("\nExpected: both methods learn under the mild mechanism and report the same");
+    println!("epsilon, because they share the clipping/noising schedule and sampling rate.");
+}

@@ -1,0 +1,91 @@
+//! Non-IID image classification across an AIoT-style camera fleet.
+//!
+//! The motivating scenario of the paper's introduction: many devices, each
+//! seeing a label-skewed slice of the world. This example sweeps the Dirichlet
+//! concentration β and shows how FedCross and FedAvg behave as clients become
+//! more heterogeneous.
+//!
+//! ```text
+//! cargo run -p fedcross-examples --release --bin noniid_image_classification
+//! ```
+
+use fedcross::{build_algorithm, AlgorithmSpec};
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::partition::skew_score;
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::{LocalTrainConfig, Simulation, SimulationConfig};
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_tensor::SeededRng;
+
+fn main() {
+    let settings = [
+        Heterogeneity::Dirichlet(0.1),
+        Heterogeneity::Dirichlet(0.5),
+        Heterogeneity::Iid,
+    ];
+
+    let sim_config = SimulationConfig {
+        rounds: 18,
+        clients_per_round: 4,
+        eval_every: 3,
+        eval_batch_size: 64,
+        local: LocalTrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        },
+        seed: 3,
+    };
+
+    println!("setting      skew   FedAvg best   FedCross best   gap");
+    println!("----------   -----  -----------   -------------   ------");
+    for heterogeneity in settings {
+        let mut rng = SeededRng::new(11);
+        let data = FederatedDataset::synth_cifar10(
+            &SynthCifar10Config {
+                num_clients: 16,
+                samples_per_client: 40,
+                test_samples: 200,
+                ..Default::default()
+            },
+            heterogeneity,
+            &mut rng,
+        );
+        let skew = skew_score(&data.class_count_matrix());
+        let template = cnn(
+            (3, 16, 16),
+            10,
+            CnnConfig {
+                conv_channels: (8, 16),
+                fc_hidden: 32,
+                kernel: 3,
+            },
+            &mut rng,
+        );
+
+        let mut best = Vec::new();
+        for spec in [AlgorithmSpec::FedAvg, AlgorithmSpec::fedcross_default()] {
+            let mut algorithm = build_algorithm(
+                spec,
+                template.params_flat(),
+                data.num_clients(),
+                sim_config.clients_per_round,
+            );
+            let result = Simulation::new(sim_config, &data, template.clone_model())
+                .run(algorithm.as_mut());
+            best.push(result.best_accuracy_pct());
+        }
+        println!(
+            "{:<12} {:>5.2}  {:>10.1}%   {:>12.1}%   {:>+5.1}pp",
+            heterogeneity.label(),
+            skew,
+            best[0],
+            best[1],
+            best[1] - best[0]
+        );
+    }
+    println!("\nExpected: clients' label skew (smaller beta) makes federated training harder,");
+    println!("and the multi-model scheme holds up at least as well as single-model FedAvg.");
+}

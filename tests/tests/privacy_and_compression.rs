@@ -1,0 +1,274 @@
+//! Cross-crate tests of the privacy and compression extensions: DP-FedAvg /
+//! DP-FedCross / secure aggregation and compressed uploads, all driven through
+//! the same simulation engine as the paper's methods, plus property-based
+//! tests of the mechanism invariants.
+
+use fedcross_compress::{CompressedFedAvg, Compressor, Identity, TopK, UniformQuantizer};
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::{FederatedAlgorithm, LocalTrainConfig, Simulation, SimulationConfig};
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_nn::params::l2_norm;
+use fedcross_nn::Model;
+use fedcross_privacy::accountant::RdpAccountant;
+use fedcross_privacy::algorithms::{DpFedAvg, SecureAggFedAvg};
+use fedcross_privacy::clipping::clip_to_norm;
+use fedcross_privacy::mechanism::{DpConfig, NoisePlacement};
+use fedcross_privacy::secure_agg::{aggregate_masked, PairwiseMasker};
+use fedcross_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn setup(seed: u64, clients: usize, samples: usize) -> (FederatedDataset, Box<dyn Model>) {
+    let mut rng = SeededRng::new(seed);
+    let data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: clients,
+            samples_per_client: samples,
+            test_samples: 80,
+            ..Default::default()
+        },
+        Heterogeneity::Dirichlet(0.5),
+        &mut rng,
+    );
+    let template = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (4, 8),
+            fc_hidden: 16,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+    (data, template)
+}
+
+fn sim_config(rounds: usize, k: usize) -> SimulationConfig {
+    SimulationConfig {
+        rounds,
+        clients_per_round: k,
+        eval_every: 2,
+        eval_batch_size: 64,
+        local: LocalTrainConfig {
+            epochs: 2,
+            batch_size: 10,
+            lr: 0.08,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        },
+        seed: 21,
+    }
+}
+
+#[test]
+fn dp_fedavg_budget_grows_with_training_length() {
+    let (data, template) = setup(0, 8, 15);
+    let dp = DpConfig {
+        clip_norm: 2.0,
+        noise_multiplier: 0.8,
+        placement: NoisePlacement::Central,
+    };
+    let run = |rounds: usize| {
+        let mut algo = DpFedAvg::new(template.params_flat(), dp, 5);
+        let _ = Simulation::new(sim_config(rounds, 3), &data, template.clone_model())
+            .run(&mut algo);
+        algo.epsilon(1e-5).expect("accountant initialised")
+    };
+    let short = run(3);
+    let long = run(9);
+    assert!(short > 0.0 && short.is_finite());
+    assert!(long > short, "epsilon must grow with rounds ({short} -> {long})");
+}
+
+#[test]
+fn clip_only_dp_fedavg_matches_generous_clipping() {
+    // With an enormous clip norm and no noise, DP-FedAvg degenerates to plain
+    // (unweighted) FedAvg on the same schedule.
+    let (data, template) = setup(1, 8, 20);
+    let dp_loose = DpConfig {
+        clip_norm: 1e6,
+        noise_multiplier: 0.0,
+        placement: NoisePlacement::Central,
+    };
+    let dp_tight = DpConfig {
+        clip_norm: 0.05,
+        noise_multiplier: 0.0,
+        placement: NoisePlacement::Central,
+    };
+    let run = |dp: DpConfig| {
+        let mut algo = DpFedAvg::new(template.params_flat(), dp, 5);
+        let result =
+            Simulation::new(sim_config(8, 3), &data, template.clone_model()).run(&mut algo);
+        (result.history.best_accuracy(), algo.global_params())
+    };
+    let (loose_acc, loose_params) = run(dp_loose);
+    let (tight_acc, tight_params) = run(dp_tight);
+    // Loose clipping learns; over-aggressive clipping barely moves the model.
+    assert!(loose_acc >= tight_acc - 0.05);
+    let init = template.params_flat();
+    let loose_move = fedcross_nn::params::euclidean(&loose_params, &init);
+    let tight_move = fedcross_nn::params::euclidean(&tight_params, &init);
+    assert!(
+        tight_move < loose_move,
+        "tight clipping must constrain the update ({tight_move} vs {loose_move})"
+    );
+}
+
+#[test]
+fn secure_aggregation_reaches_the_same_accuracy_as_plain_uploads() {
+    let (data, template) = setup(2, 8, 25);
+    let config = sim_config(8, 3);
+
+    let mut plain = DpFedAvg::new(
+        template.params_flat(),
+        DpConfig {
+            clip_norm: 1e6,
+            noise_multiplier: 0.0,
+            placement: NoisePlacement::Central,
+        },
+        0,
+    );
+    let plain_result =
+        Simulation::new(config, &data, template.clone_model()).run(&mut plain);
+
+    let mut masked = SecureAggFedAvg::new(template.params_flat(), 25.0, 17);
+    let masked_result = Simulation::new(config, &data, template).run(&mut masked);
+
+    assert!(
+        (plain_result.history.best_accuracy() - masked_result.history.best_accuracy()).abs()
+            < 0.08,
+        "secure aggregation changed the outcome: {} vs {}",
+        plain_result.history.best_accuracy(),
+        masked_result.history.best_accuracy()
+    );
+}
+
+#[test]
+fn compressed_fedavg_accounting_is_exact() {
+    let (data, template) = setup(3, 8, 15);
+    let param_count = template.param_count() as u64;
+    let mut algo = CompressedFedAvg::new(
+        template.params_flat(),
+        Box::new(UniformQuantizer::new(8, true)),
+        false,
+        2,
+    );
+    let result = Simulation::new(sim_config(4, 3), &data, template).run(&mut algo);
+    let stats = algo.upload_stats();
+    // 4 rounds x 3 clients = 12 uploads of exactly one model each.
+    assert_eq!(stats.uploads, 12);
+    assert_eq!(stats.raw_scalars, 12 * param_count);
+    assert!(stats.compressed_scalars < stats.raw_scalars / 3);
+    assert_eq!(result.comm.client_contacts, 12);
+}
+
+#[test]
+fn eight_bit_quantization_tracks_uncompressed_fedavg() {
+    let (data, template) = setup(4, 8, 30);
+    let run = |compressor: Box<dyn Compressor>| {
+        let mut algo = CompressedFedAvg::new(template.params_flat(), compressor, false, 3);
+        Simulation::new(sim_config(10, 3), &data, template.clone_model())
+            .run(&mut algo)
+            .history
+            .best_accuracy()
+    };
+    let uncompressed = run(Box::new(Identity));
+    let quantized = run(Box::new(UniformQuantizer::new(8, true)));
+    assert!(uncompressed > 0.2, "baseline FedAvg should learn");
+    assert!(
+        quantized > uncompressed - 0.1,
+        "8-bit quantization lost too much accuracy ({quantized} vs {uncompressed})"
+    );
+}
+
+#[test]
+fn aggressive_topk_benefits_from_error_feedback() {
+    let (data, template) = setup(5, 8, 30);
+    let run = |error_feedback: bool| {
+        let mut algo = CompressedFedAvg::new(
+            template.params_flat(),
+            Box::new(TopK::new(0.05)),
+            error_feedback,
+            4,
+        );
+        Simulation::new(sim_config(12, 3), &data, template.clone_model())
+            .run(&mut algo)
+            .history
+            .best_accuracy()
+    };
+    let with_feedback = run(true);
+    let without_feedback = run(false);
+    // Error feedback should never hurt; on this short run it usually helps.
+    assert!(
+        with_feedback >= without_feedback - 0.05,
+        "error feedback regressed accuracy: {with_feedback} vs {without_feedback}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clipping_never_exceeds_the_bound(
+        values in prop::collection::vec(-50f32..50.0, 1..256),
+        clip in 0.01f32..10.0,
+    ) {
+        let mut delta = values;
+        let original_norm = l2_norm(&delta);
+        let reported = clip_to_norm(&mut delta, clip);
+        prop_assert!((reported - original_norm).abs() <= 1e-2 * original_norm.max(1.0));
+        prop_assert!(l2_norm(&delta) <= clip * 1.001 + 1e-6);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_one_bucket(
+        values in prop::collection::vec(-5f32..5.0, 1..128),
+        bits in 1u8..=8,
+        seed in 0u64..1000,
+    ) {
+        let quantizer = UniformQuantizer::new(bits, false);
+        let mut rng = SeededRng::new(seed);
+        let encoded = quantizer.compress(&values, &mut rng);
+        let decoded = encoded.decode();
+        prop_assert_eq!(decoded.len(), values.len());
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let bound = quantizer.max_error(hi - lo) + 1e-5;
+        for (&original, &restored) in values.iter().zip(&decoded) {
+            prop_assert!((original - restored).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn pairwise_masks_always_cancel(
+        dims in 1usize..64,
+        participants in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let uploads: Vec<Vec<f32>> = (0..participants)
+            .map(|p| (0..dims).map(|d| (p * dims + d) as f32 * 0.1 - 1.0).collect())
+            .collect();
+        let masker = PairwiseMasker::new(seed, 10.0);
+        let masked = masker.mask_all(&uploads);
+        let raw_sum = aggregate_masked(&uploads);
+        let masked_sum = aggregate_masked(&masked);
+        for (a, b) in raw_sum.iter().zip(&masked_sum) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn accountant_is_monotone_in_noise_and_rounds(
+        z in 0.3f32..4.0,
+        q in 0.01f32..0.9,
+        rounds in 1u64..500,
+    ) {
+        let accountant = RdpAccountant::new(z, q);
+        let eps = accountant.epsilon_after(rounds, 1e-5);
+        let eps_more_rounds = accountant.epsilon_after(rounds + 10, 1e-5);
+        let eps_more_noise = RdpAccountant::new(z * 2.0, q).epsilon_after(rounds, 1e-5);
+        prop_assert!(eps.is_finite() && eps > 0.0);
+        prop_assert!(eps_more_rounds >= eps);
+        prop_assert!(eps_more_noise <= eps);
+    }
+}
