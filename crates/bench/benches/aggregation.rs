@@ -3,8 +3,11 @@
 //! collaborator and propeller variants) and global-model generation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedcross::aggregation::{cross_aggregate_all, cross_aggregate_propellers, global_model};
-use fedcross_nn::params::weighted_average;
+use fedcross::aggregation::{
+    cross_aggregate_all, cross_aggregate_all_into, cross_aggregate_propellers,
+    cross_aggregate_propellers_into, global_model, global_model_into,
+};
+use fedcross_nn::params::{weighted_average, weighted_average_into};
 use fedcross_tensor::SeededRng;
 
 fn make_models(k: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -49,6 +52,56 @@ fn bench_aggregation(c: &mut Criterion) {
             BenchmarkId::new("global_model_generation", dim),
             &dim,
             |b, _| b.iter(|| black_box(global_model(&models))),
+        );
+
+        // In-place fused kernels (the round loop's actual hot path): same
+        // arithmetic, zero allocations, rayon-parallel over the K models.
+        group.bench_with_input(
+            BenchmarkId::new("fedavg_weighted_average_into", dim),
+            &dim,
+            |b, _| {
+                let mut out = vec![0f32; dim];
+                b.iter(|| {
+                    weighted_average_into(&mut out, &models, &weights);
+                    black_box(out.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fedcross_cross_aggregate_all_into", dim),
+            &dim,
+            |b, _| {
+                let mut buffers = vec![vec![0f32; dim]; models.len()];
+                b.iter(|| {
+                    let mut targets: Vec<&mut [f32]> =
+                        buffers.iter_mut().map(|v| v.as_mut_slice()).collect();
+                    cross_aggregate_all_into(&mut targets, &models, &collaborators, 0.99);
+                    black_box(targets.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fedcross_propellers_x3_into", dim),
+            &dim,
+            |b, _| {
+                let mut out = vec![0f32; dim];
+                b.iter(|| {
+                    let refs: Vec<&[f32]> = models[1..4].iter().map(|m| m.as_slice()).collect();
+                    cross_aggregate_propellers_into(&mut out, &models[0], &refs, 0.99);
+                    black_box(out.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global_model_generation_into", dim),
+            &dim,
+            |b, _| {
+                let mut out = vec![0f32; dim];
+                b.iter(|| {
+                    global_model_into(&mut out, &models);
+                    black_box(out.len())
+                })
+            },
         );
     }
     group.finish();

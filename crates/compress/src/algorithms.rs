@@ -3,7 +3,7 @@
 use crate::codec::Compressor;
 use crate::feedback::ErrorFeedback;
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
-use fedcross_nn::params::{add_scaled, average, difference};
+use fedcross_nn::params::{add_scaled, average, difference, ParamBlock};
 use fedcross_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
 
@@ -44,7 +44,7 @@ impl UploadStats {
 /// apply them to the global model. The exact raw-vs-compressed upload volume is
 /// tracked in [`UploadStats`].
 pub struct CompressedFedAvg {
-    global: Vec<f32>,
+    global: ParamBlock,
     compressor: Box<dyn Compressor>,
     feedback: Option<ErrorFeedback>,
     stats: UploadStats,
@@ -61,7 +61,7 @@ impl CompressedFedAvg {
         seed: u64,
     ) -> Self {
         Self {
-            global: init_params,
+            global: ParamBlock::from(init_params),
             compressor,
             feedback: if error_feedback {
                 Some(ErrorFeedback::new())
@@ -92,11 +92,12 @@ impl FederatedAlgorithm for CompressedFedAvg {
 
     fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
         let selected = ctx.select_clients();
-        let jobs: Vec<(usize, Vec<f32>)> = selected
+        let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .map(|&client| (client, self.global.clone()))
             .collect();
         let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
         if updates.is_empty() {
             return RoundReport::default();
         }
@@ -120,12 +121,12 @@ impl FederatedAlgorithm for CompressedFedAvg {
         }
 
         let aggregate = average(&decoded_deltas);
-        add_scaled(&mut self.global, &aggregate, 1.0);
+        add_scaled(self.global.make_mut(), &aggregate, 1.0);
         RoundReport::from_updates(&updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 

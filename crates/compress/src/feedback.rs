@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use crate::codec::{CompressedUpdate, Compressor};
+use fedcross_nn::params::{add_into, sub_into};
 use fedcross_tensor::SeededRng;
 
 /// Error-feedback residual memory, keyed by client index.
@@ -37,6 +38,11 @@ impl ErrorFeedback {
     /// residual is added before compression and the new residual (corrected
     /// delta minus what the encoding reconstructs to) is stored for the next
     /// round.
+    ///
+    /// The client's stored residual buffer is recycled as the working buffer
+    /// (`corrected = residual + delta`, then `residual = corrected − decoded`
+    /// in place), so the steady-state path performs no full-model
+    /// allocations beyond what the codec itself needs.
     pub fn compress_with_feedback(
         &mut self,
         client: usize,
@@ -44,22 +50,20 @@ impl ErrorFeedback {
         compressor: &dyn Compressor,
         rng: &mut SeededRng,
     ) -> CompressedUpdate {
-        let mut corrected = delta.to_vec();
-        if let Some(residual) = self.residuals.get(&client) {
-            if residual.len() == corrected.len() {
-                for (c, &r) in corrected.iter_mut().zip(residual) {
-                    *c += r;
-                }
-            }
-        }
+        // Take the stored residual and reuse its allocation; a missing or
+        // stale-dimension residual degrades to a zero vector.
+        let mut corrected = match self.residuals.remove(&client) {
+            Some(residual) if residual.len() == delta.len() => residual,
+            _ => vec![0f32; delta.len()],
+        };
+        // corrected = residual + delta (addition is commutative, so this is
+        // numerically identical to the historical delta + residual order).
+        add_into(&mut corrected, delta);
         let compressed = compressor.compress(&corrected, rng);
         let decoded = compressed.decode();
-        let residual: Vec<f32> = corrected
-            .iter()
-            .zip(&decoded)
-            .map(|(&c, &d)| c - d)
-            .collect();
-        self.residuals.insert(client, residual);
+        // residual = corrected - decoded, in place.
+        sub_into(&mut corrected, &decoded);
+        self.residuals.insert(client, corrected);
         compressed
     }
 

@@ -167,7 +167,7 @@ mod tests {
         let delta = vec![2.0f32; 50];
         let sparsifier = RandK::new(0.2);
         let mut rng = SeededRng::new(4);
-        let mut accumulated = vec![0f32; 50];
+        let mut accumulated = [0f32; 50];
         let trials = 2000;
         for _ in 0..trials {
             let decoded = sparsifier.compress(&delta, &mut rng).decode();

@@ -16,8 +16,10 @@ use serde::{Deserialize, Serialize};
 
 /// Which acceleration method (if any) FedCross applies, and for how long.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum Acceleration {
     /// Vanilla FedCross: single collaborator, constant α.
+    #[default]
     None,
     /// Propeller models for the first `until_round` rounds.
     PropellerModels {
@@ -46,11 +48,6 @@ pub enum Acceleration {
     },
 }
 
-impl Default for Acceleration {
-    fn default() -> Self {
-        Acceleration::None
-    }
-}
 
 impl Acceleration {
     /// The paper's "FedCross w/ PM" variant (Figure 9): propeller models for
@@ -223,7 +220,7 @@ mod tests {
         // Phase 2: single collaborator, ramping alpha.
         assert_eq!(acc.propellers_at(25), 1);
         let a25 = acc.alpha_at(25, 0.99);
-        assert!(a25 < 0.99 && a25 >= 0.5);
+        assert!((0.5..0.99).contains(&a25));
         // After the window: vanilla behaviour.
         assert_eq!(acc.propellers_at(60), 1);
         assert_eq!(acc.alpha_at(60, 0.99), 0.99);

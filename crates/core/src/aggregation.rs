@@ -1,7 +1,30 @@
 //! Cross-aggregation (`CrossAggr`) and global-model generation
 //! (Sections III-B2 and III-B3).
+//!
+//! Every kernel comes in two forms: an allocating convenience version and a
+//! destination-passing `*_into` version that writes into a caller-provided
+//! buffer. The `*_into` forms are the hot path — `FedCross::run_round` fuses
+//! each round's uploads directly into the retired middleware buffers, so the
+//! steady-state server loop performs **zero** full-model allocations — and the
+//! allocating forms are thin wrappers over them, so both are numerically
+//! identical element-for-element.
+//!
+//! [`cross_aggregate_all_into`] parallelises over the `K` middleware models
+//! with rayon once the total work is large enough to amortise the fork/join.
 
-use fedcross_nn::params::{average, interpolate, ParamVec};
+use fedcross_nn::params::{average, average_into, interpolate_into, ParamVec};
+use rayon::prelude::*;
+
+/// Minimum total scalar count (`K·d`) before the whole-round kernels switch
+/// to rayon; below this the fork/join overhead dominates.
+const PAR_THRESHOLD_SCALARS: usize = 1 << 16;
+
+fn assert_alpha(alpha: f32) {
+    assert!(
+        (0.5..1.0).contains(&alpha),
+        "alpha must lie in [0.5, 1.0), got {alpha}"
+    );
+}
 
 /// Fuses one uploaded middleware model with its collaborative model:
 /// `CrossAggr(v_i, v_co) = α·v_i + (1-α)·v_co`.
@@ -10,11 +33,19 @@ use fedcross_nn::params::{average, interpolate, ParamVec};
 /// Panics if `alpha` is outside `[0.5, 1.0)` (the paper's admissible range)
 /// or the vectors differ in length.
 pub fn cross_aggregate(uploaded: &[f32], collaborative: &[f32], alpha: f32) -> ParamVec {
-    assert!(
-        (0.5..1.0).contains(&alpha),
-        "alpha must lie in [0.5, 1.0), got {alpha}"
-    );
-    interpolate(uploaded, collaborative, alpha)
+    let mut out = vec![0f32; uploaded.len()];
+    cross_aggregate_into(&mut out, uploaded, collaborative, alpha);
+    out
+}
+
+/// Destination-passing [`cross_aggregate`]: writes the fused model into
+/// `out`, reusing its allocation.
+///
+/// # Panics
+/// Panics if `alpha` is outside `[0.5, 1.0)` or any length differs.
+pub fn cross_aggregate_into(out: &mut [f32], uploaded: &[f32], collaborative: &[f32], alpha: f32) {
+    assert_alpha(alpha);
+    interpolate_into(out, uploaded, collaborative, alpha);
 }
 
 /// Fuses one uploaded model with multiple *propeller* models (the
@@ -27,24 +58,38 @@ pub fn cross_aggregate_propellers(
     propellers: &[&[f32]],
     alpha: f32,
 ) -> ParamVec {
-    assert!(
-        (0.5..1.0).contains(&alpha),
-        "alpha must lie in [0.5, 1.0), got {alpha}"
-    );
+    let mut out = vec![0f32; uploaded.len()];
+    cross_aggregate_propellers_into(&mut out, uploaded, propellers, alpha);
+    out
+}
+
+/// Destination-passing [`cross_aggregate_propellers`]: writes the fused model
+/// into `out`, reusing its allocation.
+///
+/// # Panics
+/// Panics if `alpha` is out of range, no propeller is given, or lengths
+/// differ.
+pub fn cross_aggregate_propellers_into(
+    out: &mut [f32],
+    uploaded: &[f32],
+    propellers: &[&[f32]],
+    alpha: f32,
+) {
+    assert_alpha(alpha);
     assert!(!propellers.is_empty(), "at least one propeller is required");
+    assert_eq!(out.len(), uploaded.len(), "output length must match");
     let share = (1.0 - alpha) / propellers.len() as f32;
-    let mut out: ParamVec = uploaded.iter().map(|&v| alpha * v).collect();
+    for (o, &v) in out.iter_mut().zip(uploaded) {
+        *o = alpha * v;
+    }
     for propeller in propellers {
         assert_eq!(
             propeller.len(),
             uploaded.len(),
             "propeller length must match the uploaded model"
         );
-        for (o, &p) in out.iter_mut().zip(propeller.iter()) {
-            *o += share * p;
-        }
+        fedcross_nn::params::add_scaled(out, propeller, share);
     }
-    out
 }
 
 /// Applies cross-aggregation to the whole uploaded model list given each
@@ -53,31 +98,78 @@ pub fn cross_aggregate_propellers(
 ///
 /// # Panics
 /// Panics if a collaborative index is out of range or equals its own model.
-pub fn cross_aggregate_all(
-    uploaded: &[ParamVec],
+pub fn cross_aggregate_all<V: AsRef<[f32]> + Sync>(
+    uploaded: &[V],
     collaborators: &[usize],
     alpha: f32,
 ) -> Vec<ParamVec> {
+    let dim = uploaded.first().map_or(0, |v| v.as_ref().len());
+    let mut out: Vec<ParamVec> = uploaded.iter().map(|_| vec![0f32; dim]).collect();
+    {
+        let mut targets: Vec<&mut [f32]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
+        cross_aggregate_all_into(&mut targets, uploaded, collaborators, alpha);
+    }
+    out
+}
+
+/// Destination-passing [`cross_aggregate_all`]: fuses every upload into its
+/// caller-provided output buffer (`out[i] = α·uploaded[i] +
+/// (1-α)·uploaded[collaborators[i]]`), rayon-parallel over the `K` models
+/// when `K·d` crosses [`PAR_THRESHOLD_SCALARS`].
+///
+/// The output buffers are typically last round's retired middleware models,
+/// making the whole cross-aggregation step allocation-free.
+///
+/// # Panics
+/// Panics if the lengths are inconsistent, `alpha` is out of range, a
+/// collaborative index is out of range or a model collaborates with itself.
+pub fn cross_aggregate_all_into<V: AsRef<[f32]> + Sync>(
+    out: &mut [&mut [f32]],
+    uploaded: &[V],
+    collaborators: &[usize],
+    alpha: f32,
+) {
     assert_eq!(
         uploaded.len(),
         collaborators.len(),
         "one collaborator index per uploaded model"
     );
-    collaborators
-        .iter()
-        .enumerate()
-        .map(|(i, &co)| {
-            assert!(co < uploaded.len(), "collaborator index out of range");
-            assert_ne!(co, i, "a model cannot collaborate with itself");
-            cross_aggregate(&uploaded[i], &uploaded[co], alpha)
-        })
-        .collect()
+    assert_eq!(
+        out.len(),
+        uploaded.len(),
+        "one output buffer per uploaded model"
+    );
+    assert_alpha(alpha);
+    for (i, &co) in collaborators.iter().enumerate() {
+        assert!(co < uploaded.len(), "collaborator index out of range");
+        assert_ne!(co, i, "a model cannot collaborate with itself");
+    }
+    let dim = uploaded.first().map_or(0, |v| v.as_ref().len());
+    let fuse = |(i, target): (usize, &mut &mut [f32])| {
+        interpolate_into(
+            target,
+            uploaded[i].as_ref(),
+            uploaded[collaborators[i]].as_ref(),
+            alpha,
+        );
+    };
+    if uploaded.len() * dim >= PAR_THRESHOLD_SCALARS {
+        out.par_iter_mut().enumerate().for_each(fuse);
+    } else {
+        out.iter_mut().enumerate().for_each(fuse);
+    }
 }
 
 /// Generates the deployable global model: the plain average of the middleware
 /// models (Section III-B3). The global model never participates in training.
-pub fn global_model(middleware: &[ParamVec]) -> ParamVec {
+pub fn global_model<V: AsRef<[f32]>>(middleware: &[V]) -> ParamVec {
     average(middleware)
+}
+
+/// Destination-passing [`global_model`]: writes the middleware average into
+/// `out`, reusing its allocation.
+pub fn global_model_into<V: AsRef<[f32]>>(out: &mut [f32], middleware: &[V]) {
+    average_into(out, middleware);
 }
 
 #[cfg(test)]
@@ -112,6 +204,20 @@ mod tests {
     #[should_panic]
     fn alpha_of_one_is_rejected() {
         let _ = cross_aggregate(&[1.0], &[2.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn in_place_alpha_below_half_is_rejected() {
+        let mut out = vec![0.0];
+        cross_aggregate_into(&mut out, &[1.0], &[2.0], 0.4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn in_place_length_mismatch_is_rejected() {
+        let mut out = vec![0.0; 2];
+        cross_aggregate_into(&mut out, &[1.0], &[2.0], 0.9);
     }
 
     #[test]
@@ -204,6 +310,9 @@ mod tests {
     fn global_model_is_the_middleware_average() {
         let middleware = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
         assert_eq!(global_model(&middleware), vec![2.0, 4.0]);
+        let mut out = vec![0f32; 2];
+        global_model_into(&mut out, &middleware);
+        assert_eq!(out, vec![2.0, 4.0]);
     }
 
     #[test]
@@ -221,5 +330,47 @@ mod tests {
             assert_eq!(f, &uploaded[0]);
         }
         assert!((l2_norm(&global_model(&fused)) - l2_norm(&uploaded[0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_path_bitwise() {
+        // K·d above the parallel threshold: 10 models × 10_000 scalars.
+        let k = 10usize;
+        let dim = 10_000usize;
+        let uploaded: Vec<Vec<f32>> = (0..k)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * 131 + j * 17) % 97) as f32 * 0.21 - 10.0)
+                    .collect()
+            })
+            .collect();
+        let collaborators: Vec<usize> = (0..k).map(|i| (i + 1) % k).collect();
+        // Parallel (threshold crossed) vs per-model serial kernel.
+        let parallel = cross_aggregate_all(&uploaded, &collaborators, 0.99);
+        for (i, fused) in parallel.iter().enumerate() {
+            let serial = cross_aggregate(&uploaded[i], &uploaded[collaborators[i]], 0.99);
+            assert_eq!(
+                fused.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "model {i} differs between parallel and serial paths"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_the_given_buffers() {
+        let uploaded = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let mut buffers = [vec![9.0f32, 9.0], vec![9.0, 9.0]];
+        let pointers: Vec<*const f32> = buffers.iter().map(|b| b.as_ptr()).collect();
+        {
+            let mut targets: Vec<&mut [f32]> =
+                buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
+            cross_aggregate_all_into(&mut targets, &uploaded, &[1, 0], 0.75);
+        }
+        for (buffer, ptr) in buffers.iter().zip(pointers) {
+            assert_eq!(buffer.as_ptr(), ptr, "buffer was reallocated");
+        }
+        assert_eq!(buffers[0], cross_aggregate(&uploaded[0], &uploaded[1], 0.75));
+        assert_eq!(buffers[1], cross_aggregate(&uploaded[1], &uploaded[0], 0.75));
     }
 }

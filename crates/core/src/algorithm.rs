@@ -1,9 +1,16 @@
 //! The FedCross federated-learning algorithm (Algorithm 1 of the paper).
 
 use crate::acceleration::Acceleration;
-use crate::aggregation::{cross_aggregate_all, cross_aggregate_propellers, global_model};
+use crate::aggregation::{
+    cross_aggregate_into, cross_aggregate_propellers_into, global_model,
+};
 use crate::selection::{mean_pairwise_similarity, SelectionStrategy, SimilarityMeasure};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
+use fedcross_nn::params::ParamBlock;
+use rayon::prelude::*;
+
+/// Minimum total scalar count (`K·d`) before the fusion step forks to rayon.
+const PAR_THRESHOLD_SCALARS: usize = 1 << 16;
 
 /// FedCross hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -37,22 +44,32 @@ impl Default for FedCrossConfig {
 /// The number of middleware models must equal the number of clients selected
 /// per round (`K` in the paper); each selected client trains exactly one
 /// middleware model per round.
+///
+/// The middleware list lives on the shared copy-on-write parameter plane
+/// ([`ParamBlock`]): dispatching the `K` models to clients is `K` reference
+/// bumps, and cross-aggregation fuses each round's uploads **into** the
+/// retired middleware buffers, so a steady-state round performs no full-model
+/// clones at all.
 pub struct FedCross {
     config: FedCrossConfig,
-    middleware: Vec<Vec<f32>>,
+    middleware: Vec<ParamBlock>,
 }
 
 impl FedCross {
     /// Creates FedCross with `k` middleware models, all initialised from the
     /// same parameter vector (the same initialisation every baseline uses, so
     /// comparisons are fair).
+    ///
+    /// The `k` models initially share one buffer (copy-on-write), so
+    /// construction is `O(d)`, not `O(K·d)`.
     pub fn new(config: FedCrossConfig, init_params: Vec<f32>, k: usize) -> Self {
         assert!(k >= 2, "FedCross needs at least two middleware models");
         assert!(
             (0.5..1.0).contains(&config.alpha),
             "alpha must lie in [0.5, 1.0)"
         );
-        let middleware = vec![init_params; k];
+        let shared = ParamBlock::from(init_params);
+        let middleware = vec![shared; k];
         Self { config, middleware }
     }
 
@@ -67,7 +84,10 @@ impl FedCross {
             middleware.iter().all(|m| m.len() == dim),
             "all middleware models must have identical length"
         );
-        Self { config, middleware }
+        Self {
+            config,
+            middleware: middleware.into_iter().map(ParamBlock::from).collect(),
+        }
     }
 
     /// The configured hyper-parameters.
@@ -81,8 +101,13 @@ impl FedCross {
     }
 
     /// The current middleware model list (for analysis and tests).
-    pub fn middleware(&self) -> &[Vec<f32>] {
+    pub fn middleware(&self) -> &[ParamBlock] {
         &self.middleware
+    }
+
+    /// The middleware models as owned vectors (checkpointing).
+    pub fn middleware_vecs(&self) -> Vec<Vec<f32>> {
+        self.middleware.iter().map(|m| m.to_vec()).collect()
     }
 
     /// Mean pairwise cosine similarity of the middleware models — the paper's
@@ -133,60 +158,106 @@ impl FederatedAlgorithm for FedCross {
         let mut selected = ctx.select_clients();
         ctx.rng_mut().shuffle(&mut selected);
 
-        // Step 1–3: dispatch middleware model i to client Lc[i], train, upload.
-        let jobs: Vec<(usize, Vec<f32>)> = selected
+        // Step 1–3: dispatch middleware model i to client Lc[i], train,
+        // upload. Each job borrows its middleware block (reference bump); the
+        // only O(d) copy on the dispatch path is the client loading the
+        // parameters into its own model instance.
+        let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .zip(self.middleware.iter())
             .map(|(&client, model)| (client, model.clone()))
             .collect();
         let updates = ctx.local_train_batch(&jobs);
+        drop(jobs); // release the dispatch references before fusing in place
+        let report = RoundReport::from_updates(&updates);
 
-        // Map every upload back to the middleware slot whose model it trained.
-        // Under client dropout some slots receive no upload this round; their
-        // middleware models simply skip the round (they are re-dispatched next
-        // round), which is the natural partial-participation behaviour of the
+        // Map every upload back to the middleware slot whose model it trained,
+        // taking ownership of the uploaded parameters (no clone). Under client
+        // dropout some slots receive no upload this round; their middleware
+        // models simply skip the round (they are re-dispatched next round),
+        // which is the natural partial-participation behaviour of the
         // multi-to-multi scheme.
         let mut returned_slots = Vec::with_capacity(updates.len());
-        let mut uploaded = Vec::with_capacity(updates.len());
-        for update in &updates {
+        let mut uploaded: Vec<ParamBlock> = Vec::with_capacity(updates.len());
+        for update in updates {
             let slot = selected
                 .iter()
                 .position(|&client| client == update.client)
                 .expect("every update comes from a selected client");
             returned_slots.push(slot);
-            uploaded.push(update.params.clone());
+            uploaded.push(update.params);
         }
 
-        // Step 4: multi-model cross-aggregation over the uploads that arrived.
+        // Step 4: multi-model cross-aggregation over the uploads that arrived,
+        // fused directly into the retired middleware buffers (double-buffer
+        // swap between last round's middleware and this round's uploads).
         let alpha = self.config.acceleration.alpha_at(round, self.config.alpha);
         let propellers = self.config.acceleration.propellers_at(round);
         let returned = uploaded.len();
         if returned >= 2 {
-            let fused: Vec<Vec<f32>> = if propellers <= 1 {
-                let collaborators =
-                    self.config
-                        .strategy
-                        .select_all_with(round, &uploaded, self.config.measure);
-                cross_aggregate_all(&uploaded, &collaborators, alpha)
+            // Per-upload collaborator set, computed before borrowing the
+            // middleware list mutably.
+            let partners: Vec<Vec<usize>> = if propellers <= 1 {
+                self.config
+                    .strategy
+                    .select_all_with(round, &uploaded, self.config.measure)
+                    .into_iter()
+                    .map(|co| vec![co])
+                    .collect()
             } else {
                 (0..returned)
-                    .map(|i| {
-                        let indices = self.propeller_indices(round, i, propellers, returned);
-                        let refs: Vec<&[f32]> =
-                            indices.iter().map(|&j| uploaded[j].as_slice()).collect();
-                        cross_aggregate_propellers(&uploaded[i], &refs, alpha)
-                    })
+                    .map(|i| self.propeller_indices(round, i, propellers, returned))
                     .collect()
             };
-            for (&slot, params) in returned_slots.iter().zip(fused) {
-                self.middleware[slot] = params;
+
+            // Gather the output slot for every upload. The retired middleware
+            // blocks are unique again now that the dispatch jobs are dropped,
+            // so `make_mut` reuses their buffers without copying.
+            let mut upload_of_slot = vec![usize::MAX; k];
+            for (upload, &slot) in returned_slots.iter().enumerate() {
+                upload_of_slot[slot] = upload;
+            }
+            let mut targets: Vec<(usize, &mut ParamBlock)> = Vec::with_capacity(returned);
+            for (slot, block) in self.middleware.iter_mut().enumerate() {
+                let upload = upload_of_slot[slot];
+                if upload != usize::MAX {
+                    targets.push((upload, block));
+                }
+            }
+
+            let dim = uploaded[0].len();
+            let fuse = |(upload, block): (usize, &mut ParamBlock)| {
+                let out = block.make_mut();
+                let partner_ids = &partners[upload];
+                if partner_ids.len() == 1 {
+                    cross_aggregate_into(
+                        out,
+                        uploaded[upload].as_slice(),
+                        uploaded[partner_ids[0]].as_slice(),
+                        alpha,
+                    );
+                } else {
+                    let refs: Vec<&[f32]> =
+                        partner_ids.iter().map(|&j| uploaded[j].as_slice()).collect();
+                    cross_aggregate_propellers_into(
+                        out,
+                        uploaded[upload].as_slice(),
+                        &refs,
+                        alpha,
+                    );
+                }
+            };
+            if returned * dim >= PAR_THRESHOLD_SCALARS {
+                targets.into_par_iter().for_each(fuse);
+            } else {
+                targets.into_iter().for_each(fuse);
             }
         } else if returned == 1 {
             // A lone survivor has no collaborative model; keep its training.
             self.middleware[returned_slots[0]] = uploaded.into_iter().next().expect("one upload");
         }
 
-        RoundReport::from_updates(&updates)
+        report
     }
 
     fn global_params(&self) -> Vec<f32> {

@@ -7,11 +7,11 @@
 //! overhead stays Low (Table I).
 
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
-use fedcross_nn::params::{cosine, difference, weighted_average};
+use fedcross_nn::params::{cosine, difference, weighted_average_into, ParamBlock};
 
 /// The clustered-sampling baseline.
 pub struct CluSamp {
-    global: Vec<f32>,
+    global: ParamBlock,
     /// Last observed update direction (trained − dispatched) per client.
     client_updates: Vec<Option<Vec<f32>>>,
 }
@@ -22,7 +22,7 @@ impl CluSamp {
         assert!(!init_params.is_empty(), "initial parameters must not be empty");
         assert!(total_clients > 0, "need at least one client");
         Self {
-            global: init_params,
+            global: ParamBlock::from(init_params),
             client_updates: vec![None; total_clients],
         }
     }
@@ -94,11 +94,12 @@ impl FederatedAlgorithm for CluSamp {
         let k = ctx.clients_per_round();
         let selected = self.cluster_representatives(k, ctx);
 
-        let jobs: Vec<(usize, Vec<f32>)> = selected
+        let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .map(|&client| (client, self.global.clone()))
             .collect();
         let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
         if updates.is_empty() {
             // Every selected client dropped out this round (possible under an
             // availability model); the global model simply carries over.
@@ -111,17 +112,17 @@ impl FederatedAlgorithm for CluSamp {
                 Some(difference(&update.params, &self.global));
         }
 
-        let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+        let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
             .collect();
-        self.global = weighted_average(&params, &weights);
+        weighted_average_into(self.global.make_mut(), &params, &weights);
         RoundReport::from_updates(&updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 
@@ -130,7 +131,6 @@ mod tests {
     use super::*;
     use crate::baselines::test_support::{quick_config, tiny_image_setup};
     use fedcross_flsim::Simulation;
-    use fedcross_nn::Model;
 
     #[test]
     fn clusamp_runs_with_low_comm_overhead() {

@@ -1,13 +1,17 @@
 //! FedAvg (McMahan et al. 2017): the classic one-to-multi baseline.
 
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
-use fedcross_nn::params::weighted_average;
+use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
 /// Federated Averaging: dispatch the single global model to `K` selected
 /// clients, then replace it with the sample-count-weighted average of their
 /// locally trained models.
+///
+/// The global model lives on the copy-on-write parameter plane: dispatch is a
+/// reference bump per client, and the aggregation writes the new average into
+/// the retired global buffer in place.
 pub struct FedAvg {
-    global: Vec<f32>,
+    global: ParamBlock,
 }
 
 impl FedAvg {
@@ -15,7 +19,7 @@ impl FedAvg {
     pub fn new(init_params: Vec<f32>) -> Self {
         assert!(!init_params.is_empty(), "initial parameters must not be empty");
         Self {
-            global: init_params,
+            global: ParamBlock::from(init_params),
         }
     }
 
@@ -32,28 +36,31 @@ impl FederatedAlgorithm for FedAvg {
 
     fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
         let selected = ctx.select_clients();
-        let jobs: Vec<(usize, Vec<f32>)> = selected
+        let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .map(|&client| (client, self.global.clone()))
             .collect();
         let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
         if updates.is_empty() {
             // Every selected client dropped out this round (possible under an
             // availability model); the global model simply carries over.
             return RoundReport::default();
         }
 
-        let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+        let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
             .collect();
-        self.global = weighted_average(&params, &weights);
+        // The dispatch references are gone, so the retired global buffer is
+        // unique again and the average lands in it without an allocation.
+        weighted_average_into(self.global.make_mut(), &params, &weights);
         RoundReport::from_updates(&updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 
@@ -61,8 +68,8 @@ impl FederatedAlgorithm for FedAvg {
 mod tests {
     use super::*;
     use crate::baselines::test_support::{quick_config, tiny_image_setup};
+    use fedcross_nn::params::weighted_average;
     use fedcross_flsim::Simulation;
-    use fedcross_nn::Model;
 
     #[test]
     fn fedavg_runs_and_updates_the_global_model() {

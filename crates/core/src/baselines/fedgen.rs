@@ -17,8 +17,7 @@
 //!    paper's "Medium" communication-overhead classification in Table I.
 
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
-use fedcross_nn::params::weighted_average;
-use std::sync::Arc;
+use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
 /// Configuration of the simplified FedGen baseline.
 #[derive(Debug, Clone, Copy)]
@@ -42,9 +41,10 @@ impl Default for FedGenConfig {
 
 /// The simplified FedGen baseline.
 pub struct FedGen {
-    global: Vec<f32>,
-    /// The previous round's ensemble model — the distillation teacher.
-    teacher: Vec<f32>,
+    global: ParamBlock,
+    /// The previous round's ensemble model — the distillation teacher (shares
+    /// the global model's buffer between rounds, copy-on-write).
+    teacher: ParamBlock,
     config: FedGenConfig,
 }
 
@@ -54,9 +54,10 @@ impl FedGen {
         assert!(!init_params.is_empty(), "initial parameters must not be empty");
         assert!(config.distill_weight >= 0.0);
         assert!((0.0..=1.0).contains(&config.generator_fraction));
+        let global = ParamBlock::from(init_params);
         Self {
-            teacher: init_params.clone(),
-            global: init_params,
+            teacher: global.clone(),
+            global,
             config,
         }
     }
@@ -76,13 +77,12 @@ impl FederatedAlgorithm for FedGen {
         let selected = ctx.select_clients();
         let generator_scalars =
             (self.global.len() as f32 * self.config.generator_fraction) as usize;
-        let teacher = Arc::new(self.teacher.clone());
         let lambda = self.config.distill_weight;
 
         let jobs: Vec<TrainJob> = selected
             .iter()
             .map(|&client| {
-                let teacher = Arc::clone(&teacher);
+                let teacher = self.teacher.clone();
                 TrainJob {
                     client,
                     params: self.global.clone(),
@@ -100,19 +100,24 @@ impl FederatedAlgorithm for FedGen {
             return RoundReport::default();
         }
 
-        let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+        let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
             .collect();
-        // The new ensemble is both the next global model and the next teacher.
-        self.global = weighted_average(&params, &weights);
+        // Release the teacher's reference to last round's buffer first, so
+        // `make_mut` reuses the retired global allocation instead of copying
+        // a buffer that is about to be overwritten anyway.
+        self.teacher = ParamBlock::default();
+        weighted_average_into(self.global.make_mut(), &params, &weights);
+        // The new ensemble is both the next global model and the next
+        // teacher (shared buffer, reference bump).
         self.teacher = self.global.clone();
         RoundReport::from_updates(&updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 
@@ -121,7 +126,6 @@ mod tests {
     use super::*;
     use crate::baselines::test_support::{quick_config, tiny_image_setup};
     use fedcross_flsim::Simulation;
-    use fedcross_nn::Model;
 
     #[test]
     fn fedgen_runs_with_medium_comm_overhead() {

@@ -1,14 +1,13 @@
 //! FedProx (Li et al. 2020): FedAvg with a proximal term on the local loss.
 
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
-use fedcross_nn::params::weighted_average;
-use std::sync::Arc;
+use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
 /// FedProx: each client minimises `f_i(w) + (μ/2)·||w - w_global||²`, which
 /// adds `μ·(w - w_global)` to every gradient. The server aggregation is the
 /// same as FedAvg, so the communication profile is identical (Table I: Low).
 pub struct FedProx {
-    global: Vec<f32>,
+    global: ParamBlock,
     mu: f32,
 }
 
@@ -19,7 +18,7 @@ impl FedProx {
         assert!(!init_params.is_empty(), "initial parameters must not be empty");
         assert!(mu >= 0.0, "mu must be non-negative");
         Self {
-            global: init_params,
+            global: ParamBlock::from(init_params),
             mu,
         }
     }
@@ -37,13 +36,14 @@ impl FederatedAlgorithm for FedProx {
 
     fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
         let selected = ctx.select_clients();
-        let anchor = Arc::new(self.global.clone());
         let mu = self.mu;
 
+        // The proximal anchor is the dispatched global model itself; sharing
+        // the same ParamBlock costs one reference bump per client.
         let jobs: Vec<TrainJob> = selected
             .iter()
             .map(|&client| {
-                let anchor = Arc::clone(&anchor);
+                let anchor = self.global.clone();
                 TrainJob {
                     client,
                     params: self.global.clone(),
@@ -60,17 +60,17 @@ impl FederatedAlgorithm for FedProx {
             return RoundReport::default();
         }
 
-        let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+        let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
             .collect();
-        self.global = weighted_average(&params, &weights);
+        weighted_average_into(self.global.make_mut(), &params, &weights);
         RoundReport::from_updates(&updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 
@@ -81,7 +81,6 @@ mod tests {
     use crate::baselines::test_support::{quick_config, tiny_image_setup};
     use fedcross_flsim::Simulation;
     use fedcross_nn::params::euclidean;
-    use fedcross_nn::Model;
 
     #[test]
     fn fedprox_runs_with_low_comm_overhead() {

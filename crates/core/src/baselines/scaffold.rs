@@ -2,7 +2,7 @@
 //! server and client control variates.
 
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
-use fedcross_nn::params::{add_scaled, average, difference};
+use fedcross_nn::params::{add_scaled, average, average_into, difference, ParamBlock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -12,7 +12,7 @@ use std::sync::Arc;
 /// round, which is why Table I classifies SCAFFOLD as high communication
 /// overhead.
 pub struct Scaffold {
-    global: Vec<f32>,
+    global: ParamBlock,
     server_control: Vec<f32>,
     client_controls: HashMap<usize, Vec<f32>>,
     total_clients: usize,
@@ -26,7 +26,7 @@ impl Scaffold {
         assert!(total_clients > 0, "need at least one client");
         let dim = init_params.len();
         Self {
-            global: init_params,
+            global: ParamBlock::from(init_params),
             server_control: vec![0.0; dim],
             client_controls: HashMap::new(),
             total_clients,
@@ -68,6 +68,7 @@ impl FederatedAlgorithm for Scaffold {
                 let c = Arc::clone(&server_c);
                 TrainJob {
                     client,
+                    // Reference bump, not an O(d) copy.
                     params: self.global.clone(),
                     correction: Some(Box::new(move |i, _w, g| g - c_i[i] + c[i])),
                     // The control variate travels both ways alongside the model.
@@ -100,8 +101,8 @@ impl FederatedAlgorithm for Scaffold {
 
         // Server updates: x ← x + (1/|S|) Σ (y_i - x);  c ← c + (|S|/N)·avg(Δc_i).
         if !updates.is_empty() {
-            let uploaded: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
-            self.global = average(&uploaded);
+            let uploaded: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
+            average_into(self.global.make_mut(), &uploaded);
             let mean_delta = average(&control_deltas);
             let fraction = updates.len() as f32 / self.total_clients as f32;
             add_scaled(&mut self.server_control, &mean_delta, fraction);
@@ -110,7 +111,7 @@ impl FederatedAlgorithm for Scaffold {
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 
@@ -119,7 +120,6 @@ mod tests {
     use super::*;
     use crate::baselines::test_support::{quick_config, tiny_image_setup};
     use fedcross_flsim::Simulation;
-    use fedcross_nn::Model;
 
     #[test]
     fn scaffold_runs_and_has_high_comm_overhead() {

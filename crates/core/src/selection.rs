@@ -21,7 +21,12 @@
 //! `ablation_similarity_measure` harness binary).
 
 use fedcross_nn::params::{cosine, euclidean};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Minimum total scalar count (`K²·d` pairwise work) before the similarity
+/// strategies fan the per-model searches out to rayon.
+const PAR_THRESHOLD_SCALARS: usize = 1 << 18;
 
 /// How the similarity between two uploaded models is measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -85,17 +90,17 @@ impl SelectionStrategy {
     ///
     /// # Panics
     /// Panics if fewer than two models are provided or `i` is out of range.
-    pub fn select(&self, round: usize, i: usize, models: &[Vec<f32>]) -> usize {
+    pub fn select<V: AsRef<[f32]>>(&self, round: usize, i: usize, models: &[V]) -> usize {
         self.select_with(round, i, models, SimilarityMeasure::Cosine)
     }
 
     /// Like [`SelectionStrategy::select`] but with an explicit similarity
     /// measure (the paper's future-work extension).
-    pub fn select_with(
+    pub fn select_with<V: AsRef<[f32]>>(
         &self,
         round: usize,
         i: usize,
-        models: &[Vec<f32>],
+        models: &[V],
         measure: SimilarityMeasure,
     ) -> usize {
         let k = models.len();
@@ -118,26 +123,41 @@ impl SelectionStrategy {
     }
 
     /// Selects the collaborative model for every uploaded model at once.
-    pub fn select_all(&self, round: usize, models: &[Vec<f32>]) -> Vec<usize> {
+    pub fn select_all<V: AsRef<[f32]> + Sync>(&self, round: usize, models: &[V]) -> Vec<usize> {
         self.select_all_with(round, models, SimilarityMeasure::Cosine)
     }
 
     /// Like [`SelectionStrategy::select_all`] with an explicit measure.
-    pub fn select_all_with(
+    ///
+    /// The similarity strategies compare all `K·(K-1)` pairs (`O(K²·d)` —
+    /// the dominant server-side cost beyond the fusion kernels), so the
+    /// per-model searches run on rayon once the pairwise work is large
+    /// enough to amortise the fork/join.
+    pub fn select_all_with<V: AsRef<[f32]> + Sync>(
         &self,
         round: usize,
-        models: &[Vec<f32>],
+        models: &[V],
         measure: SimilarityMeasure,
     ) -> Vec<usize> {
-        (0..models.len())
-            .map(|i| self.select_with(round, i, models, measure))
-            .collect()
+        let k = models.len();
+        let dim = models.first().map_or(0, |m| m.as_ref().len());
+        let uses_similarity = !matches!(self, SelectionStrategy::InOrder);
+        if uses_similarity && k.saturating_mul(k).saturating_mul(dim) >= PAR_THRESHOLD_SCALARS {
+            (0..k)
+                .into_par_iter()
+                .map(|i| self.select_with(round, i, models, measure))
+                .collect()
+        } else {
+            (0..k)
+                .map(|i| self.select_with(round, i, models, measure))
+                .collect()
+        }
     }
 
-    fn extreme_similarity(
+    fn extreme_similarity<V: AsRef<[f32]>>(
         &self,
         i: usize,
-        models: &[Vec<f32>],
+        models: &[V],
         highest: bool,
         measure: SimilarityMeasure,
     ) -> usize {
@@ -147,7 +167,7 @@ impl SelectionStrategy {
             if j == i {
                 continue;
             }
-            let sim = measure.similarity(&models[i], candidate);
+            let sim = measure.similarity(models[i].as_ref(), candidate.as_ref());
             let better = if highest { sim > best_sim } else { sim < best_sim };
             if better {
                 best_sim = sim;
@@ -168,16 +188,16 @@ impl SelectionStrategy {
 /// The full pairwise cosine-similarity matrix of the uploaded models. Used by
 /// the analysis harness to show middleware models converging towards each
 /// other over training (Section III-A).
-pub fn similarity_matrix(models: &[Vec<f32>]) -> Vec<Vec<f32>> {
+pub fn similarity_matrix<V: AsRef<[f32]>>(models: &[V]) -> Vec<Vec<f32>> {
     let k = models.len();
     let mut matrix = vec![vec![0f32; k]; k];
     for i in 0..k {
-        for j in 0..k {
-            matrix[i][j] = if i == j {
-                1.0
-            } else {
-                cosine(&models[i], &models[j])
-            };
+        // The matrix is symmetric; compute each pair once.
+        matrix[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let sim = cosine(models[i].as_ref(), models[j].as_ref());
+            matrix[i][j] = sim;
+            matrix[j][i] = sim;
         }
     }
     matrix
@@ -185,7 +205,7 @@ pub fn similarity_matrix(models: &[Vec<f32>]) -> Vec<Vec<f32>> {
 
 /// Mean pairwise cosine similarity between distinct uploaded models — a
 /// scalar view of how unified the middleware models currently are.
-pub fn mean_pairwise_similarity(models: &[Vec<f32>]) -> f32 {
+pub fn mean_pairwise_similarity<V: AsRef<[f32]>>(models: &[V]) -> f32 {
     let k = models.len();
     if k < 2 {
         return 1.0;
@@ -194,7 +214,7 @@ pub fn mean_pairwise_similarity(models: &[Vec<f32>]) -> f32 {
     let mut count = 0usize;
     for i in 0..k {
         for j in (i + 1)..k {
-            total += cosine(&models[i], &models[j]);
+            total += cosine(models[i].as_ref(), models[j].as_ref());
             count += 1;
         }
     }
@@ -310,10 +330,10 @@ mod tests {
     fn similarity_matrix_is_symmetric_with_unit_diagonal() {
         let models = toy_models();
         let m = similarity_matrix(&models);
-        for i in 0..4 {
-            assert!((m[i][i] - 1.0).abs() < 1e-6);
-            for j in 0..4 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-6);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-6);
+            for (j, &value) in row.iter().enumerate() {
+                assert!((value - m[j][i]).abs() < 1e-6);
             }
         }
         assert!(m[0][3] < -0.99);

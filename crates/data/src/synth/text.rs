@@ -153,7 +153,7 @@ pub struct SynthSentiment {
 impl SynthSentiment {
     /// Creates the corpus description.
     pub fn new(config: SentimentConfig) -> Self {
-        assert!(config.vocab >= 4 && config.vocab % 2 == 0, "vocab must be even and >= 4");
+        assert!(config.vocab >= 4 && config.vocab.is_multiple_of(2), "vocab must be even and >= 4");
         assert!((0.5..=1.0).contains(&config.signal_strength));
         Self { config }
     }
@@ -217,7 +217,7 @@ mod tests {
         assert_eq!(ds.len(), 20);
         assert_eq!(ds.sample_dims(), &[10]);
         assert_eq!(ds.num_classes(), 32);
-        assert!(ds.features().data().iter().all(|&t| t >= 0.0 && t < 32.0));
+        assert!(ds.features().data().iter().all(|&t| (0.0..32.0).contains(&t)));
         assert!(ds.labels().iter().all(|&l| l < 32));
     }
 

@@ -17,8 +17,10 @@ use serde::{Deserialize, Serialize};
 /// Decides, per round and per selected client, whether the client completes
 /// its local training and uploads an update.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum AvailabilityModel {
     /// Every selected client always responds (the paper's setting).
+    #[default]
     AlwaysOn,
     /// Each selected client independently fails with the given probability.
     RandomDropout {
@@ -34,11 +36,6 @@ pub enum AvailabilityModel {
     },
 }
 
-impl Default for AvailabilityModel {
-    fn default() -> Self {
-        AvailabilityModel::AlwaysOn
-    }
-}
 
 impl AvailabilityModel {
     /// Whether the given client responds in the given round. `rng` supplies
@@ -53,7 +50,7 @@ impl AvailabilityModel {
             }
             AvailabilityModel::PeriodicStraggler { period } => {
                 debug_assert!(period >= 2, "straggler period must be at least 2");
-                (client + round) % period.max(2) != 0
+                !(client + round).is_multiple_of(period.max(2))
             }
         }
     }

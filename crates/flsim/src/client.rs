@@ -10,6 +10,7 @@
 use fedcross_data::Dataset;
 use fedcross_nn::loss::softmax_cross_entropy;
 use fedcross_nn::optim::Sgd;
+use fedcross_nn::params::ParamBlock;
 use fedcross_nn::Model;
 use fedcross_tensor::SeededRng;
 
@@ -68,8 +69,10 @@ impl LocalTrainConfig {
 pub struct LocalUpdate {
     /// Index of the client that produced the update.
     pub client: usize,
-    /// Trained (uploaded) parameter vector.
-    pub params: Vec<f32>,
+    /// Trained (uploaded) parameter vector. A freshly trained update always
+    /// owns its buffer uniquely, so server-side aggregation can take it over
+    /// (`update.params` by move, or `make_mut` in place) without copying.
+    pub params: ParamBlock,
     /// Number of local training samples (FedAvg weighting).
     pub num_samples: usize,
     /// Mean training loss over the last local epoch.
@@ -105,7 +108,7 @@ pub fn local_train(
             let (loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
             model.backward(&grad);
             match correction {
-                Some(correct) => optimizer.step_with(model, |i, w, g| correct(i, w, g)),
+                Some(correct) => optimizer.step_with(model, correct),
                 None => optimizer.step(model),
             }
             epoch_loss += loss;
@@ -119,7 +122,7 @@ pub fn local_train(
 
     LocalUpdate {
         client,
-        params: model.params_flat(),
+        params: ParamBlock::from(model.params_flat()),
         num_samples: data.len(),
         train_loss: last_epoch_loss,
         steps,

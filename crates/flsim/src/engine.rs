@@ -15,17 +15,23 @@ use crate::comm::CommTracker;
 use crate::eval::evaluate_params;
 use crate::history::{RoundRecord, TrainingHistory};
 use fedcross_data::FederatedDataset;
+use fedcross_nn::params::ParamBlock;
 use fedcross_nn::Model;
 use fedcross_tensor::SeededRng;
 use rayon::prelude::*;
 
 /// One client-training job: dispatch `params` to `client`, optionally with a
 /// per-parameter gradient correction applied during its local SGD.
+///
+/// `params` is a [`ParamBlock`], so building a job from a server-side model
+/// is a reference-count bump rather than an `O(d)` copy — the server's models
+/// are dispatched by reference, and the client copies the parameters exactly
+/// once, into its own model instance.
 pub struct TrainJob {
     /// Target client index.
     pub client: usize,
-    /// Parameter vector dispatched to the client.
-    pub params: Vec<f32>,
+    /// Parameter vector dispatched to the client (shared, copy-on-write).
+    pub params: ParamBlock,
     /// Optional gradient correction (FedProx proximal term, SCAFFOLD control
     /// variates).
     pub correction: Option<GradCorrection>,
@@ -37,10 +43,10 @@ pub struct TrainJob {
 
 impl TrainJob {
     /// A plain job with no correction and no auxiliary payload.
-    pub fn plain(client: usize, params: Vec<f32>) -> Self {
+    pub fn plain(client: usize, params: impl Into<ParamBlock>) -> Self {
         Self {
             client,
-            params,
+            params: params.into(),
             correction: None,
             extra_download: 0,
             extra_upload: 0,
@@ -196,7 +202,14 @@ impl<'a> RoundContext<'a> {
     }
 
     /// Trains several clients (in parallel) on plain jobs.
-    pub fn local_train_batch(&mut self, jobs: &[(usize, Vec<f32>)]) -> Vec<LocalUpdate> {
+    ///
+    /// Accepts any parameter representation convertible into a [`ParamBlock`];
+    /// pass `(client, ParamBlock)` pairs (cloned blocks are reference-count
+    /// bumps) to dispatch server models without copying them.
+    pub fn local_train_batch<P>(&mut self, jobs: &[(usize, P)]) -> Vec<LocalUpdate>
+    where
+        P: Clone + Into<ParamBlock>,
+    {
         self.local_train_jobs(
             jobs.iter()
                 .map(|(client, params)| TrainJob::plain(*client, params.clone()))
@@ -453,7 +466,7 @@ mod tests {
 
     /// The minimal FedAvg used to exercise the engine from inside this crate.
     struct EngineFedAvg {
-        global: Vec<f32>,
+        global: ParamBlock,
     }
 
     impl FederatedAlgorithm for EngineFedAvg {
@@ -463,18 +476,19 @@ mod tests {
 
         fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
             let selected = ctx.select_clients();
-            let jobs: Vec<(usize, Vec<f32>)> = selected
+            // Zero-copy dispatch: each job shares the global block.
+            let jobs: Vec<(usize, ParamBlock)> = selected
                 .iter()
                 .map(|&c| (c, self.global.clone()))
                 .collect();
             let updates = ctx.local_train_batch(&jobs);
-            let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
-            self.global = average(&params);
+            let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
+            self.global = ParamBlock::from(average(&params));
             RoundReport::from_updates(&updates)
         }
 
         fn global_params(&self) -> Vec<f32> {
-            self.global.clone()
+            self.global.to_vec()
         }
     }
 
@@ -507,7 +521,7 @@ mod tests {
     fn simulation_runs_and_records_history() {
         let (data, template) = tiny_setup(0);
         let mut algo = EngineFedAvg {
-            global: template.params_flat(),
+            global: ParamBlock::from(template.params_flat()),
         };
         let config = SimulationConfig {
             rounds: 3,
@@ -532,7 +546,7 @@ mod tests {
     fn eval_every_reduces_history_length_but_keeps_last_round() {
         let (data, template) = tiny_setup(1);
         let mut algo = EngineFedAvg {
-            global: template.params_flat(),
+            global: ParamBlock::from(template.params_flat()),
         };
         let config = SimulationConfig {
             rounds: 5,
@@ -576,7 +590,7 @@ mod tests {
         let init_eval = evaluate_params(template.as_ref(), &init_params, data.test_set(), 64);
 
         let mut algo = EngineFedAvg {
-            global: init_params,
+            global: ParamBlock::from(init_params.clone()),
         };
         let config = SimulationConfig {
             rounds: 12,
@@ -607,7 +621,7 @@ mod tests {
     fn observer_sees_every_evaluation() {
         let (data, template) = tiny_setup(3);
         let mut algo = EngineFedAvg {
-            global: template.params_flat(),
+            global: ParamBlock::from(template.params_flat()),
         };
         let config = SimulationConfig {
             rounds: 4,
@@ -685,7 +699,7 @@ mod tests {
             let jobs = vec![
                 TrainJob {
                     client: 0,
-                    params: params.clone(),
+                    params: params.clone().into(),
                     correction: None,
                     extra_download: 100,
                     extra_upload: 50,
@@ -758,7 +772,7 @@ mod tests {
         use crate::availability::AvailabilityModel;
         let (data, template) = tiny_setup(10);
         let mut algo = EngineFedAvg {
-            global: template.params_flat(),
+            global: ParamBlock::from(template.params_flat()),
         };
         let config = SimulationConfig {
             rounds: 4,

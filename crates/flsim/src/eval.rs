@@ -83,8 +83,8 @@ mod tests {
             let label = i % 2;
             labels.push(label);
             let jitter = 0.05 * ((i / 2) % 5) as f32;
-            for d in 0..4 {
-                features.push(CENTERS[label][d] + jitter);
+            for &center in &CENTERS[label] {
+                features.push(center + jitter);
             }
         }
         Dataset::new(Tensor::from_vec(features, &[n, 4]), labels, 2)

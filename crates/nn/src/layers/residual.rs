@@ -195,7 +195,7 @@ mod tests {
         let mut rng = SeededRng::new(4);
         let mut block = ResidualBlock::new(2, 2, 1, &mut rng);
         let x = init::normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
-        let probe = init::normal(&[1 * 2 * 4 * 4], 0.0, 1.0, &mut rng);
+        let probe = init::normal(&[2 * 4 * 4], 0.0, 1.0, &mut rng);
 
         let loss = |block: &mut ResidualBlock, x: &Tensor| -> f32 {
             block

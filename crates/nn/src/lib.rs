@@ -52,6 +52,7 @@ pub mod params;
 pub mod sequential;
 
 pub use layer::{Layer, Param};
+pub use params::ParamBlock;
 pub use sequential::Sequential;
 
 use fedcross_tensor::Tensor;

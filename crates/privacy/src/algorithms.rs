@@ -20,7 +20,7 @@ use crate::secure_agg::{aggregate_masked, PairwiseMasker};
 use fedcross::aggregation::{cross_aggregate_all, global_model};
 use fedcross::selection::{SelectionStrategy, SimilarityMeasure};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
-use fedcross_nn::params::{add_scaled, average, difference};
+use fedcross_nn::params::{add_scaled, average, difference, ParamBlock};
 use fedcross_tensor::SeededRng;
 
 /// FedAvg with differentially-private client updates.
@@ -31,7 +31,7 @@ use fedcross_tensor::SeededRng;
 /// central) and apply the result to the global model. An [`RdpAccountant`] is
 /// advanced every round so the spent (ε, δ) can be read off at any time.
 pub struct DpFedAvg {
-    global: Vec<f32>,
+    global: ParamBlock,
     config: DpConfig,
     noise_rng: SeededRng,
     accountant: Option<RdpAccountant>,
@@ -43,7 +43,7 @@ impl DpFedAvg {
     /// selection stream so noise does not perturb the sampling).
     pub fn new(init_params: Vec<f32>, config: DpConfig, noise_seed: u64) -> Self {
         Self {
-            global: init_params,
+            global: ParamBlock::from(init_params),
             config,
             noise_rng: SeededRng::new(noise_seed),
             accountant: None,
@@ -89,11 +89,12 @@ impl FederatedAlgorithm for DpFedAvg {
         self.ensure_accountant(ctx.clients_per_round(), ctx.num_clients());
 
         let selected = ctx.select_clients();
-        let jobs: Vec<(usize, Vec<f32>)> = selected
+        let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .map(|&client| (client, self.global.clone()))
             .collect();
         let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
         if updates.is_empty() {
             return RoundReport::default();
         }
@@ -118,7 +119,7 @@ impl FederatedAlgorithm for DpFedAvg {
             deltas.len(),
             &mut self.noise_rng,
         );
-        add_scaled(&mut self.global, &aggregate, 1.0);
+        add_scaled(self.global.make_mut(), &aggregate, 1.0);
 
         if let Some(accountant) = self.accountant.as_mut() {
             accountant.step();
@@ -127,7 +128,7 @@ impl FederatedAlgorithm for DpFedAvg {
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 
@@ -164,7 +165,7 @@ impl Default for DpFedCrossConfig {
 /// exactly where DP-FedAvg privatises its client deltas.
 pub struct DpFedCross {
     config: DpFedCrossConfig,
-    middleware: Vec<Vec<f32>>,
+    middleware: Vec<ParamBlock>,
     noise_rng: SeededRng,
     accountant: Option<RdpAccountant>,
 }
@@ -178,16 +179,17 @@ impl DpFedCross {
             (0.5..1.0).contains(&config.alpha),
             "alpha must lie in [0.5, 1.0)"
         );
+        let shared = ParamBlock::from(init_params);
         Self {
             config,
-            middleware: vec![init_params; k],
+            middleware: vec![shared; k],
             noise_rng: SeededRng::new(noise_seed),
             accountant: None,
         }
     }
 
     /// The current middleware models (for analysis and tests).
-    pub fn middleware(&self) -> &[Vec<f32>] {
+    pub fn middleware(&self) -> &[ParamBlock] {
         &self.middleware
     }
 
@@ -229,12 +231,13 @@ impl FederatedAlgorithm for DpFedCross {
 
         let mut selected = ctx.select_clients();
         ctx.rng_mut().shuffle(&mut selected);
-        let jobs: Vec<(usize, Vec<f32>)> = selected
+        let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .zip(self.middleware.iter())
             .map(|(&client, model)| (client, model.clone()))
             .collect();
         let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
         if updates.is_empty() {
             return RoundReport::default();
         }
@@ -258,10 +261,11 @@ impl FederatedAlgorithm for DpFedCross {
             // K middleware models) carries the same perturbation magnitude
             // as central DP-FedAvg over K clients.
             privatize_aggregate(&mut delta, &self.config.dp, k, &mut self.noise_rng);
-            let mut reconstructed = dispatched.clone();
-            add_scaled(&mut reconstructed, &delta, 1.0);
+            // Reconstruct dispatched + delta in the delta buffer itself
+            // (addition commutes), avoiding a full-model clone per upload.
+            add_scaled(&mut delta, dispatched.as_slice(), 1.0);
             returned_slots.push(slot);
-            uploaded.push(reconstructed);
+            uploaded.push(delta);
         }
 
         if uploaded.len() >= 2 {
@@ -271,12 +275,12 @@ impl FederatedAlgorithm for DpFedCross {
                     .select_all_with(round, &uploaded, self.config.measure);
             let fused = cross_aggregate_all(&uploaded, &collaborators, self.config.alpha);
             for (&slot, params) in returned_slots.iter().zip(fused) {
-                self.middleware[slot] = params;
+                self.middleware[slot] = ParamBlock::from(params);
             }
         } else if let (Some(&slot), Some(params)) =
             (returned_slots.first(), uploaded.into_iter().next())
         {
-            self.middleware[slot] = params;
+            self.middleware[slot] = ParamBlock::from(params);
         }
 
         if let Some(accountant) = self.accountant.as_mut() {
@@ -296,7 +300,7 @@ impl FederatedAlgorithm for DpFedCross {
 /// the server averages the masked uploads and obtains exactly the plain
 /// FedAvg average without ever observing an individual client's delta.
 pub struct SecureAggFedAvg {
-    global: Vec<f32>,
+    global: ParamBlock,
     mask_scale: f32,
     mask_seed: u64,
 }
@@ -306,7 +310,7 @@ impl SecureAggFedAvg {
     /// magnitude of the pairwise masks relative to the parameters.
     pub fn new(init_params: Vec<f32>, mask_scale: f32, mask_seed: u64) -> Self {
         Self {
-            global: init_params,
+            global: ParamBlock::from(init_params),
             mask_scale,
             mask_seed,
         }
@@ -320,11 +324,12 @@ impl FederatedAlgorithm for SecureAggFedAvg {
 
     fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
         let selected = ctx.select_clients();
-        let jobs: Vec<(usize, Vec<f32>)> = selected
+        let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .map(|&client| (client, self.global.clone()))
             .collect();
         let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
         if updates.is_empty() {
             return RoundReport::default();
         }
@@ -340,12 +345,12 @@ impl FederatedAlgorithm for SecureAggFedAvg {
         // Server side: only the masked uploads are visible; their sum is exact.
         let sum = aggregate_masked(&masked);
         let scale = 1.0 / masked.len() as f32;
-        add_scaled(&mut self.global, &sum, scale);
+        add_scaled(self.global.make_mut(), &sum, scale);
         RoundReport::from_updates(&updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
-        self.global.clone()
+        self.global.to_vec()
     }
 }
 
@@ -531,7 +536,8 @@ mod tests {
                 let jobs: Vec<(usize, Vec<f32>)> =
                     selected.iter().map(|&c| (c, self.global.clone())).collect();
                 let updates = ctx.local_train_batch(&jobs);
-                let params: Vec<Vec<f32>> = updates.iter().map(|u| u.params.clone()).collect();
+                let params: Vec<&[f32]> =
+                    updates.iter().map(|u| u.params.as_slice()).collect();
                 self.global = average(&params);
                 RoundReport::from_updates(&updates)
             }

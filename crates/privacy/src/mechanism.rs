@@ -108,7 +108,7 @@ pub fn add_laplace_noise(values: &mut [f32], scale: f32, rng: &mut SeededRng) {
 ///
 /// Central-placement noise is *not* added here — the server adds it once per
 /// round to the aggregate via [`privatize_aggregate`].
-pub fn privatize_client_delta(delta: &mut Vec<f32>, config: &DpConfig, rng: &mut SeededRng) {
+pub fn privatize_client_delta(delta: &mut [f32], config: &DpConfig, rng: &mut SeededRng) {
     clip_to_norm(delta, config.clip_norm);
     if config.placement == NoisePlacement::Local {
         add_gaussian_noise(delta, config.noise_std(1), rng);

@@ -8,11 +8,21 @@
 use crate::Tensor;
 use rayon::prelude::*;
 
-/// Minimum number of output elements before matmul switches to rayon.
+/// Minimum number of multiply-accumulate operations (`m·k·n`) before a matmul
+/// variant switches to rayon.
 ///
-/// Tiny products (LSTM cells on small hidden sizes, per-sample ops) are faster
-/// single-threaded than paying the fork/join overhead.
-const PAR_THRESHOLD: usize = 16 * 1024;
+/// All three variants (`matmul`, `matmul_at_b`, `matmul_a_bt`) share this one
+/// flop-based rule, so the parallel/serial decision is consistent regardless
+/// of which operand is transposed: tiny products (LSTM cells on small hidden
+/// sizes, per-sample ops) stay single-threaded rather than paying the
+/// fork/join overhead, while gradient products with a small `m·n` output but
+/// a deep `k` reduction (batch dimension) still parallelise.
+const PAR_THRESHOLD_FLOPS: usize = 512 * 1024;
+
+#[inline]
+fn parallel_worthwhile(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= PAR_THRESHOLD_FLOPS
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
@@ -44,7 +54,7 @@ impl Tensor {
             }
         };
 
-        if m * n >= PAR_THRESHOLD {
+        if parallel_worthwhile(m, k, n) {
             out.par_chunks_mut(n)
                 .enumerate()
                 .for_each(|(i, row)| row_kernel(row, i));
@@ -59,7 +69,11 @@ impl Tensor {
     /// Computes `self^T * other` without materialising the transpose:
     /// `[k, m]^T x [k, n] -> [m, n]`.
     ///
-    /// Used by linear/conv backward passes to form weight gradients.
+    /// Used by linear/conv backward passes to form weight gradients. The `k`
+    /// dimension here is the batch/spatial reduction axis, so it is typically
+    /// much larger than the `m x n` output; above the shared flop threshold
+    /// the reduction is split into `k`-blocks reduced per thread and summed,
+    /// which parallelises even when the output itself is small.
     pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul_at_b: left operand must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_at_b: right operand must be rank-2");
@@ -69,22 +83,55 @@ impl Tensor {
 
         let a = self.data();
         let b = other.data();
-        let mut out = vec![0f32; m * n];
-        // out[i, j] = sum_p a[p, i] * b[p, j]
-        for p in 0..k {
-            let a_row = &a[p * m..(p + 1) * m];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
+
+        // out[i, j] = sum_p a[p, i] * b[p, j] over a k-range.
+        let block_kernel = |out: &mut [f32], p_range: std::ops::Range<usize>| {
+            for p in p_range {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
                 }
             }
+        };
+
+        if parallel_worthwhile(m, k, n) && k >= 2 {
+            // Block over k and reduce per block in parallel, then sum the
+            // partials in block order. The block length is a fixed function
+            // of `k` alone — never of the machine's thread count — so the
+            // f32 summation grouping (and therefore every seeded training
+            // trajectory) is bitwise identical across machines.
+            const K_BLOCK_ROWS: usize = 1024;
+            let blocks = k.div_ceil(K_BLOCK_ROWS);
+            let partials: Vec<Vec<f32>> = (0..blocks)
+                .into_par_iter()
+                .map(|block| {
+                    let start = block * K_BLOCK_ROWS;
+                    let end = ((block + 1) * K_BLOCK_ROWS).min(k);
+                    let mut partial = vec![0f32; m * n];
+                    block_kernel(&mut partial, start..end);
+                    partial
+                })
+                .collect();
+            let mut partials = partials.into_iter();
+            let mut out = partials.next().unwrap_or_else(|| vec![0f32; m * n]);
+            for partial in partials {
+                for (o, &p) in out.iter_mut().zip(&partial) {
+                    *o += p;
+                }
+            }
+            Tensor::from_vec(out, &[m, n])
+        } else {
+            let mut out = vec![0f32; m * n];
+            block_kernel(&mut out, 0..k);
+            Tensor::from_vec(out, &[m, n])
         }
-        Tensor::from_vec(out, &[m, n])
     }
 
     /// Computes `self * other^T` without materialising the transpose:
@@ -114,7 +161,7 @@ impl Tensor {
             }
         };
 
-        if m * n >= PAR_THRESHOLD {
+        if parallel_worthwhile(m, k, n) {
             out.par_chunks_mut(n)
                 .enumerate()
                 .for_each(|(i, row)| row_kernel(row, i));
@@ -236,6 +283,28 @@ mod tests {
         let fused = a.matmul_at_b(&b);
         let explicit = a.transpose().matmul(&b);
         assert!(approx_eq(fused.data(), explicit.data(), 1e-5));
+    }
+
+    #[test]
+    fn matmul_at_b_parallel_reduction_matches_explicit_transpose() {
+        // Deep k with a small m x n output: crosses the shared flop threshold
+        // (m·k·n = 16·4096·16 = 1M) so the blocked parallel reduction runs.
+        let (k, m, n) = (4096usize, 16usize, 16usize);
+        let a = Tensor::from_vec(
+            (0..k * m).map(|i| ((i % 11) as f32) * 0.25 - 1.0).collect(),
+            &[k, m],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| ((i % 7) as f32) * 0.5 - 1.5).collect(),
+            &[k, n],
+        );
+        let fused = a.matmul_at_b(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert_eq!(fused.dims(), &[m, n]);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            // The blocked reduction reassociates the k-sum; allow f32 slack.
+            assert!((x - y).abs() < 1e-2 * (1.0 + y.abs()), "{x} vs {y}");
+        }
     }
 
     #[test]

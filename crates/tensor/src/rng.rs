@@ -224,7 +224,7 @@ mod tests {
         let parent = SeededRng::new(42);
         let mut c1 = parent.fork(0);
         let mut c1_again = parent.fork(0);
-        let mut c2 = parent.fork(1);
+        let c2 = parent.fork(1);
         assert_eq!(c1.uniform().to_bits(), c1_again.uniform().to_bits());
         assert_ne!(c1.seed(), c2.seed());
     }

@@ -123,6 +123,77 @@ impl Tensor {
     }
 }
 
+/// Chunk width of the unrolled pairwise kernels below.
+///
+/// Eight independent accumulator lanes break the serial dependency chain of a
+/// naive reduction, so the compiler auto-vectorizes the loop; the same
+/// chunked-unrolled structure is used by the in-place fused kernels in
+/// `fedcross_nn::params`, keeping the whole parameter plane on one code shape.
+pub const KERNEL_LANES: usize = 8;
+
+/// Fused single pass over two slices computing `<x, y>`, `<x, x>` and
+/// `<y, y>` in `f64`, with [`KERNEL_LANES`] independent accumulator lanes.
+///
+/// This is the shared inner loop of [`cosine_similarity`] (FedCross'
+/// collaborative-model selection measure): one pass instead of three, with
+/// no serial dependency between lanes.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot_and_norms(x: &[f32], y: &[f32]) -> (f64, f64, f64) {
+    assert_eq!(x.len(), y.len(), "dot_and_norms: lengths differ");
+    let mut dot = [0f64; KERNEL_LANES];
+    let mut nx = [0f64; KERNEL_LANES];
+    let mut ny = [0f64; KERNEL_LANES];
+    let mut x_chunks = x.chunks_exact(KERNEL_LANES);
+    let mut y_chunks = y.chunks_exact(KERNEL_LANES);
+    for (xc, yc) in (&mut x_chunks).zip(&mut y_chunks) {
+        for lane in 0..KERNEL_LANES {
+            let a = xc[lane] as f64;
+            let b = yc[lane] as f64;
+            dot[lane] += a * b;
+            nx[lane] += a * a;
+            ny[lane] += b * b;
+        }
+    }
+    for (lane, (&a, &b)) in x_chunks.remainder().iter().zip(y_chunks.remainder()).enumerate() {
+        let a = a as f64;
+        let b = b as f64;
+        dot[lane] += a * b;
+        nx[lane] += a * a;
+        ny[lane] += b * b;
+    }
+    (
+        dot.iter().sum(),
+        nx.iter().sum(),
+        ny.iter().sum(),
+    )
+}
+
+/// Squared Euclidean distance between two slices, accumulated in `f64` with
+/// [`KERNEL_LANES`] independent lanes (the shared inner loop of
+/// [`euclidean_distance`] and `fedcross_nn::params::squared_distance`).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn squared_distance_slices(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "squared_distance_slices: lengths differ");
+    let mut acc = [0f64; KERNEL_LANES];
+    let mut x_chunks = x.chunks_exact(KERNEL_LANES);
+    let mut y_chunks = y.chunks_exact(KERNEL_LANES);
+    for (xc, yc) in (&mut x_chunks).zip(&mut y_chunks) {
+        for lane in 0..KERNEL_LANES {
+            let d = (xc[lane] - yc[lane]) as f64;
+            acc[lane] += d * d;
+        }
+    }
+    for (lane, (&a, &b)) in x_chunks.remainder().iter().zip(y_chunks.remainder()).enumerate() {
+        let d = (a - b) as f64;
+        acc[lane] += d * d;
+    }
+    acc.iter().sum()
+}
+
 /// Cosine similarity between two flat parameter slices.
 ///
 /// Defined as `<x, y> / (||x|| * ||y||)` and clamped to `[-1, 1]`; returns 0
@@ -130,14 +201,7 @@ impl Tensor {
 /// never produce NaNs in the selection strategies.
 pub fn cosine_similarity(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "cosine_similarity: lengths differ");
-    let mut dot = 0f64;
-    let mut nx = 0f64;
-    let mut ny = 0f64;
-    for (&a, &b) in x.iter().zip(y) {
-        dot += a as f64 * b as f64;
-        nx += a as f64 * a as f64;
-        ny += b as f64 * b as f64;
-    }
+    let (dot, nx, ny) = dot_and_norms(x, y);
     let denom = nx.sqrt() * ny.sqrt();
     if denom <= f64::MIN_POSITIVE {
         return 0.0;
@@ -153,14 +217,7 @@ pub fn cosine_similarity_tensors(x: &Tensor, y: &Tensor) -> f32 {
 /// Euclidean distance between two flat parameter slices.
 pub fn euclidean_distance(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "euclidean_distance: lengths differ");
-    x.iter()
-        .zip(y)
-        .map(|(&a, &b)| {
-            let d = (a - b) as f64;
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt() as f32
+    squared_distance_slices(x, y).sqrt() as f32
 }
 
 /// Mean of a slice of f32 values (0 for an empty slice).
@@ -275,6 +332,40 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0];
         let b = vec![4.0, 6.0, 3.0];
         assert!((euclidean_distance(&a, &b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_and_norms_matches_sequential_reference() {
+        // Lengths straddling the unroll width, including the remainder path.
+        for n in [0usize, 1, 7, 8, 9, 64, 65, 1000] {
+            let x: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) * 0.3 - 2.0).collect();
+            let y: Vec<f32> = (0..n).map(|i| ((i % 13) as f32) * -0.7 + 1.0).collect();
+            let (dot, nx, ny) = super::dot_and_norms(&x, &y);
+            let ref_dot: f64 = x.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
+            let ref_nx: f64 = x.iter().map(|&a| (a as f64) * (a as f64)).sum();
+            let ref_ny: f64 = y.iter().map(|&b| (b as f64) * (b as f64)).sum();
+            assert!((dot - ref_dot).abs() < 1e-9 * (1.0 + ref_dot.abs()));
+            assert!((nx - ref_nx).abs() < 1e-9 * (1.0 + ref_nx));
+            assert!((ny - ref_ny).abs() < 1e-9 * (1.0 + ref_ny));
+        }
+    }
+
+    #[test]
+    fn squared_distance_slices_matches_sequential_reference() {
+        for n in [1usize, 5, 8, 23, 129] {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+            let y: Vec<f32> = (0..n).map(|i| (i as f32).cos()).collect();
+            let fast = squared_distance_slices(&x, &y);
+            let slow: f64 = x
+                .iter()
+                .zip(&y)
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum();
+            assert!((fast - slow).abs() < 1e-9 * (1.0 + slow));
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn main() {
         algo.name(),
         sim_config.rounds,
         algo.global_params(),
-        algo.middleware().to_vec(),
+        algo.middleware_vecs(),
         first.history.clone(),
     );
     checkpoint.save(&checkpoint_path).expect("checkpoint saves");

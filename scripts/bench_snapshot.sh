@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Snapshot the round-pipeline criterion benches into a machine-readable JSON
+# file (default: BENCH_PR1.json at the repo root).
+#
+# The workspace's criterion shim appends one JSON line per benchmark to the
+# file named by FEDCROSS_BENCH_JSON; this script runs the `aggregation` and
+# `fl_round` benches with that hook enabled and wraps the lines into a JSON
+# document.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+lines="$(mktemp)"
+trap 'rm -f "$lines"' EXIT
+
+FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench aggregation
+FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench fl_round
+
+{
+    printf '{\n'
+    printf '  "schema": "fedcross-bench-snapshot-v1",\n'
+    printf '  "command": "scripts/bench_snapshot.sh",\n'
+    printf '  "host_cores": %s,\n' "$(nproc)"
+    printf '  "benches": [\n'
+    sed 's/^/    /' "$lines" | sed '$!s/$/,/'
+    printf '  ]\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out ($(grep -c '"bench"' "$out") benchmarks)"

@@ -1,0 +1,288 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, benchmark
+//! groups, `bench_function` / `bench_with_input` and `Bencher::iter` on top of
+//! plain `std::time::Instant` timing: a short calibration pass sizes the
+//! per-sample iteration count so each sample runs ≥ ~2 ms, then `sample_size`
+//! samples are measured and the mean / median / min are reported.
+//!
+//! When the `FEDCROSS_BENCH_JSON` environment variable names a file, one JSON
+//! line per benchmark is appended to it — the hook the repo's
+//! `scripts/bench_snapshot.sh` uses to build `BENCH_PR1.json`.
+
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly; results are recorded on the bencher.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: size the batch so one sample >= ~2 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Summary statistics of one finished benchmark.
+struct Outcome {
+    group: String,
+    bench: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn report(outcome: &Outcome) {
+    println!(
+        "{:<60} mean {:>12}  median {:>12}  min {:>12}  ({} samples x {} iters)",
+        format!("{}/{}", outcome.group, outcome.bench),
+        format_ns(outcome.mean_ns),
+        format_ns(outcome.median_ns),
+        format_ns(outcome.min_ns),
+        outcome.samples,
+        outcome.iters_per_sample,
+    );
+    if let Ok(path) = std::env::var("FEDCROSS_BENCH_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                outcome.group,
+                outcome.bench,
+                outcome.mean_ns,
+                outcome.median_ns,
+                outcome.min_ns,
+                outcome.samples,
+                outcome.iters_per_sample,
+            );
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(err) = result {
+                eprintln!("warning: could not append bench result to {path}: {err}");
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        self.record(id, &bencher);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut bencher, input);
+        self.record(id, &bencher);
+        self
+    }
+
+    fn record(&self, id: BenchmarkId, bencher: &Bencher) {
+        let mut sorted = bencher.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        if sorted.is_empty() {
+            return;
+        }
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        report(&Outcome {
+            group: self.name.clone(),
+            bench: id.label,
+            mean_ns: mean,
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            samples: sorted.len(),
+            iters_per_sample: bencher.iters_per_sample,
+        });
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.finish();
+        assert!(count > 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        let id = BenchmarkId::new("kernel", 4096);
+        assert_eq!(id.label, "kernel/4096");
+    }
+
+    #[test]
+    fn ns_formatting_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

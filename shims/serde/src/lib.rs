@@ -1,0 +1,416 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace builds without network access, so instead of the real serde
+//! it uses this minimal value-tree design: [`Serialize`] lowers a type into a
+//! JSON-shaped [`Value`], [`Deserialize`] lifts it back, and the companion
+//! `serde_derive` shim generates both impls for plain structs and enums. The
+//! `serde_json` shim prints and parses [`Value`] as standard JSON, so the
+//! on-disk artefacts (checkpoints, result dumps) look exactly like real
+//! serde_json output.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`; integers are printed without a decimal
+    /// point when exactly representable).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// One-word description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl<K: AsRef<str>> std::ops::Index<K> for Value {
+    type Output = Value;
+
+    fn index(&self, key: K) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key.as_ref()).unwrap_or(&NULL)
+    }
+}
+
+impl<K: AsRef<str>> std::ops::IndexMut<K> for Value {
+    /// Inserts `Null` under `key` if absent (mirroring `serde_json`), turning
+    /// a `Null` value into an empty object first.
+    fn index_mut(&mut self, key: K) -> &mut Value {
+        let key = key.as_ref();
+        if matches!(self, Value::Null) {
+            *self = Value::Object(Vec::new());
+        }
+        let entries = match self {
+            Value::Object(entries) => entries,
+            other => panic!("cannot index into a JSON {}", other.kind()),
+        };
+        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+            return &mut entries[pos].1;
+        }
+        entries.push((key.to_string(), Value::Null));
+        &mut entries.last_mut().expect("just pushed").1
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a type into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON-shaped value.
+    fn to_value(&self) -> Value;
+}
+
+/// Lifts a type back out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON-shaped value.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Serializes any value (including references of any depth).
+pub fn to_value<T: Serialize>(value: T) -> Value {
+    value.to_value()
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, found {}", value.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // Print-and-reparse gives the shortest decimal that round-trips the
+        // f32 exactly (e.g. 0.2 rather than 0.20000000298023224), matching
+        // what real serde_json emits for f32 values.
+        let text = format!("{self}");
+        Value::Num(text.parse::<f64>().unwrap_or(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = f64::from_value(value)?;
+                if n.fract() != 0.0 {
+                    return Err(Error::custom(format!(
+                        "expected integer, found {n}"
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", value.kind())))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::custom("expected a two-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::custom("expected a three-element array")),
+        }
+    }
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    /// In this shim every `Deserialize` type is owned, so `DeserializeOwned`
+    /// is the same trait.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// Support functions used by `serde_derive`-generated code.
+pub mod derive_support {
+    use super::{Deserialize, Error, Value};
+
+    /// Deserializes a named struct field, treating a missing key as `Null`
+    /// (so `Option` fields tolerate omission).
+    pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&0.2f32.to_value()).unwrap(), 0.2f32);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn f32_serialization_is_clean_and_exact() {
+        for &x in &[0.1f32, 0.2, 1.0 / 3.0, -7.25, 1e-20, 3.4e38] {
+            let v = x.to_value();
+            assert_eq!(f32::from_value(&v).unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![vec![1.0f32, 2.0], vec![3.0]];
+        assert_eq!(Vec::<Vec<f32>>::from_value(&v.to_value()).unwrap(), v);
+        let opt: Option<Vec<usize>> = Some(vec![1, 2, 3]);
+        assert_eq!(
+            Option::<Vec<usize>>::from_value(&opt.to_value()).unwrap(),
+            opt
+        );
+        let none: Option<Vec<usize>> = None;
+        assert_eq!(
+            Option::<Vec<usize>>::from_value(&none.to_value()).unwrap(),
+            none
+        );
+        let pair = (3usize, 0.5f32);
+        assert_eq!((<(usize, f32)>::from_value(&pair.to_value())).unwrap(), pair);
+    }
+
+    #[test]
+    fn object_indexing_inserts_like_serde_json() {
+        let mut v = Value::Object(Vec::new());
+        v["a"] = Value::Num(1.0);
+        v["b"] = Value::Str("x".into());
+        v["a"] = Value::Num(2.0);
+        assert_eq!(v["a"], Value::Num(2.0));
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn integer_deserialization_rejects_fractions() {
+        assert!(usize::from_value(&Value::Num(1.5)).is_err());
+        assert!(usize::from_value(&Value::Num(3.0)).is_ok());
+    }
+}

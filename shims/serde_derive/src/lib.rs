@@ -1,0 +1,363 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the workspace's value-tree `serde::Serialize` /
+//! `serde::Deserialize` traits for the type shapes the workspace actually
+//! declares: structs with named fields, and enums whose variants are unit,
+//! struct-like, or tuple-like. No `syn`/`quote` (offline build), so the item
+//! is parsed directly from the `proc_macro` token stream.
+//!
+//! Generated JSON shapes match real serde's defaults:
+//! * struct            -> `{"field": value, ...}`
+//! * unit variant      -> `"Variant"`
+//! * struct variant    -> `{"Variant": {"field": value, ...}}`
+//! * newtype variant   -> `{"Variant": value}`
+//! * tuple variant     -> `{"Variant": [values...]}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips leading attributes (`#[...]`, including expanded doc comments) and a
+/// visibility qualifier (`pub`, `pub(crate)`, ...), starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group is an outer attribute.
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+                    _ => break,
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Advances past a type (or any token run) up to the next comma that is not
+/// nested inside `<...>` generics or a delimiter group.
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        i = skip_attrs_and_vis(group_tokens, i);
+        let Some(TokenTree::Ident(name)) = group_tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match group_tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{}`, found {:?}", name, other),
+        }
+        i = skip_to_top_level_comma(group_tokens, i);
+        i += 1; // past the comma (or end)
+    }
+    fields
+}
+
+fn count_tuple_fields(group_tokens: &[TokenTree]) -> usize {
+    if group_tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < group_tokens.len() {
+        i = skip_attrs_and_vis(group_tokens, i);
+        if i >= group_tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_top_level_comma(group_tokens, i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(group_tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        i = skip_attrs_and_vis(group_tokens, i);
+        let Some(TokenTree::Ident(name)) = group_tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match group_tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a possible discriminant and advance past the separating comma.
+        i = skip_to_top_level_comma(group_tokens, i);
+        i += 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {:?}", other),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {:?}", other),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim does not support generic type `{name}`");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        other => panic!(
+            "serde_derive shim supports only brace-bodied {kind}s; `{name}` has {:?}",
+            other
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("cannot derive serde impls for `{other}`"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Fields::Named(fields) => {
+                            let bindings = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push(({f:?}.to_string(), ::serde::Serialize::to_value({f})));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => {{\n\
+                                     let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                     {pushes}\n\
+                                     ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(inner))])\n\
+                                 }},"
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(value) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(value))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let bindings: Vec<String> =
+                                (0..*n).map(|i| format!("value{i}")).collect();
+                            let joined = bindings.join(", ");
+                            let pushes: String = bindings
+                                .iter()
+                                .map(|b| format!("items.push(::serde::Serialize::to_value({b}));"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({joined}) => {{\n\
+                                     let mut items: Vec<::serde::Value> = Vec::new();\n\
+                                     {pushes}\n\
+                                     ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(items))])\n\
+                                 }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::derive_support::field(entries, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let entries = value.as_object().ok_or_else(|| ::serde::Error::custom(\n\
+                             format!(\"{name}: expected object, found {{}}\", value.kind())))?;\n\
+                         Ok({name} {{ {field_inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Named(fields) => {
+                            let field_inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::derive_support::field(inner_entries, {f:?})?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "if let Some(inner) = value.get({vname:?}) {{\n\
+                                     let inner_entries = inner.as_object().ok_or_else(|| ::serde::Error::custom(\n\
+                                         format!(\"{name}::{vname}: expected object, found {{}}\", inner.kind())))?;\n\
+                                     return Ok({name}::{vname} {{ {field_inits} }});\n\
+                                 }}"
+                            ))
+                        }
+                        Fields::Tuple(1) => Some(format!(
+                            "if let Some(inner) = value.get({vname:?}) {{\n\
+                                 return Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?));\n\
+                             }}"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems: String = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?,")
+                                })
+                                .collect();
+                            Some(format!(
+                                "if let Some(inner) = value.get({vname:?}) {{\n\
+                                     let items = inner.as_array().ok_or_else(|| ::serde::Error::custom(\n\
+                                         \"{name}::{vname}: expected array\"))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return Err(::serde::Error::custom(\"{name}::{vname}: wrong arity\"));\n\
+                                     }}\n\
+                                     return Ok({name}::{vname}({elems}));\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let Some(tag) = value.as_str() {{\n\
+                             match tag {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         {data_arms}\n\
+                         Err(::serde::Error::custom(format!(\n\
+                             \"{name}: unrecognised value of kind {{}}\", value.kind())))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -145,7 +145,7 @@ fn fedcross_checkpoint_resume_preserves_training_progress() {
         algo.name(),
         8,
         algo.global_params(),
-        algo.middleware().to_vec(),
+        algo.middleware_vecs(),
         first.history.clone(),
     )
     .save(&path)
