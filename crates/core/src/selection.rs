@@ -21,6 +21,7 @@
 //! `ablation_similarity_measure` harness binary).
 
 use fedcross_nn::params::{cosine, euclidean};
+use fedcross_tensor::stats::{cosine_from_parts, dot_f64, norm_sq};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -103,23 +104,7 @@ impl SelectionStrategy {
         models: &[V],
         measure: SimilarityMeasure,
     ) -> usize {
-        let k = models.len();
-        assert!(k >= 2, "collaborative selection needs at least two models");
-        assert!(i < k, "model index {i} out of range for {k} models");
-        match self {
-            SelectionStrategy::InOrder => {
-                // The paper's schedule: offset cycles through 1..K-1 so that in
-                // every window of K-1 rounds each model meets every other model.
-                let offset = round % (k - 1) + 1;
-                (i + offset) % k
-            }
-            SelectionStrategy::HighestSimilarity => {
-                self.extreme_similarity(i, models, true, measure)
-            }
-            SelectionStrategy::LowestSimilarity => {
-                self.extreme_similarity(i, models, false, measure)
-            }
-        }
+        self.select_cached(round, i, models, measure, None)
     }
 
     /// Selects the collaborative model for every uploaded model at once.
@@ -132,7 +117,12 @@ impl SelectionStrategy {
     /// The similarity strategies compare all `K·(K-1)` pairs (`O(K²·d)` —
     /// the dominant server-side cost beyond the fusion kernels), so the
     /// per-model searches run on rayon once the pairwise work is large
-    /// enough to amortise the fork/join.
+    /// enough to amortise the fork/join. Under the cosine measure each
+    /// model's L2 norm is computed **once** up front instead of `K-1` times
+    /// inside the pairwise loop (the fused pass recomputed both operands'
+    /// norms per pair), leaving one dot product per pair — the combined
+    /// similarities are bitwise identical to the fused pass, so selection
+    /// decisions (and training trajectories) are unchanged.
     pub fn select_all_with<V: AsRef<[f32]> + Sync>(
         &self,
         round: usize,
@@ -142,15 +132,48 @@ impl SelectionStrategy {
         let k = models.len();
         let dim = models.first().map_or(0, |m| m.as_ref().len());
         let uses_similarity = !matches!(self, SelectionStrategy::InOrder);
+        let norms: Option<Vec<f64>> = if uses_similarity && measure == SimilarityMeasure::Cosine {
+            Some(models.iter().map(|m| norm_sq(m.as_ref())).collect())
+        } else {
+            None
+        };
+        let norms = norms.as_deref();
         if uses_similarity && k.saturating_mul(k).saturating_mul(dim) >= PAR_THRESHOLD_SCALARS {
             (0..k)
                 .into_par_iter()
-                .map(|i| self.select_with(round, i, models, measure))
+                .map(|i| self.select_cached(round, i, models, measure, norms))
                 .collect()
         } else {
             (0..k)
-                .map(|i| self.select_with(round, i, models, measure))
+                .map(|i| self.select_cached(round, i, models, measure, norms))
                 .collect()
+        }
+    }
+
+    fn select_cached<V: AsRef<[f32]>>(
+        &self,
+        round: usize,
+        i: usize,
+        models: &[V],
+        measure: SimilarityMeasure,
+        norms: Option<&[f64]>,
+    ) -> usize {
+        let k = models.len();
+        assert!(k >= 2, "collaborative selection needs at least two models");
+        assert!(i < k, "model index {i} out of range for {k} models");
+        match self {
+            SelectionStrategy::InOrder => {
+                // The paper's schedule: offset cycles through 1..K-1 so that in
+                // every window of K-1 rounds each model meets every other model.
+                let offset = round % (k - 1) + 1;
+                (i + offset) % k
+            }
+            SelectionStrategy::HighestSimilarity => {
+                self.extreme_similarity(i, models, true, measure, norms)
+            }
+            SelectionStrategy::LowestSimilarity => {
+                self.extreme_similarity(i, models, false, measure, norms)
+            }
         }
     }
 
@@ -160,6 +183,7 @@ impl SelectionStrategy {
         models: &[V],
         highest: bool,
         measure: SimilarityMeasure,
+        norms: Option<&[f64]>,
     ) -> usize {
         let mut best_idx = usize::MAX;
         let mut best_sim = if highest { f32::NEG_INFINITY } else { f32::INFINITY };
@@ -167,7 +191,16 @@ impl SelectionStrategy {
             if j == i {
                 continue;
             }
-            let sim = measure.similarity(models[i].as_ref(), candidate.as_ref());
+            let sim = match norms {
+                // Cached cosine path: one dot product per pair, norms
+                // precomputed once per model.
+                Some(norms) => cosine_from_parts(
+                    dot_f64(models[i].as_ref(), candidate.as_ref()),
+                    norms[i],
+                    norms[j],
+                ),
+                None => measure.similarity(models[i].as_ref(), candidate.as_ref()),
+            };
             let better = if highest { sim > best_sim } else { sim < best_sim };
             if better {
                 best_sim = sim;
@@ -389,6 +422,36 @@ mod tests {
                 SelectionStrategy::InOrder.select_with(2, i, &models, SimilarityMeasure::Cosine),
                 SelectionStrategy::InOrder.select_with(2, i, &models, SimilarityMeasure::Euclidean)
             );
+        }
+    }
+
+    #[test]
+    fn cached_norm_selection_matches_per_pair_selection() {
+        // select_all_with (norms computed once per model) must agree with
+        // select_with (fused per-pair pass) on every model — the cached
+        // cosine is bitwise identical, so the argmin/argmax cannot move.
+        let mut models = Vec::new();
+        for m in 0..9 {
+            models.push(
+                (0..257)
+                    .map(|i| ((i * (m + 3) % 23) as f32) * 0.37 - 3.5)
+                    .collect::<Vec<f32>>(),
+            );
+        }
+        for strategy in [
+            SelectionStrategy::HighestSimilarity,
+            SelectionStrategy::LowestSimilarity,
+        ] {
+            for round in 0..3 {
+                let all = strategy.select_all_with(round, &models, SimilarityMeasure::Cosine);
+                for (i, &chosen) in all.iter().enumerate() {
+                    assert_eq!(
+                        chosen,
+                        strategy.select_with(round, i, &models, SimilarityMeasure::Cosine),
+                        "strategy {strategy}, model {i}"
+                    );
+                }
+            }
         }
     }
 

@@ -22,6 +22,17 @@ impl Batch {
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }
+
+    /// An empty batch intended as a reusable gather buffer: filling it with
+    /// [`Dataset::gather_batch`] grows its buffers once and then reuses them
+    /// for every subsequent batch and epoch (zero steady-state allocations in
+    /// the training loop).
+    pub fn reusable() -> Self {
+        Self {
+            features: Tensor::zeros(&[0]),
+            labels: Vec::new(),
+        }
+    }
 }
 
 /// A labelled dataset stored as one dense feature tensor plus a label vector.
@@ -165,14 +176,8 @@ impl Dataset {
     /// evaluation); with an RNG the order is reshuffled every call (training).
     pub fn minibatches(&self, batch_size: usize, rng: Option<&mut SeededRng>) -> Vec<Batch> {
         assert!(batch_size > 0, "batch size must be positive");
-        let n = self.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let mut order: Vec<usize> = (0..n).collect();
-        if let Some(rng) = rng {
-            rng.shuffle(&mut order);
-        }
+        let mut order = Vec::new();
+        self.epoch_order(rng, &mut order);
         order
             .chunks(batch_size)
             .map(|chunk| Batch {
@@ -180,6 +185,30 @@ impl Dataset {
                 labels: chunk.iter().map(|&i| self.labels[i]).collect(),
             })
             .collect()
+    }
+
+    /// Fills `order` with one epoch's sample order (shuffled when an RNG is
+    /// given), reusing the vector's capacity. Consumes the RNG exactly like
+    /// [`Dataset::minibatches`], so chunking the order and gathering with
+    /// [`Dataset::gather_batch`] reproduces the same batches without the
+    /// per-epoch allocation storm.
+    pub fn epoch_order(&self, rng: Option<&mut SeededRng>, order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(0..self.len());
+        if !order.is_empty() {
+            if let Some(rng) = rng {
+                rng.shuffle(order);
+            }
+        }
+    }
+
+    /// Gathers the samples at `indices` into `batch`, reusing its feature and
+    /// label buffers (see [`Batch::reusable`]). Produces exactly the batch
+    /// [`Dataset::minibatches`] would build for the same index chunk.
+    pub fn gather_batch(&self, indices: &[usize], batch: &mut Batch) {
+        self.features.index_select0_into(indices, &mut batch.features);
+        batch.labels.clear();
+        batch.labels.extend(indices.iter().map(|&i| self.labels[i]));
     }
 }
 

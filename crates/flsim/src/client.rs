@@ -7,12 +7,12 @@
 //! (FedProx's proximal term, SCAFFOLD's control variates), which is injected
 //! here as a [`GradCorrection`] closure.
 
-use fedcross_data::Dataset;
-use fedcross_nn::loss::softmax_cross_entropy;
+use fedcross_data::{Batch, Dataset};
+use fedcross_nn::loss::softmax_cross_entropy_into;
 use fedcross_nn::optim::Sgd;
 use fedcross_nn::params::ParamBlock;
 use fedcross_nn::Model;
-use fedcross_tensor::SeededRng;
+use fedcross_tensor::{SeededRng, TensorPool};
 
 /// A per-parameter gradient correction applied during local SGD.
 ///
@@ -95,18 +95,31 @@ pub fn local_train(
     correction: Option<&GradCorrection>,
 ) -> LocalUpdate {
     assert!(config.epochs > 0, "at least one local epoch is required");
+    assert!(config.batch_size > 0, "batch size must be positive");
     let mut optimizer = Sgd::new(config.lr, config.momentum, config.weight_decay);
     let mut steps = 0usize;
     let mut last_epoch_loss = 0f32;
 
+    // All transient training state — activations, gradients, the minibatch
+    // gather buffers and the epoch order — is checked out once and reused
+    // across every step and epoch: after the first step the loop performs
+    // zero allocations (pinned by tests/tests/training_plane.rs).
+    let mut pool = TensorPool::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut batch = Batch::reusable();
+
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0f32;
         let mut epoch_batches = 0usize;
-        for batch in data.minibatches(config.batch_size, Some(rng)) {
+        data.epoch_order(Some(rng), &mut order);
+        for chunk in order.chunks(config.batch_size) {
+            data.gather_batch(chunk, &mut batch);
             model.zero_grads();
-            let logits = model.forward(&batch.features, true);
-            let (loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
-            model.backward(&grad);
+            let logits = model.forward_into(&batch.features, true, &mut pool);
+            let (loss, grad) = softmax_cross_entropy_into(&logits, &batch.labels, &mut pool);
+            pool.recycle(logits);
+            model.backward_into(&grad, &mut pool);
+            pool.recycle(grad);
             match correction {
                 Some(correct) => optimizer.step_with(model, correct),
                 None => optimizer.step(model),

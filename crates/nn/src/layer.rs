@@ -1,6 +1,6 @@
 //! The [`Layer`] trait and the [`Param`] (value + gradient) pair.
 
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 /// A trainable parameter: its current value and the gradient accumulated by
 /// the most recent backward pass(es).
@@ -44,17 +44,66 @@ pub trait Layer: Send {
     /// accumulating parameter gradients internally.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
 
+    /// Pooled forward pass: like [`Layer::forward`], but every transient
+    /// buffer (the returned activation, internal caches, scratch matrices) is
+    /// checked out of `pool` and previous caches are recycled into it, so a
+    /// steady-state training loop performs zero full-activation allocations.
+    ///
+    /// Must be **bitwise identical** to [`Layer::forward`] (enforced by the
+    /// training-plane equivalence tests). The default implementation falls
+    /// back to the allocating form, so external layers keep working without
+    /// changes — they just don't benefit from the arena.
+    fn forward_into(&mut self, input: &Tensor, train: bool, pool: &mut TensorPool) -> Tensor {
+        let _ = pool;
+        self.forward(input, train)
+    }
+
+    /// Pooled backward pass; see [`Layer::forward_into`]. The returned
+    /// gradient is pool-owned and should be recycled by the caller once
+    /// consumed.
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let _ = pool;
+        self.backward(grad_output)
+    }
+
+    /// Pooled backward pass for a chain's **first** layer: parameter
+    /// gradients are accumulated exactly as in [`Layer::backward_into`], but
+    /// the caller never reads `dL/d(input)`, so layers whose input gradient
+    /// is expensive (matmul + col2im for convolutions, a matmul for linear)
+    /// override this to skip computing it entirely. Parameter gradients —
+    /// the only observable output — are bit-for-bit those of the full
+    /// backward pass.
+    fn backward_into_discard(&mut self, grad_output: &Tensor, pool: &mut TensorPool) {
+        let grad = self.backward_into(grad_output, pool);
+        pool.recycle(grad);
+    }
+
     /// Immutable access to this layer's parameters (possibly empty).
     fn params(&self) -> Vec<&Param>;
 
     /// Mutable access to this layer's parameters (possibly empty).
     fn params_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Calls `f` on each parameter in [`Layer::params`] order without
+    /// building a `Vec` — the allocation-free form the per-step optimizer
+    /// path uses. The default delegates to [`Layer::params`]; layers override
+    /// it to visit their fields directly.
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
+    /// Mutable form of [`Layer::visit_params`].
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Resets all parameter gradients to zero.
     fn zero_grads(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.visit_params_mut(&mut |p| p.zero_grad());
     }
 
     /// Short layer name for debugging / summaries.
@@ -62,7 +111,9 @@ pub trait Layer: Send {
 
     /// Total number of scalar parameters in the layer.
     fn param_count(&self) -> usize {
-        self.params().iter().map(|p| p.numel()).sum()
+        let mut total = 0;
+        self.visit_params(&mut |p| total += p.numel());
+        total
     }
 
     /// Clones the layer behind a box (parameters, buffers and caches).

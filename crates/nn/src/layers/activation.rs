@@ -1,7 +1,7 @@
 //! Parameter-free activation layers.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 /// Rectified linear unit layer.
 #[derive(Debug, Clone, Default)]
@@ -25,6 +25,25 @@ impl Layer for Relu {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward called before forward");
         grad_output.mul(mask)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        if let Some(old) = self.mask.take() {
+            pool.recycle(old);
+        }
+        let mut mask = pool.take_uninit(input.dims());
+        input.relu_mask_into(&mut mask);
+        self.mask = Some(mask);
+        let mut out = pool.take_uninit(input.dims());
+        input.relu_into(&mut out);
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward called before forward");
+        let mut out = pool.take_uninit(grad_output.dims());
+        grad_output.zip_map_into(mask, &mut out, |a, b| a * b);
+        out
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -70,6 +89,24 @@ impl Layer for Tanh {
         grad_output.zip_map(out, |g, y| g * (1.0 - y * y))
     }
 
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        if let Some(old) = self.output.take() {
+            pool.recycle(old);
+        }
+        let mut cached = pool.take_uninit(input.dims());
+        input.map_into(&mut cached, f32::tanh);
+        let out = pool.take_copy(&cached);
+        self.output = Some(cached);
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let out = self.output.as_ref().expect("backward called before forward");
+        let mut grad = pool.take_uninit(grad_output.dims());
+        grad_output.zip_map_into(out, &mut grad, |g, y| g * (1.0 - y * y));
+        grad
+    }
+
     fn params(&self) -> Vec<&Param> {
         Vec::new()
     }
@@ -111,6 +148,24 @@ impl Layer for Sigmoid {
         let out = self.output.as_ref().expect("backward called before forward");
         // dσ(x)/dx = σ(x)(1 - σ(x))
         grad_output.zip_map(out, |g, y| g * y * (1.0 - y))
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        if let Some(old) = self.output.take() {
+            pool.recycle(old);
+        }
+        let mut cached = pool.take_uninit(input.dims());
+        input.sigmoid_into(&mut cached);
+        let out = pool.take_copy(&cached);
+        self.output = Some(cached);
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let out = self.output.as_ref().expect("backward called before forward");
+        let mut grad = pool.take_uninit(grad_output.dims());
+        grad_output.zip_map_into(out, &mut grad, |g, y| g * y * (1.0 - y));
+        grad
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -1,7 +1,7 @@
 //! 2-D batch normalisation.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 const EPS: f32 = 1e-5;
 
@@ -69,17 +69,25 @@ impl BatchNorm2d {
         let var = ((sum_sq / m as f64) - (sum / m as f64).powi(2)).max(0.0) as f32;
         (mean, var)
     }
-}
 
-impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.rank(), 4, "BatchNorm2d expects [N, C, H, W] input");
-        assert_eq!(input.dims()[1], self.channels, "channel count mismatch");
+    /// Computes the per-channel statistics (updating the running buffers in
+    /// train mode) and fills `xhat` / `out`; the one forward body shared by
+    /// the allocating and pooled forms.
+    fn forward_impl(
+        &mut self,
+        input: &Tensor,
+        train: bool,
+        means: &mut Vec<f32>,
+        vars: &mut Vec<f32>,
+        xhat: &mut Tensor,
+        out: &mut Tensor,
+    ) {
         let dims = input.dims();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-
-        let mut means = vec![0f32; c];
-        let mut vars = vec![0f32; c];
+        means.clear();
+        means.resize(c, 0.0);
+        vars.clear();
+        vars.resize(c, 0.0);
         if train {
             for ci in 0..c {
                 let (mean, var) = Self::channel_stats(input, ci);
@@ -96,36 +104,31 @@ impl Layer for BatchNorm2d {
             vars.copy_from_slice(self.running_var.value.data());
         }
 
-        let mut xhat = Tensor::zeros_like(input);
-        let mut out = Tensor::zeros_like(input);
-        {
-            let xd = input.data();
-            let xh = xhat.data_mut();
-            let od = out.data_mut();
-            for ni in 0..n {
-                for ci in 0..c {
-                    let inv_std = 1.0 / (vars[ci] + EPS).sqrt();
-                    let g = self.gamma.value.data()[ci];
-                    let b = self.beta.value.data()[ci];
-                    let start = ((ni * c + ci) * h) * w;
-                    for i in start..start + h * w {
-                        let normalised = (xd[i] - means[ci]) * inv_std;
-                        xh[i] = normalised;
-                        od[i] = g * normalised + b;
-                    }
+        assert_eq!(xhat.numel(), input.numel(), "wrong xhat buffer size");
+        assert_eq!(out.numel(), input.numel(), "wrong output buffer size");
+        xhat.reshape_in_place(dims);
+        out.reshape_in_place(dims);
+        let xd = input.data();
+        let xh = xhat.data_mut();
+        let od = out.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let inv_std = 1.0 / (vars[ci] + EPS).sqrt();
+                let g = self.gamma.value.data()[ci];
+                let b = self.beta.value.data()[ci];
+                let start = ((ni * c + ci) * h) * w;
+                for i in start..start + h * w {
+                    let normalised = (xd[i] - means[ci]) * inv_std;
+                    xh[i] = normalised;
+                    od[i] = g * normalised + b;
                 }
             }
         }
-
-        self.cached_input = Some(input.clone());
-        self.cached_mean = means;
-        self.cached_var = vars;
-        self.cached_xhat = Some(xhat);
-        self.used_batch_stats = train;
-        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    /// The one backward body shared by the allocating and pooled forms;
+    /// `grad_input` is fully overwritten.
+    fn backward_impl(&mut self, grad_output: &Tensor, grad_input: &mut Tensor) {
         let input = self
             .cached_input
             .as_ref()
@@ -135,7 +138,8 @@ impl Layer for BatchNorm2d {
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let m = (n * h * w) as f32;
 
-        let mut grad_input = Tensor::zeros_like(input);
+        assert_eq!(grad_input.numel(), input.numel(), "wrong grad buffer size");
+        grad_input.reshape_in_place(&[n, c, h, w]);
         let gi = grad_input.data_mut();
         let dy = grad_output.data();
         let xh = xhat.data();
@@ -176,6 +180,69 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects [N, C, H, W] input");
+        assert_eq!(input.dims()[1], self.channels, "channel count mismatch");
+        let mut means = Vec::new();
+        let mut vars = Vec::new();
+        let mut xhat = Tensor::zeros_like(input);
+        let mut out = Tensor::zeros_like(input);
+        self.forward_impl(input, train, &mut means, &mut vars, &mut xhat, &mut out);
+        self.cached_input = Some(input.clone());
+        self.cached_mean = means;
+        self.cached_var = vars;
+        self.cached_xhat = Some(xhat);
+        self.used_batch_stats = train;
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut grad_input = Tensor::zeros_like(
+            self.cached_input
+                .as_ref()
+                .expect("backward called before forward"),
+        );
+        self.backward_impl(grad_output, &mut grad_input);
+        grad_input
+    }
+
+    fn forward_into(&mut self, input: &Tensor, train: bool, pool: &mut TensorPool) -> Tensor {
+        assert_eq!(input.rank(), 4, "BatchNorm2d expects [N, C, H, W] input");
+        assert_eq!(input.dims()[1], self.channels, "channel count mismatch");
+        if let Some(old) = self.cached_input.take() {
+            pool.recycle(old);
+        }
+        if let Some(old) = self.cached_xhat.take() {
+            pool.recycle(old);
+        }
+        // Reuse the per-channel stat vectors' capacity across steps.
+        let mut means = std::mem::take(&mut self.cached_mean);
+        let mut vars = std::mem::take(&mut self.cached_var);
+        let mut xhat = pool.take_uninit(input.dims());
+        let mut out = pool.take_uninit(input.dims());
+        self.forward_impl(input, train, &mut means, &mut vars, &mut xhat, &mut out);
+        self.cached_input = Some(pool.take_copy(input));
+        self.cached_mean = means;
+        self.cached_var = vars;
+        self.cached_xhat = Some(xhat);
+        self.used_batch_stats = train;
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let mut grad_input = {
+            let input = self
+                .cached_input
+                .as_ref()
+                .expect("backward called before forward");
+            let d = input.dims();
+            pool.take_uninit(&[d[0], d[1], d[2], d[3]])
+        };
+        self.backward_impl(grad_output, &mut grad_input);
         grad_input
     }
 
@@ -190,6 +257,20 @@ impl Layer for BatchNorm2d {
             &mut self.running_mean,
             &mut self.running_var,
         ]
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+        f(&self.running_mean);
+        f(&self.running_var);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 //! Inverted dropout layer.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::{SeededRng, Tensor};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 /// Inverted dropout: during training each activation is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation is a
@@ -57,6 +57,36 @@ impl Layer for Dropout {
         match &self.mask {
             Some(mask) => grad_output.mul(mask),
             None => grad_output.clone(),
+        }
+    }
+
+    fn forward_into(&mut self, input: &Tensor, train: bool, pool: &mut TensorPool) -> Tensor {
+        if let Some(old) = self.mask.take() {
+            pool.recycle(old);
+        }
+        if !train || self.p == 0.0 {
+            return pool.take_copy(input);
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = pool.take_uninit(input.dims());
+        for m in mask.data_mut() {
+            *m = if self.rng.uniform() < keep { scale } else { 0.0 };
+        }
+        let mut out = pool.take_uninit(input.dims());
+        input.zip_map_into(&mask, &mut out, |a, b| a * b);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        match &self.mask {
+            Some(mask) => {
+                let mut out = pool.take_uninit(grad_output.dims());
+                grad_output.zip_map_into(mask, &mut out, |a, b| a * b);
+                out
+            }
+            None => pool.take_copy(grad_output),
         }
     }
 

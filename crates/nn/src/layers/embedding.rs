@@ -1,7 +1,7 @@
 //! Token embedding layer for the text models (Shakespeare / Sent140 LSTMs).
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::{init, SeededRng, Tensor};
+use fedcross_tensor::{init, SeededRng, Tensor, TensorPool};
 
 /// Maps integer token ids to dense vectors.
 ///
@@ -89,12 +89,91 @@ impl Layer for Embedding {
         Tensor::zeros(&[self.cached_batch, self.cached_steps])
     }
 
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        assert_eq!(input.rank(), 2, "Embedding expects [N, T] token ids");
+        let (n, t) = (input.dims()[0], input.dims()[1]);
+        // Reuse the id vector's capacity across steps.
+        let mut ids = self.cached_ids.take().unwrap_or_default();
+        ids.clear();
+        ids.reserve(n * t);
+        let mut out = pool.take_uninit(&[n, t, self.dim]);
+        let od = out.data_mut();
+        for (pos, &raw) in input.data().iter().enumerate() {
+            let id = raw.round() as usize;
+            assert!(
+                id < self.vocab,
+                "token id {id} out of range for vocab {}",
+                self.vocab
+            );
+            ids.push(id);
+            let src = &self.weight.value.data()[id * self.dim..(id + 1) * self.dim];
+            od[pos * self.dim..(pos + 1) * self.dim].copy_from_slice(src);
+        }
+        self.cached_ids = Some(ids);
+        self.cached_batch = n;
+        self.cached_steps = t;
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let ids = self
+            .cached_ids
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(
+            grad_output.dims(),
+            &[self.cached_batch, self.cached_steps, self.dim],
+            "grad shape mismatch"
+        );
+        let gw = self.weight.grad.data_mut();
+        for (pos, &id) in ids.iter().enumerate() {
+            let grad_row = &grad_output.data()[pos * self.dim..(pos + 1) * self.dim];
+            let dst = &mut gw[id * self.dim..(id + 1) * self.dim];
+            for (d, &g) in dst.iter_mut().zip(grad_row) {
+                *d += g;
+            }
+        }
+        // Token ids are not differentiable; return a zero gradient of the input shape.
+        pool.take_zeroed(&[self.cached_batch, self.cached_steps])
+    }
+
+    fn backward_into_discard(&mut self, grad_output: &Tensor, pool: &mut TensorPool) {
+        // First-layer form: skip materialising the all-zero token-id
+        // gradient; only the embedding-table gradient matters.
+        let _ = pool;
+        let ids = self
+            .cached_ids
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(
+            grad_output.dims(),
+            &[self.cached_batch, self.cached_steps, self.dim],
+            "grad shape mismatch"
+        );
+        let gw = self.weight.grad.data_mut();
+        for (pos, &id) in ids.iter().enumerate() {
+            let grad_row = &grad_output.data()[pos * self.dim..(pos + 1) * self.dim];
+            let dst = &mut gw[id * self.dim..(id + 1) * self.dim];
+            for (d, &g) in dst.iter_mut().zip(grad_row) {
+                *d += g;
+            }
+        }
+    }
+
     fn params(&self) -> Vec<&Param> {
         vec![&self.weight]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight]
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
     }
 
     fn name(&self) -> &'static str {

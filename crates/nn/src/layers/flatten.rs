@@ -1,7 +1,7 @@
 //! Flatten layer: collapses all non-batch dimensions.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 /// Flattens `[N, d1, d2, ...]` into `[N, d1*d2*...]`.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +31,32 @@ impl Layer for Flatten {
             .as_ref()
             .expect("backward called before forward");
         grad_output.reshape(dims)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        assert!(input.rank() >= 1, "Flatten requires rank >= 1 input");
+        match &mut self.input_dims {
+            Some(cached) => {
+                cached.clear();
+                cached.extend_from_slice(input.dims());
+            }
+            None => self.input_dims = Some(input.dims().to_vec()),
+        }
+        let batch = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        let mut out = pool.take_copy(input);
+        out.reshape_in_place(&[batch, rest]);
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
+        let mut out = pool.take_copy(grad_output);
+        out.reshape_in_place(dims);
+        out
     }
 
     fn params(&self) -> Vec<&Param> {

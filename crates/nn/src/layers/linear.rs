@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::{init, SeededRng, Tensor};
+use fedcross_tensor::{init, SeededRng, Tensor, TensorPool};
 
 /// A fully-connected layer computing `y = x W + b`.
 ///
@@ -41,6 +41,31 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// Accumulates dW and db from `grad_output` (shared by the pooled
+    /// backward forms; bitwise identical to the allocating backward).
+    fn accumulate_param_grads(&mut self, grad_output: &Tensor, pool: &mut TensorPool) {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = x^T · dY
+        let mut grad_w = pool.take_uninit(&[self.in_features, self.out_features]);
+        input.matmul_at_b_into(grad_output, &mut grad_w);
+        self.weight.grad.add_assign(&grad_w);
+        pool.recycle(grad_w);
+        // db = column sums of dY, accumulated into a zeroed scratch first so
+        // the summation order matches the allocating form exactly.
+        let cols = grad_output.dims()[1];
+        let mut grad_b = pool.take_zeroed(&[cols]);
+        for row in grad_output.data().chunks(cols) {
+            for (g, &v) in grad_b.data_mut().iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        self.bias.grad.add_assign(&grad_b);
+        pool.recycle(grad_b);
+    }
 }
 
 impl Layer for Linear {
@@ -76,12 +101,55 @@ impl Layer for Linear {
         grad_output.matmul_a_bt(&self.weight.value)
     }
 
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        assert_eq!(input.rank(), 2, "Linear expects [batch, features] input");
+        assert_eq!(
+            input.dims()[1],
+            self.in_features,
+            "Linear input feature mismatch"
+        );
+        if let Some(old) = self.cached_input.take() {
+            pool.recycle(old);
+        }
+        self.cached_input = Some(pool.take_copy(input));
+        let batch = input.dims()[0];
+        let mut out = pool.take_uninit(&[batch, self.out_features]);
+        input.matmul_into(&self.weight.value, &mut out);
+        out.add_row_broadcast_assign(&self.bias.value);
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        self.accumulate_param_grads(grad_output, pool);
+        // dX = dY · W^T
+        let batch = grad_output.dims()[0];
+        let mut grad_in = pool.take_uninit(&[batch, self.in_features]);
+        grad_output.matmul_a_bt_into(&self.weight.value, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into_discard(&mut self, grad_output: &Tensor, pool: &mut TensorPool) {
+        self.accumulate_param_grads(grad_output, pool);
+        // dX = dY · W^T is skipped: a first layer's input gradient is never
+        // consumed.
+    }
+
     fn params(&self) -> Vec<&Param> {
         vec![&self.weight, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn name(&self) -> &'static str {

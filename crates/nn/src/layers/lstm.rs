@@ -4,7 +4,7 @@
 //! Sent140 sentiment classifiers used in the paper's Table II.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::{init, SeededRng, Tensor};
+use fedcross_tensor::{init, SeededRng, Tensor, TensorPool};
 
 /// Per-timestep quantities cached during the forward pass for BPTT.
 #[derive(Debug, Clone)]
@@ -88,13 +88,59 @@ impl Lstm {
     /// Extracts timestep `t` from a `[N, T, D]` tensor as `[N, D]`.
     fn timestep(input: &Tensor, t: usize) -> Tensor {
         let dims = input.dims();
+        let (n, d) = (dims[0], dims[2]);
+        let mut out = Tensor::zeros(&[n, d]);
+        Self::timestep_fill(input, t, &mut out);
+        out
+    }
+
+    fn timestep_fill(input: &Tensor, t: usize, out: &mut Tensor) {
+        let dims = input.dims();
         let (n, steps, d) = (dims[0], dims[1], dims[2]);
-        let mut out = vec![0f32; n * d];
+        out.reshape_in_place(&[n, d]);
+        let od = out.data_mut();
         for row in 0..n {
             let src = &input.data()[(row * steps + t) * d..(row * steps + t + 1) * d];
-            out[row * d..(row + 1) * d].copy_from_slice(src);
+            od[row * d..(row + 1) * d].copy_from_slice(src);
         }
-        Tensor::from_vec(out, &[n, d])
+    }
+
+    /// Extracts gate block `block` (0..4) from a `[N, 4H]` pre-activation
+    /// into a pooled buffer.
+    fn gate_block_pooled(pre: &Tensor, block: usize, hidden: usize, pool: &mut TensorPool) -> Tensor {
+        let n = pre.dims()[0];
+        let mut out = pool.take_uninit(&[n, hidden]);
+        let od = out.data_mut();
+        for row in 0..n {
+            let src = &pre.data()
+                [row * 4 * hidden + block * hidden..row * 4 * hidden + (block + 1) * hidden];
+            od[row * hidden..(row + 1) * hidden].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Writes a `[N, H]` gate tensor into block `block` of the `[N, 4H]`
+    /// pre-activation layout (the inverse of [`Lstm::gate_block_pooled`]).
+    fn scatter_gate(dgates: &mut [f32], src: &[f32], block: usize, hidden: usize, n: usize) {
+        for row in 0..n {
+            let dst = &mut dgates
+                [row * 4 * hidden + block * hidden..row * 4 * hidden + (block + 1) * hidden];
+            dst.copy_from_slice(&src[row * hidden..(row + 1) * hidden]);
+        }
+    }
+
+    /// Recycles every cached step tensor into the pool.
+    fn recycle_caches(&mut self, pool: &mut TensorPool) {
+        for cache in self.caches.drain(..) {
+            pool.recycle(cache.x);
+            pool.recycle(cache.h_prev);
+            pool.recycle(cache.c_prev);
+            pool.recycle(cache.i);
+            pool.recycle(cache.f);
+            pool.recycle(cache.g);
+            pool.recycle(cache.o);
+            pool.recycle(cache.c);
+        }
     }
 }
 
@@ -200,12 +246,206 @@ impl Layer for Lstm {
         grad_input
     }
 
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        assert_eq!(input.rank(), 3, "Lstm expects [N, T, D] input");
+        let dims = input.dims();
+        let (n, steps, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.input_dim, "Lstm input dimension mismatch");
+        assert!(steps > 0, "Lstm requires at least one timestep");
+
+        let h_dim = self.hidden_dim;
+        let mut h = pool.take_zeroed(&[n, h_dim]);
+        let mut c = pool.take_zeroed(&[n, h_dim]);
+        self.recycle_caches(pool);
+        self.caches.reserve(steps);
+
+        for t in 0..steps {
+            let mut x_t = pool.take_uninit(&[n, d]);
+            Self::timestep_fill(input, t, &mut x_t);
+            // pre = x W_ih + h W_hh + b
+            let mut pre = pool.take_uninit(&[n, 4 * h_dim]);
+            x_t.matmul_into(&self.w_ih.value, &mut pre);
+            let mut h_proj = pool.take_uninit(&[n, 4 * h_dim]);
+            h.matmul_into(&self.w_hh.value, &mut h_proj);
+            pre.add_assign(&h_proj);
+            pool.recycle(h_proj);
+            pre.add_row_broadcast_assign(&self.bias.value);
+
+            let mut i = Self::gate_block_pooled(&pre, 0, h_dim, pool);
+            i.sigmoid_in_place();
+            let mut f = Self::gate_block_pooled(&pre, 1, h_dim, pool);
+            f.sigmoid_in_place();
+            let mut g = Self::gate_block_pooled(&pre, 2, h_dim, pool);
+            g.tanh_in_place();
+            let mut o = Self::gate_block_pooled(&pre, 3, h_dim, pool);
+            o.sigmoid_in_place();
+            pool.recycle(pre);
+
+            // c_new = f * c + i * g
+            let mut c_new = pool.take_uninit(&[n, h_dim]);
+            f.zip_map_into(&c, &mut c_new, |a, b| a * b);
+            let mut ig = pool.take_uninit(&[n, h_dim]);
+            i.zip_map_into(&g, &mut ig, |a, b| a * b);
+            c_new.add_assign(&ig);
+            pool.recycle(ig);
+            // h_new = o * tanh(c_new)
+            let mut tanh_c = pool.take_uninit(&[n, h_dim]);
+            c_new.map_into(&mut tanh_c, f32::tanh);
+            let mut h_new = pool.take_uninit(&[n, h_dim]);
+            o.zip_map_into(&tanh_c, &mut h_new, |a, b| a * b);
+            pool.recycle(tanh_c);
+
+            let c_cache = pool.take_copy(&c_new);
+            self.caches.push(StepCache {
+                x: x_t,
+                h_prev: h,
+                c_prev: c,
+                i,
+                f,
+                g,
+                o,
+                c: c_cache,
+            });
+            h = h_new;
+            c = c_new;
+        }
+        pool.recycle(c);
+        h
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        assert!(!self.caches.is_empty(), "backward called before forward");
+        let h_dim = self.hidden_dim;
+        let steps = self.caches.len();
+        let n = grad_output.dims()[0];
+        let d = self.input_dim;
+
+        let mut grad_input = pool.take_uninit(&[n, steps, d]);
+        let mut dh_next = pool.take_copy(grad_output);
+        let mut dc_next = pool.take_zeroed(&[n, h_dim]);
+        let mut dgates = pool.take_uninit(&[n, 4 * h_dim]);
+        let mut scratch_wih = pool.take_uninit(&[d, 4 * h_dim]);
+        let mut scratch_whh = pool.take_uninit(&[h_dim, 4 * h_dim]);
+        let mut db = pool.take_uninit(&[4 * h_dim]);
+        let mut tanh_c = pool.take_uninit(&[n, h_dim]);
+        let mut dc = pool.take_uninit(&[n, h_dim]);
+        let mut gate_grad = pool.take_uninit(&[n, h_dim]);
+        let mut gate_pre = pool.take_uninit(&[n, h_dim]);
+        let mut dx = pool.take_uninit(&[n, d]);
+
+        for t in (0..steps).rev() {
+            let cache = &self.caches[t];
+            cache.c.map_into(&mut tanh_c, f32::tanh);
+
+            // dc = dc_next + dh_next * o * (1 - tanh(c)^2)
+            {
+                let dcd = dc.data_mut();
+                let dnd = dc_next.data();
+                let dhd = dh_next.data();
+                let od = cache.o.data();
+                let thd = tanh_c.data();
+                for idx in 0..n * h_dim {
+                    let g = dhd[idx] * od[idx];
+                    let th = thd[idx];
+                    dcd[idx] = dnd[idx] + g * (1.0 - th * th);
+                }
+            }
+
+            // Assemble the four pre-activation gate gradients directly into
+            // the `[i | f | g | o]` block layout of `dgates`.
+            {
+                let dgd = dgates.data_mut();
+                let dcd = dc.data();
+                let dhd = dh_next.data();
+                let thd = tanh_c.data();
+                // di_pre = dc * g_gate sigmoid'(i)
+                gate_grad.data_mut().copy_from_slice(dcd);
+                for (gg, &gv) in gate_grad.data_mut().iter_mut().zip(cache.g.data()) {
+                    *gg *= gv;
+                }
+                gate_grad.zip_map_into(&cache.i, &mut gate_pre, |g, y| g * y * (1.0 - y));
+                Self::scatter_gate(dgd, gate_pre.data(), 0, h_dim, n);
+                // df_pre = dc * c_prev sigmoid'(f)
+                gate_grad.data_mut().copy_from_slice(dcd);
+                for (gg, &cv) in gate_grad.data_mut().iter_mut().zip(cache.c_prev.data()) {
+                    *gg *= cv;
+                }
+                gate_grad.zip_map_into(&cache.f, &mut gate_pre, |g, y| g * y * (1.0 - y));
+                Self::scatter_gate(dgd, gate_pre.data(), 1, h_dim, n);
+                // dg_pre = dc * i tanh'(g)
+                gate_grad.data_mut().copy_from_slice(dcd);
+                for (gg, &iv) in gate_grad.data_mut().iter_mut().zip(cache.i.data()) {
+                    *gg *= iv;
+                }
+                gate_grad.zip_map_into(&cache.g, &mut gate_pre, |g, y| g * (1.0 - y * y));
+                Self::scatter_gate(dgd, gate_pre.data(), 2, h_dim, n);
+                // do_pre = dh * tanh(c) sigmoid'(o)
+                for idx in 0..n * h_dim {
+                    gate_grad.data_mut()[idx] = dhd[idx] * thd[idx];
+                }
+                gate_grad.zip_map_into(&cache.o, &mut gate_pre, |g, y| g * y * (1.0 - y));
+                Self::scatter_gate(dgd, gate_pre.data(), 3, h_dim, n);
+            }
+
+            // Parameter gradients.
+            cache.x.matmul_at_b_into(&dgates, &mut scratch_wih);
+            self.w_ih.grad.add_assign(&scratch_wih);
+            cache.h_prev.matmul_at_b_into(&dgates, &mut scratch_whh);
+            self.w_hh.grad.add_assign(&scratch_whh);
+            let cols = 4 * h_dim;
+            db.fill(0.0);
+            for row in dgates.data().chunks(cols) {
+                for (b, &v) in db.data_mut().iter_mut().zip(row) {
+                    *b += v;
+                }
+            }
+            self.bias.grad.add_assign(&db);
+
+            // Propagate to input and previous hidden / cell state.
+            dgates.matmul_a_bt_into(&self.w_ih.value, &mut dx);
+            {
+                let gid = grad_input.data_mut();
+                for row in 0..n {
+                    let src = &dx.data()[row * d..(row + 1) * d];
+                    let dst_start = (row * steps + t) * d;
+                    gid[dst_start..dst_start + d].copy_from_slice(src);
+                }
+            }
+            dgates.matmul_a_bt_into(&self.w_hh.value, &mut dh_next);
+            dc.zip_map_into(&cache.f, &mut dc_next, |a, b| a * b);
+        }
+        pool.recycle(dh_next);
+        pool.recycle(dc_next);
+        pool.recycle(dgates);
+        pool.recycle(scratch_wih);
+        pool.recycle(scratch_whh);
+        pool.recycle(db);
+        pool.recycle(tanh_c);
+        pool.recycle(dc);
+        pool.recycle(gate_grad);
+        pool.recycle(gate_pre);
+        pool.recycle(dx);
+        grad_input
+    }
+
     fn params(&self) -> Vec<&Param> {
         vec![&self.w_ih, &self.w_hh, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w_ih);
+        f(&self.w_hh);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w_ih);
+        f(&mut self.w_hh);
+        f(&mut self.bias);
     }
 
     fn name(&self) -> &'static str {

@@ -2,9 +2,11 @@
 
 use crate::layer::{Layer, Param};
 use fedcross_tensor::conv::{
-    global_avg_pool2d, global_avg_pool2d_backward, max_pool2d, max_pool2d_backward, Conv2dGeom,
+    global_avg_pool2d, global_avg_pool2d_backward, global_avg_pool2d_backward_into,
+    global_avg_pool2d_into, max_pool2d, max_pool2d_backward, max_pool2d_backward_into,
+    max_pool2d_into, Conv2dGeom,
 };
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 /// 2-D max pooling.
 #[derive(Debug, Clone)]
@@ -46,6 +48,35 @@ impl Layer for MaxPool2d {
             .as_ref()
             .expect("backward called before forward");
         max_pool2d_backward(grad_output, argmax, dims)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        let dims = input.dims();
+        let oh = self.geom.out_size(dims[2]);
+        let ow = self.geom.out_size(dims[3]);
+        let mut out = pool.take_uninit(&[dims[0], dims[1], oh, ow]);
+        let mut argmax = self.argmax.take().unwrap_or_default();
+        max_pool2d_into(input, self.geom, &mut out, &mut argmax);
+        self.argmax = Some(argmax);
+        match &mut self.input_dims {
+            Some(cached) => {
+                cached.clear();
+                cached.extend_from_slice(dims);
+            }
+            None => self.input_dims = Some(dims.to_vec()),
+        }
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward called before forward");
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
+        let mut grad_in = pool.take_uninit(dims);
+        max_pool2d_backward_into(grad_output, argmax, dims, &mut grad_in);
+        grad_in
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -90,6 +121,30 @@ impl Layer for GlobalAvgPool2d {
             .as_ref()
             .expect("backward called before forward");
         global_avg_pool2d_backward(grad_output, dims)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, pool: &mut TensorPool) -> Tensor {
+        match &mut self.input_dims {
+            Some(cached) => {
+                cached.clear();
+                cached.extend_from_slice(input.dims());
+            }
+            None => self.input_dims = Some(input.dims().to_vec()),
+        }
+        let dims = input.dims();
+        let mut out = pool.take_uninit(&[dims[0], dims[1]]);
+        global_avg_pool2d_into(input, &mut out);
+        out
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
+        let mut out = pool.take_uninit(dims);
+        global_avg_pool2d_backward_into(grad_output, dims, &mut out);
+        out
     }
 
     fn params(&self) -> Vec<&Param> {

@@ -2,7 +2,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::layers::{BatchNorm2d, Conv2d};
-use fedcross_tensor::{SeededRng, Tensor};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 /// A basic ResNet residual block:
 ///
@@ -110,6 +110,87 @@ impl Layer for ResidualBlock {
         grad_main.add(&grad_skip)
     }
 
+    fn forward_into(&mut self, input: &Tensor, train: bool, pool: &mut TensorPool) -> Tensor {
+        if let Some(old) = self.relu1_mask.take() {
+            pool.recycle(old);
+        }
+        if let Some(old) = self.final_relu_mask.take() {
+            pool.recycle(old);
+        }
+        let c1 = self.conv1.forward_into(input, train, pool);
+        let b1 = self.bn1.forward_into(&c1, train, pool);
+        pool.recycle(c1);
+        let mut mask = pool.take_uninit(b1.dims());
+        b1.relu_mask_into(&mut mask);
+        self.relu1_mask = Some(mask);
+        let mut r1 = pool.take_uninit(b1.dims());
+        b1.relu_into(&mut r1);
+        pool.recycle(b1);
+        let c2 = self.conv2.forward_into(&r1, train, pool);
+        pool.recycle(r1);
+        let out = self.bn2.forward_into(&c2, train, pool);
+        pool.recycle(c2);
+
+        let skip = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let s = conv.forward_into(input, train, pool);
+                let sb = bn.forward_into(&s, train, pool);
+                pool.recycle(s);
+                sb
+            }
+            None => pool.take_copy(input),
+        };
+        // sum = out + skip, then the final ReLU in place (same values as the
+        // allocating `out.add(&skip)` / `sum.relu()` chain).
+        let mut sum = out;
+        sum.add_assign(&skip);
+        pool.recycle(skip);
+        let mut final_mask = pool.take_uninit(sum.dims());
+        sum.relu_mask_into(&mut final_mask);
+        self.final_relu_mask = Some(final_mask);
+        sum.relu_in_place();
+        sum
+    }
+
+    fn backward_into(&mut self, grad_output: &Tensor, pool: &mut TensorPool) -> Tensor {
+        let final_mask = self
+            .final_relu_mask
+            .as_ref()
+            .expect("backward called before forward");
+        let mut grad_sum = pool.take_uninit(grad_output.dims());
+        grad_output.zip_map_into(final_mask, &mut grad_sum, |a, b| a * b);
+
+        // Main branch: bn2 -> conv2 -> relu1 -> bn1 -> conv1.
+        let g_bn2 = self.bn2.backward_into(&grad_sum, pool);
+        let g_conv2 = self.conv2.backward_into(&g_bn2, pool);
+        pool.recycle(g_bn2);
+        let relu1_mask = self.relu1_mask.as_ref().expect("missing relu1 mask");
+        let mut g_relu = pool.take_uninit(g_conv2.dims());
+        g_conv2.zip_map_into(relu1_mask, &mut g_relu, |a, b| a * b);
+        pool.recycle(g_conv2);
+        let g_bn1 = self.bn1.backward_into(&g_relu, pool);
+        pool.recycle(g_relu);
+        let mut grad_main = self.conv1.backward_into(&g_bn1, pool);
+        pool.recycle(g_bn1);
+
+        // Skip branch.
+        let grad_skip = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let g = bn.backward_into(&grad_sum, pool);
+                pool.recycle(grad_sum);
+                let gs = conv.backward_into(&g, pool);
+                pool.recycle(g);
+                gs
+            }
+            None => grad_sum,
+        };
+        // grad_main + grad_skip, reusing grad_main's buffer (same values as
+        // the allocating `grad_main.add(&grad_skip)`).
+        grad_main.add_assign(&grad_skip);
+        pool.recycle(grad_skip);
+        grad_main
+    }
+
     fn params(&self) -> Vec<&Param> {
         let mut out = Vec::new();
         out.extend(self.conv1.params());
@@ -134,6 +215,28 @@ impl Layer for ResidualBlock {
             out.extend(bn.params_mut());
         }
         out
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &self.downsample {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params_mut(f);
+        self.bn1.visit_params_mut(f);
+        self.conv2.visit_params_mut(f);
+        self.bn2.visit_params_mut(f);
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.visit_params_mut(f);
+            bn.visit_params_mut(f);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -55,7 +55,7 @@ pub use layer::{Layer, Param};
 pub use params::ParamBlock;
 pub use sequential::Sequential;
 
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 /// A trainable model: a differentiable classifier exposing its parameters as a
 /// single flat `f32` vector.
@@ -75,11 +75,53 @@ pub trait Model: Send {
     /// logits, accumulating parameter gradients internally.
     fn backward(&mut self, grad_logits: &Tensor);
 
+    /// Pooled forward pass: every transient activation is checked out of
+    /// `pool` and reused across steps, so steady-state training performs zero
+    /// full-activation allocations. Must be bitwise identical to
+    /// [`Model::forward`]; the returned logits are pool-owned and should be
+    /// recycled by the caller once consumed. The default falls back to the
+    /// allocating form so external models keep working.
+    fn forward_into(&mut self, input: &Tensor, train: bool, pool: &mut TensorPool) -> Tensor {
+        let _ = pool;
+        self.forward(input, train)
+    }
+
+    /// Pooled backward pass; see [`Model::forward_into`].
+    fn backward_into(&mut self, grad_logits: &Tensor, pool: &mut TensorPool) {
+        let _ = pool;
+        self.backward(grad_logits);
+    }
+
     /// Total number of scalar parameters.
     fn param_count(&self) -> usize;
 
     /// Returns all parameters concatenated into one flat vector.
     fn params_flat(&self) -> Vec<f32>;
+
+    /// Writes all parameters into `out` (cleared first), reusing its
+    /// capacity. The allocation-free form the optimizer's step scratch uses;
+    /// must produce exactly the bytes of [`Model::params_flat`]. The default
+    /// falls back to the allocating form.
+    fn read_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.params_flat());
+    }
+
+    /// Writes all gradients into `out` (cleared first), reusing its capacity;
+    /// see [`Model::read_params_into`].
+    fn read_grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.grads_flat());
+    }
+
+    /// Visits every parameter (value + gradient pair) in [`Model::params_flat`]
+    /// order, letting an optimizer update values in place without ever
+    /// materialising the flat vectors. Returns `false` when unsupported (the
+    /// default), in which case callers fall back to the flat-vector path.
+    fn visit_params_for_step(&mut self, f: &mut dyn FnMut(&mut Param)) -> bool {
+        let _ = f;
+        false
+    }
 
     /// Overwrites all parameters from a flat vector produced by
     /// [`Model::params_flat`] (of this or an architecturally identical model).

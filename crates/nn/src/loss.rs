@@ -1,6 +1,6 @@
 //! Loss functions: softmax cross-entropy and its gradient.
 
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 /// Softmax cross-entropy over a batch.
 ///
@@ -25,6 +25,39 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     for (i, &label) in labels.iter().enumerate() {
         assert!(label < classes, "label {label} out of range for {classes} classes");
         loss -= log_probs.get(&[i, label]);
+        let current = grad.get(&[i, label]);
+        grad.set(&[i, label], current - 1.0);
+    }
+    grad.scale(inv_batch);
+    (loss * inv_batch, grad)
+}
+
+/// Pooled form of [`softmax_cross_entropy`]: the returned gradient tensor is
+/// checked out of `pool` (recycle it once consumed), so a steady-state
+/// training step allocates nothing here. Bitwise identical to the allocating
+/// form.
+pub fn softmax_cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    pool: &mut TensorPool,
+) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+    let batch = logits.dims()[0];
+    let classes = logits.dims()[1];
+    assert_eq!(labels.len(), batch, "one label per sample is required");
+
+    // One buffer plays both roles: log-probabilities first (for the loss),
+    // then exponentiated into the softmax gradient in place.
+    let mut grad = pool.take_copy(logits);
+    grad.log_softmax_rows_in_place();
+    let mut loss = 0f32;
+    let inv_batch = 1.0 / batch as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        loss -= grad.get(&[i, label]);
+    }
+    grad.map_in_place(f32::exp); // softmax probabilities
+    for (i, &label) in labels.iter().enumerate() {
         let current = grad.get(&[i, label]);
         grad.set(&[i, label], current - 1.0);
     }

@@ -23,6 +23,9 @@ pub struct Sgd {
     /// L2 weight-decay coefficient (0 disables decay).
     pub weight_decay: f32,
     velocity: Vec<f32>,
+    // Reused flat-vector scratch so steady-state steps allocate nothing.
+    params_scratch: Vec<f32>,
+    grads_scratch: Vec<f32>,
 }
 
 impl Sgd {
@@ -36,6 +39,8 @@ impl Sgd {
             momentum,
             weight_decay,
             velocity: Vec::new(),
+            params_scratch: Vec::new(),
+            grads_scratch: Vec::new(),
         }
     }
 
@@ -65,12 +70,47 @@ impl Sgd {
         model: &mut dyn Model,
         transform: impl Fn(usize, f32, f32) -> f32,
     ) {
-        let mut params = model.params_flat();
-        let grads = model.grads_flat();
-        debug_assert_eq!(params.len(), grads.len());
-        if self.velocity.len() != params.len() {
-            self.velocity = vec![0f32; params.len()];
+        // Fast path: update each parameter tensor in place, skipping the
+        // three full-model copies (read params, read grads, write back) of
+        // the flat-vector path. The update is applied in exactly the flat
+        // order with identical per-element arithmetic, so both paths are
+        // bitwise identical; with the scratch reuse below, steady-state steps
+        // perform zero allocations either way (pinned by the training-plane
+        // allocation-count test).
+        let count = model.param_count();
+        if self.velocity.len() != count {
+            self.velocity = vec![0f32; count];
         }
+        let (lr, momentum, weight_decay) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        let mut offset = 0usize;
+        let updated_in_place = model.visit_params_for_step(&mut |param| {
+            let n = param.value.numel();
+            let values = param.value.data_mut();
+            let grads = param.grad.data();
+            for j in 0..n {
+                let i = offset + j;
+                let mut g = transform(i, values[j], grads[j]);
+                if weight_decay > 0.0 {
+                    g += weight_decay * values[j];
+                }
+                let v = momentum * velocity[i] + g;
+                velocity[i] = v;
+                values[j] -= lr * v;
+            }
+            offset += n;
+        });
+        if updated_in_place {
+            return;
+        }
+
+        // Fallback for external models: flat vectors, read into reused
+        // scratch buffers.
+        let mut params = std::mem::take(&mut self.params_scratch);
+        let mut grads = std::mem::take(&mut self.grads_scratch);
+        model.read_params_into(&mut params);
+        model.read_grads_into(&mut grads);
+        debug_assert_eq!(params.len(), grads.len());
         for i in 0..params.len() {
             let mut g = transform(i, params[i], grads[i]);
             if self.weight_decay > 0.0 {
@@ -81,6 +121,8 @@ impl Sgd {
             params[i] -= self.lr * v;
         }
         model.set_params_flat(&params);
+        self.params_scratch = params;
+        self.grads_scratch = grads;
     }
 
     /// Applies one SGD step directly to a raw parameter/gradient pair without

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::Model;
-use fedcross_tensor::Tensor;
+use fedcross_tensor::{Tensor, TensorPool};
 
 /// A model built from a linear chain of layers.
 ///
@@ -56,6 +56,18 @@ impl Sequential {
     pub fn boxed(self) -> Box<dyn Model> {
         Box::new(self)
     }
+
+    fn read_params_into_impl(&self, out: &mut Vec<f32>) {
+        for layer in &self.layers {
+            layer.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+        }
+    }
+
+    fn read_grads_into_impl(&self, out: &mut Vec<f32>) {
+        for layer in &self.layers {
+            layer.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+        }
+    }
 }
 
 impl Clone for Sequential {
@@ -83,18 +95,52 @@ impl Model for Sequential {
         }
     }
 
+    fn forward_into(&mut self, input: &Tensor, train: bool, pool: &mut TensorPool) -> Tensor {
+        let mut current: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let out = layer.forward_into(current.as_ref().unwrap_or(input), train, pool);
+            if let Some(prev) = current.take() {
+                pool.recycle(prev);
+            }
+            current = Some(out);
+        }
+        current.unwrap_or_else(|| pool.take_copy(input))
+    }
+
+    fn backward_into(&mut self, grad_logits: &Tensor, pool: &mut TensorPool) {
+        let mut current: Option<Tensor> = None;
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            let prev = current.take();
+            let upstream: &Tensor = prev.as_ref().unwrap_or(grad_logits);
+            if idx == 0 {
+                // Nothing consumes dL/d(input) of the first layer; let it
+                // skip that work (parameter gradients are unaffected).
+                layer.backward_into_discard(upstream, pool);
+            } else {
+                current = Some(layer.backward_into(upstream, pool));
+            }
+            if let Some(p) = prev {
+                pool.recycle(p);
+            }
+        }
+        if let Some(last) = current {
+            pool.recycle(last);
+        }
+    }
+
     fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
 
     fn params_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for layer in &self.layers {
-            for p in layer.params() {
-                out.extend_from_slice(p.value.data());
-            }
-        }
+        self.read_params_into_impl(&mut out);
         out
+    }
+
+    fn read_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        self.read_params_into_impl(out);
     }
 
     fn set_params_flat(&mut self, flat: &[f32]) {
@@ -105,24 +151,32 @@ impl Model for Sequential {
         );
         let mut offset = 0usize;
         for layer in &mut self.layers {
-            for p in layer.params_mut() {
+            layer.visit_params_mut(&mut |p| {
                 let n = p.value.numel();
                 p.value
                     .data_mut()
                     .copy_from_slice(&flat[offset..offset + n]);
                 offset += n;
-            }
+            });
         }
     }
 
     fn grads_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
-        for layer in &self.layers {
-            for p in layer.params() {
-                out.extend_from_slice(p.grad.data());
-            }
-        }
+        self.read_grads_into_impl(&mut out);
         out
+    }
+
+    fn read_grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        self.read_grads_into_impl(out);
+    }
+
+    fn visit_params_for_step(&mut self, f: &mut dyn FnMut(&mut crate::layer::Param)) -> bool {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+        true
     }
 
     fn zero_grads(&mut self) {

@@ -44,15 +44,38 @@ impl Conv2dGeom {
 /// # Panics
 /// Panics if `input` is not rank-4.
 pub fn im2col(input: &Tensor, geom: Conv2dGeom) -> Tensor {
+    let (rows, row_len) = im2col_shape(input, geom);
+    let mut out = Tensor::zeros(&[rows, row_len]);
+    im2col_into(input, geom, &mut out);
+    out
+}
+
+/// Output shape `[N * OH * OW, C * k * k]` of [`im2col`] for `input`.
+pub fn im2col_shape(input: &Tensor, geom: Conv2dGeom) -> (usize, usize) {
     assert_eq!(input.rank(), 4, "im2col expects an [N, C, H, W] tensor");
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    (
+        n * geom.out_size(h) * geom.out_size(w),
+        c * geom.kernel * geom.kernel,
+    )
+}
+
+/// Destination-passing form of [`im2col`]: unfolds into `out` (which must
+/// have `N*OH*OW * C*k*k` elements; contents are fully overwritten). Bitwise
+/// identical to the allocating form.
+pub fn im2col_into(input: &Tensor, geom: Conv2dGeom, out: &mut Tensor) {
+    let (rows, row_len) = im2col_shape(input, geom);
+    assert_eq!(out.numel(), rows * row_len, "im2col_into: wrong output size");
+    out.reshape_in_place(&[rows, row_len]);
+    out.fill(0.0);
     let dims = input.dims();
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     let k = geom.kernel;
     let oh = geom.out_size(h);
     let ow = geom.out_size(w);
-    let row_len = c * k * k;
-    let mut out = vec![0f32; n * oh * ow * row_len];
     let data = input.data();
+    let out = out.data_mut();
 
     for ni in 0..n {
         for oy in 0..oh {
@@ -61,24 +84,28 @@ pub fn im2col(input: &Tensor, geom: Conv2dGeom) -> Tensor {
                 let row = &mut out[row_idx * row_len..(row_idx + 1) * row_len];
                 let iy0 = (oy * geom.stride) as isize - geom.padding as isize;
                 let ix0 = (ox * geom.stride) as isize - geom.padding as isize;
+                // The kx extent of the kernel that lands inside the image is
+                // contiguous in both the input row and the im2col row, so
+                // each (channel, ky) line is one slice copy instead of k
+                // bounds-checked scalar moves.
+                let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+                let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
                 for ci in 0..c {
                     for ky in 0..k {
                         let iy = iy0 + ky as isize;
-                        for kx in 0..k {
-                            let ix = ix0 + kx as isize;
-                            let col = (ci * k + ky) * k + kx;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                let src =
-                                    ((ni * c + ci) * h + iy as usize) * w + ix as usize;
-                                row[col] = data[src];
-                            }
+                        if iy < 0 || iy >= h as isize || kx_lo >= kx_hi {
+                            continue;
                         }
+                        let col = (ci * k + ky) * k;
+                        let src = ((ni * c + ci) * h + iy as usize) * w
+                            + (ix0 + kx_lo as isize) as usize;
+                        row[col + kx_lo..col + kx_hi]
+                            .copy_from_slice(&data[src..src + (kx_hi - kx_lo)]);
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, row_len])
 }
 
 /// Folds an `im2col` matrix back into an `[N, C, H, W]` tensor, summing
@@ -89,6 +116,15 @@ pub fn im2col(input: &Tensor, geom: Conv2dGeom) -> Tensor {
 /// Panics if the column matrix does not match the geometry implied by
 /// `input_dims` and `geom`.
 pub fn col2im(cols: &Tensor, input_dims: &[usize], geom: Conv2dGeom) -> Tensor {
+    let mut out = Tensor::zeros(input_dims);
+    col2im_into(cols, input_dims, geom, &mut out);
+    out
+}
+
+/// Destination-passing form of [`col2im`]: folds into `out` (which must have
+/// `N*C*H*W` elements; contents are fully overwritten before the overlapping
+/// sums accumulate). Bitwise identical to the allocating form.
+pub fn col2im_into(cols: &Tensor, input_dims: &[usize], geom: Conv2dGeom, out: &mut Tensor) {
     assert_eq!(input_dims.len(), 4, "col2im expects [N, C, H, W] dims");
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     let k = geom.kernel;
@@ -100,8 +136,10 @@ pub fn col2im(cols: &Tensor, input_dims: &[usize], geom: Conv2dGeom) -> Tensor {
         &[n * oh * ow, row_len],
         "col matrix shape does not match geometry"
     );
-
-    let mut out = vec![0f32; n * c * h * w];
+    assert_eq!(out.numel(), n * c * h * w, "col2im_into: wrong output size");
+    out.reshape_in_place(input_dims);
+    out.fill(0.0);
+    let out = out.data_mut();
     let data = cols.data();
     for ni in 0..n {
         for oy in 0..oh {
@@ -110,23 +148,29 @@ pub fn col2im(cols: &Tensor, input_dims: &[usize], geom: Conv2dGeom) -> Tensor {
                 let row = &data[row_idx * row_len..(row_idx + 1) * row_len];
                 let iy0 = (oy * geom.stride) as isize - geom.padding as isize;
                 let ix0 = (ox * geom.stride) as isize - geom.padding as isize;
+                // As in im2col_into, the in-bounds kx extent is contiguous on
+                // both sides; accumulate it slice-against-slice in ascending
+                // kx order (the exact order of the scalar loop).
+                let kx_lo = (-ix0).clamp(0, k as isize) as usize;
+                let kx_hi = (w as isize - ix0).clamp(0, k as isize) as usize;
                 for ci in 0..c {
                     for ky in 0..k {
                         let iy = iy0 + ky as isize;
-                        for kx in 0..k {
-                            let ix = ix0 + kx as isize;
-                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                let dst =
-                                    ((ni * c + ci) * h + iy as usize) * w + ix as usize;
-                                out[dst] += row[(ci * k + ky) * k + kx];
-                            }
+                        if iy < 0 || iy >= h as isize || kx_lo >= kx_hi {
+                            continue;
+                        }
+                        let col = (ci * k + ky) * k;
+                        let dst = ((ni * c + ci) * h + iy as usize) * w
+                            + (ix0 + kx_lo as isize) as usize;
+                        let src = &row[col + kx_lo..col + kx_hi];
+                        for (o, &v) in out[dst..dst + kx_hi - kx_lo].iter_mut().zip(src) {
+                            *o += v;
                         }
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, input_dims)
 }
 
 /// Result of a max-pooling forward pass: the pooled tensor plus the flat index
@@ -141,15 +185,71 @@ pub struct MaxPoolOutput {
 
 /// 2-D max pooling over an `[N, C, H, W]` tensor.
 pub fn max_pool2d(input: &Tensor, geom: Conv2dGeom) -> MaxPoolOutput {
+    let dims = input.dims();
+    let (n, c) = (dims[0], dims[1]);
+    let oh = geom.out_size(dims[2]);
+    let ow = geom.out_size(dims[3]);
+    let mut output = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = Vec::new();
+    max_pool2d_into(input, geom, &mut output, &mut argmax);
+    MaxPoolOutput { output, argmax }
+}
+
+/// Destination-passing form of [`max_pool2d`]: writes the pooled tensor into
+/// `out` (fully overwritten) and the winning indices into `argmax` (cleared
+/// and refilled, reusing its capacity). Bitwise identical to the allocating
+/// form.
+pub fn max_pool2d_into(
+    input: &Tensor,
+    geom: Conv2dGeom,
+    out: &mut Tensor,
+    argmax: &mut Vec<usize>,
+) {
     assert_eq!(input.rank(), 4, "max_pool2d expects an [N, C, H, W] tensor");
     let dims = input.dims();
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     let k = geom.kernel;
     let oh = geom.out_size(h);
     let ow = geom.out_size(w);
-    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
-    let mut argmax = vec![0usize; n * c * oh * ow];
+    assert_eq!(out.numel(), n * c * oh * ow, "max_pool2d_into: wrong output size");
+    out.reshape_in_place(&[n, c, oh, ow]);
+    argmax.clear();
+    argmax.resize(n * c * oh * ow, 0);
+    let out = out.data_mut();
     let data = input.data();
+
+    if geom.padding == 0 {
+        // Common case (all pooling layers in the model zoo): every window is
+        // fully in bounds, so the per-element boundary checks vanish. The
+        // scan order (ky outer, kx inner, strict `>`) is identical to the
+        // general loop, so winners and ties resolve to the same argmax.
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h;
+                for oy in 0..oh {
+                    let iy0 = oy * geom.stride;
+                    for ox in 0..ow {
+                        let out_idx = ((ni * c + ci) * oh + oy) * ow + ox;
+                        let ix0 = ox * geom.stride;
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..k {
+                            let row = (plane + iy0 + ky) * w + ix0;
+                            for (kx, &v) in data[row..row + k].iter().enumerate() {
+                                if v > best {
+                                    best = v;
+                                    best_idx = row + kx;
+                                }
+                            }
+                        }
+                        out[out_idx] = best;
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        return;
+    }
 
     for ni in 0..n {
         for ci in 0..c {
@@ -183,10 +283,6 @@ pub fn max_pool2d(input: &Tensor, geom: Conv2dGeom) -> MaxPoolOutput {
             }
         }
     }
-    MaxPoolOutput {
-        output: Tensor::from_vec(out, &[n, c, oh, ow]),
-        argmax,
-    }
 }
 
 /// Backward pass of max pooling: routes each output gradient to the input
@@ -196,26 +292,53 @@ pub fn max_pool2d_backward(
     argmax: &[usize],
     input_dims: &[usize],
 ) -> Tensor {
+    let mut grad_input = Tensor::zeros(input_dims);
+    max_pool2d_backward_into(grad_output, argmax, input_dims, &mut grad_input);
+    grad_input
+}
+
+/// Destination-passing form of [`max_pool2d_backward`]; `grad_input` is fully
+/// overwritten. Bitwise identical to the allocating form.
+pub fn max_pool2d_backward_into(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+    grad_input: &mut Tensor,
+) {
     assert_eq!(
         grad_output.numel(),
         argmax.len(),
         "argmax length must match output size"
     );
-    let mut grad_input = Tensor::zeros(input_dims);
+    let numel: usize = input_dims.iter().product();
+    assert_eq!(grad_input.numel(), numel, "max_pool2d_backward_into: wrong size");
+    grad_input.reshape_in_place(input_dims);
+    grad_input.fill(0.0);
     let gi = grad_input.data_mut();
     for (g, &idx) in grad_output.data().iter().zip(argmax) {
         gi[idx] += g;
     }
-    grad_input
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
 pub fn global_avg_pool2d(input: &Tensor) -> Tensor {
     assert_eq!(input.rank(), 4, "global_avg_pool2d expects rank-4 input");
     let dims = input.dims();
+    let mut out = Tensor::zeros(&[dims[0], dims[1]]);
+    global_avg_pool2d_into(input, &mut out);
+    out
+}
+
+/// Destination-passing form of [`global_avg_pool2d`]; `out` is fully
+/// overwritten. Bitwise identical to the allocating form.
+pub fn global_avg_pool2d_into(input: &Tensor, out: &mut Tensor) {
+    assert_eq!(input.rank(), 4, "global_avg_pool2d expects rank-4 input");
+    let dims = input.dims();
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(out.numel(), n * c, "global_avg_pool2d_into: wrong output size");
+    out.reshape_in_place(&[n, c]);
     let area = (h * w) as f32;
-    let mut out = vec![0f32; n * c];
+    let out = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
             let start = (ni * c + ci) * h * w;
@@ -223,17 +346,30 @@ pub fn global_avg_pool2d(input: &Tensor) -> Tensor {
             out[ni * c + ci] = sum / area;
         }
     }
-    Tensor::from_vec(out, &[n, c])
 }
 
 /// Backward pass of global average pooling: spreads each gradient uniformly
 /// over the spatial positions it averaged.
 pub fn global_avg_pool2d_backward(grad_output: &Tensor, input_dims: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(input_dims);
+    global_avg_pool2d_backward_into(grad_output, input_dims, &mut out);
+    out
+}
+
+/// Destination-passing form of [`global_avg_pool2d_backward`]; `out` is fully
+/// overwritten. Bitwise identical to the allocating form.
+pub fn global_avg_pool2d_backward_into(
+    grad_output: &Tensor,
+    input_dims: &[usize],
+    out: &mut Tensor,
+) {
     assert_eq!(input_dims.len(), 4, "expected [N, C, H, W] dims");
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     assert_eq!(grad_output.dims(), &[n, c], "grad_output must be [N, C]");
+    assert_eq!(out.numel(), n * c * h * w, "wrong output size");
+    out.reshape_in_place(input_dims);
     let area = (h * w) as f32;
-    let mut out = vec![0f32; n * c * h * w];
+    let out = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
             let g = grad_output.data()[ni * c + ci] / area;
@@ -243,7 +379,6 @@ pub fn global_avg_pool2d_backward(grad_output: &Tensor, input_dims: &[usize]) ->
             }
         }
     }
-    Tensor::from_vec(out, input_dims)
 }
 
 #[cfg(test)]

@@ -40,12 +40,14 @@ pub mod error;
 pub mod init;
 pub mod linalg;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod stats;
 mod tensor;
 
 pub use error::TensorError;
+pub use pool::TensorPool;
 pub use rng::SeededRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

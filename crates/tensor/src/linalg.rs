@@ -2,11 +2,22 @@
 //!
 //! Matrix multiplication is the dominant kernel of every model in the
 //! reproduction (fully-connected layers directly, convolutions via `im2col`,
-//! LSTM gate projections), so it is the one place this crate parallelises with
-//! rayon and blocks the inner loops for cache friendliness.
+//! LSTM gate projections). All three variants (`matmul`, `matmul_at_b`,
+//! `matmul_a_bt`) share one cache-blocked, register-tiled micro-kernel
+//! ([`gemm_accum`]): the transposed operand is packed into a row-major panel
+//! first (tiled transpose), then a single `MR x NR` register tile streams
+//! through `KC`-sized blocks of the reduction dimension.
+//!
+//! **Bitwise stability.** Every output element accumulates its products in
+//! strictly increasing `p` (reduction-index) order with one rounded multiply
+//! and one rounded add per step — exactly the order of the naive `ikj` loop —
+//! so fixed-seed training trajectories are bitwise independent of the
+//! blocking parameters, the thread count, and of whether the destination-
+//! passing (`*_into`) or allocating form is used.
 
 use crate::Tensor;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Minimum number of multiply-accumulate operations (`m·k·n`) before a matmul
 /// variant switches to rayon.
@@ -19,9 +30,215 @@ use rayon::prelude::*;
 /// a deep `k` reduction (batch dimension) still parallelise.
 const PAR_THRESHOLD_FLOPS: usize = 512 * 1024;
 
+/// Reduction-dimension block size of the micro-kernel: the active `KC x NR`
+/// panel of `b` (8 KiB) plus `MR` rows of `a` stay L1-resident while a
+/// register tile is accumulated.
+const KC: usize = 256;
+/// Rows per register tile.
+const MR: usize = 6;
+/// Columns per register tile (one 8-wide f32 vector on AVX2/NEON).
+const NR: usize = 8;
+
 #[inline]
 fn parallel_worthwhile(m: usize, k: usize, n: usize) -> bool {
     m.saturating_mul(k).saturating_mul(n) >= PAR_THRESHOLD_FLOPS
+}
+
+thread_local! {
+    /// Per-thread packing scratch for the transposed operand; grows to the
+    /// largest panel seen and is reused by every subsequent call, so
+    /// steady-state matmuls perform no packing allocations.
+    static PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Writes the transpose of the row-major `src` matrix (`rows x cols`) into
+/// `dst` (`cols x rows`), walking 8x8 tiles so both sides stay cache-resident.
+/// Pure data movement — bitwise-neutral by construction.
+///
+/// # Panics
+/// Panics if `dst` is shorter than `rows * cols`.
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    const TILE: usize = 8;
+    assert!(dst.len() >= rows * cols, "transpose_into: dst too short");
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + TILE).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + TILE).min(cols);
+            for r in r0..r1 {
+                let row = &src[r * cols..r * cols + cols];
+                for c in c0..c1 {
+                    dst[c * rows + r] = row[c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+}
+
+/// `R x NR` register tile: accumulates `pc` products into `R * NR`
+/// accumulators held in registers, loading/storing the output tile once per
+/// `KC` block instead of once per `p` step. `R` is monomorphised (`MR` for
+/// full tiles, 4/2/1 for the `m % MR` remainder) so every row count keeps
+/// the 8-wide vectorised inner loop. Per-element accumulation order is
+/// strictly increasing `p`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile<const R: usize>(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    j0: usize,
+    p0: usize,
+    pc: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0f32; NR]; R];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        let base = (i0 + r) * n + j0;
+        acc_row.copy_from_slice(&out[base..base + NR]);
+    }
+    for p in p0..p0 + pc {
+        let bv: [f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r) * k + p];
+            for (l, x) in acc_row.iter_mut().enumerate() {
+                *x += av * bv[l];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let base = (i0 + r) * n + j0;
+        out[base..base + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// Scalar edge tile for the `m % MR` / `n % NR` remainders; same per-element
+/// accumulation order as the register tile.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn edge_tile(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    ic: usize,
+    j0: usize,
+    jc: usize,
+    p0: usize,
+    pc: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in i0..i0 + ic {
+        let a_row = &a[i * k..i * k + k];
+        for j in j0..j0 + jc {
+            let mut acc = out[i * n + j];
+            for p in p0..p0 + pc {
+                acc += a_row[p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Accumulates `out[i, j] += Σ_{p in p_lo..p_hi} a[i, p] · b[p, j]` over the
+/// row-major operands `a` (`m x k`) and `b` (`k x n`).
+///
+/// This is the one shared inner kernel of all matmul variants. `out` must be
+/// initialised (zeros for a plain product, partial sums to continue one).
+#[allow(clippy::too_many_arguments)]
+fn gemm_accum(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    p_lo: usize,
+    p_hi: usize,
+) {
+    let mut p0 = p_lo;
+    while p0 < p_hi {
+        let pc = KC.min(p_hi - p0);
+        let mut i0 = 0;
+        while i0 < m {
+            // Pick the widest register tile that fits the remaining rows so
+            // the vectorised inner loop covers every row of the matrix.
+            let ic = match m - i0 {
+                rem if rem >= MR => MR,
+                rem if rem >= 4 => 4,
+                rem if rem >= 2 => 2,
+                _ => 1,
+            };
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                match ic {
+                    MR => micro_tile::<MR>(out, a, b, i0, j0, p0, pc, k, n),
+                    4 => micro_tile::<4>(out, a, b, i0, j0, p0, pc, k, n),
+                    2 => micro_tile::<2>(out, a, b, i0, j0, p0, pc, k, n),
+                    _ => micro_tile::<1>(out, a, b, i0, j0, p0, pc, k, n),
+                }
+                j0 += NR;
+            }
+            if j0 < n {
+                edge_tile(out, a, b, i0, ic, j0, n - j0, p0, pc, k, n);
+            }
+            i0 += ic;
+        }
+        p0 += pc;
+    }
+}
+
+/// Full product `out += a · b`, fanning row blocks out to rayon when the flop
+/// count warrants it. Each row's reduction stays on one thread, so the result
+/// is bitwise identical to the serial kernel.
+fn gemm(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    if parallel_worthwhile(m, k, n) && m > MR && n > 0 {
+        out.par_chunks_mut(MR * n)
+            .enumerate()
+            .for_each(|(chunk, rows_out)| {
+                let i0 = chunk * MR;
+                let rows = rows_out.len() / n;
+                gemm_accum(rows_out, &a[i0 * k..(i0 + rows) * k], b, rows, k, n, 0, k);
+            });
+    } else {
+        gemm_accum(out, a, b, m, k, n, 0, k);
+    }
+}
+
+/// Runs `body` with a thread-local scratch buffer holding the transpose of
+/// `src` (`rows x cols`, transposed panel is `cols x rows`).
+///
+/// The buffer is moved out of the thread-local cell for the duration of
+/// `body` (and returned afterwards), so no `RefCell` borrow is held across
+/// the rayon parallel regions inside `body` — with a work-stealing rayon a
+/// stolen task that re-enters this function on the same thread simply takes
+/// an empty vector instead of panicking on a nested borrow.
+fn with_packed_transpose<R>(
+    src: &[f32],
+    rows: usize,
+    cols: usize,
+    body: impl FnOnce(&[f32]) -> R,
+) -> R {
+    let mut scratch = PACK_SCRATCH.with(std::cell::RefCell::take);
+    if scratch.len() < rows * cols {
+        scratch.resize(rows * cols, 0.0);
+    }
+    transpose_into(src, rows, cols, &mut scratch);
+    let result = body(&scratch[..rows * cols]);
+    PACK_SCRATCH.with(|cell| {
+        // Keep the larger buffer if a nested call installed its own.
+        let mut current = cell.borrow_mut();
+        if current.len() < scratch.len() {
+            *current = scratch;
+        }
+    });
+    result
 }
 
 impl Tensor {
@@ -30,40 +247,35 @@ impl Tensor {
     /// # Panics
     /// Panics if either tensor is not rank-2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, n) = self.matmul_dims(other);
+        let mut out = Tensor::zeros(&[m, n]);
+        self.matmul_into_prepared(other, &mut out);
+        out
+    }
+
+    /// Destination-passing form of [`Tensor::matmul`]: writes the product into
+    /// `out` (any tensor with `m * n` elements, reshaped in place). Bitwise
+    /// identical to the allocating form.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, n) = self.matmul_dims(other);
+        assert_eq!(out.numel(), m * n, "matmul_into: wrong output size");
+        out.reshape_in_place(&[m, n]);
+        out.fill(0.0);
+        self.matmul_into_prepared(other, out);
+    }
+
+    fn matmul_dims(&self, other: &Tensor) -> (usize, usize) {
         assert_eq!(self.rank(), 2, "matmul: left operand must be rank-2");
         assert_eq!(other.rank(), 2, "matmul: right operand must be rank-2");
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        let (k, k2) = (self.dims()[1], other.dims()[0]);
         assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+        (self.dims()[0], other.dims()[1])
+    }
 
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0f32; m * n];
-
-        let row_kernel = |row_out: &mut [f32], i: usize| {
-            // ikj loop order: stream through b rows, accumulate into the output row.
-            for p in 0..k {
-                let a_ip = a[i * k + p];
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &bv) in row_out.iter_mut().zip(b_row) {
-                    *o += a_ip * bv;
-                }
-            }
-        };
-
-        if parallel_worthwhile(m, k, n) {
-            out.par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, row)| row_kernel(row, i));
-        } else {
-            for (i, row) in out.chunks_mut(n).enumerate() {
-                row_kernel(row, i);
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
+    fn matmul_into_prepared(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let n = other.dims()[1];
+        gemm(out.data_mut(), self.data(), other.data(), m, k, n);
     }
 
     /// Computes `self^T * other` without materialising the transpose:
@@ -75,63 +287,69 @@ impl Tensor {
     /// the reduction is split into `k`-blocks reduced per thread and summed,
     /// which parallelises even when the output itself is small.
     pub fn matmul_at_b(&self, other: &Tensor) -> Tensor {
+        let (m, n) = self.matmul_at_b_dims(other);
+        let mut out = Tensor::zeros(&[m, n]);
+        self.matmul_at_b_into_prepared(other, &mut out);
+        out
+    }
+
+    /// Destination-passing form of [`Tensor::matmul_at_b`]; bitwise identical
+    /// to the allocating form.
+    pub fn matmul_at_b_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, n) = self.matmul_at_b_dims(other);
+        assert_eq!(out.numel(), m * n, "matmul_at_b_into: wrong output size");
+        out.reshape_in_place(&[m, n]);
+        out.fill(0.0);
+        self.matmul_at_b_into_prepared(other, out);
+    }
+
+    fn matmul_at_b_dims(&self, other: &Tensor) -> (usize, usize) {
         assert_eq!(self.rank(), 2, "matmul_at_b: left operand must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_at_b: right operand must be rank-2");
-        let (k, m) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        let (k, k2) = (self.dims()[0], other.dims()[0]);
         assert_eq!(k, k2, "matmul_at_b: leading dimensions differ ({k} vs {k2})");
+        (self.dims()[1], other.dims()[1])
+    }
 
-        let a = self.data();
+    fn matmul_at_b_into_prepared(&self, other: &Tensor, out: &mut Tensor) {
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let n = other.dims()[1];
         let b = other.data();
-
-        // out[i, j] = sum_p a[p, i] * b[p, j] over a k-range.
-        let block_kernel = |out: &mut [f32], p_range: std::ops::Range<usize>| {
-            for p in p_range {
-                let a_row = &a[p * m..(p + 1) * m];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (i, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let out_row = &mut out[i * n..(i + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
+        with_packed_transpose(self.data(), k, m, |at| {
+            if parallel_worthwhile(m, k, n) && k >= 2 {
+                // Block over k and reduce per block in parallel, then sum the
+                // partials in block order. The block length is a fixed
+                // function of `k` alone — never of the machine's thread count
+                // — so the f32 summation grouping (and therefore every seeded
+                // training trajectory) is bitwise identical across machines.
+                const K_BLOCK_ROWS: usize = 1024;
+                let blocks = k.div_ceil(K_BLOCK_ROWS);
+                if blocks == 1 {
+                    // A single block reduces exactly like the serial kernel;
+                    // skip the partial-buffer machinery (and its allocations).
+                    gemm_accum(out.data_mut(), at, b, m, k, n, 0, k);
+                    return;
+                }
+                let partials: Vec<Vec<f32>> = (0..blocks)
+                    .into_par_iter()
+                    .map(|block| {
+                        let start = block * K_BLOCK_ROWS;
+                        let end = ((block + 1) * K_BLOCK_ROWS).min(k);
+                        let mut partial = vec![0f32; m * n];
+                        gemm_accum(&mut partial, at, b, m, k, n, start, end);
+                        partial
+                    })
+                    .collect();
+                let od = out.data_mut();
+                for partial in partials {
+                    for (o, &p) in od.iter_mut().zip(&partial) {
+                        *o += p;
                     }
                 }
+            } else {
+                gemm_accum(out.data_mut(), at, b, m, k, n, 0, k);
             }
-        };
-
-        if parallel_worthwhile(m, k, n) && k >= 2 {
-            // Block over k and reduce per block in parallel, then sum the
-            // partials in block order. The block length is a fixed function
-            // of `k` alone — never of the machine's thread count — so the
-            // f32 summation grouping (and therefore every seeded training
-            // trajectory) is bitwise identical across machines.
-            const K_BLOCK_ROWS: usize = 1024;
-            let blocks = k.div_ceil(K_BLOCK_ROWS);
-            let partials: Vec<Vec<f32>> = (0..blocks)
-                .into_par_iter()
-                .map(|block| {
-                    let start = block * K_BLOCK_ROWS;
-                    let end = ((block + 1) * K_BLOCK_ROWS).min(k);
-                    let mut partial = vec![0f32; m * n];
-                    block_kernel(&mut partial, start..end);
-                    partial
-                })
-                .collect();
-            let mut partials = partials.into_iter();
-            let mut out = partials.next().unwrap_or_else(|| vec![0f32; m * n]);
-            for partial in partials {
-                for (o, &p) in out.iter_mut().zip(&partial) {
-                    *o += p;
-                }
-            }
-            Tensor::from_vec(out, &[m, n])
-        } else {
-            let mut out = vec![0f32; m * n];
-            block_kernel(&mut out, 0..k);
-            Tensor::from_vec(out, &[m, n])
-        }
+        });
     }
 
     /// Computes `self * other^T` without materialising the transpose:
@@ -139,38 +357,36 @@ impl Tensor {
     ///
     /// Used by linear/conv backward passes to propagate gradients to inputs.
     pub fn matmul_a_bt(&self, other: &Tensor) -> Tensor {
+        let (m, n) = self.matmul_a_bt_dims(other);
+        let mut out = Tensor::zeros(&[m, n]);
+        self.matmul_a_bt_into_prepared(other, &mut out);
+        out
+    }
+
+    /// Destination-passing form of [`Tensor::matmul_a_bt`]; bitwise identical
+    /// to the allocating form.
+    pub fn matmul_a_bt_into(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, n) = self.matmul_a_bt_dims(other);
+        assert_eq!(out.numel(), m * n, "matmul_a_bt_into: wrong output size");
+        out.reshape_in_place(&[m, n]);
+        out.fill(0.0);
+        self.matmul_a_bt_into_prepared(other, out);
+    }
+
+    fn matmul_a_bt_dims(&self, other: &Tensor) -> (usize, usize) {
         assert_eq!(self.rank(), 2, "matmul_a_bt: left operand must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_a_bt: right operand must be rank-2");
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        let (k, k2) = (self.dims()[1], other.dims()[1]);
         assert_eq!(k, k2, "matmul_a_bt: inner dimensions differ ({k} vs {k2})");
+        (self.dims()[0], other.dims()[0])
+    }
 
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0f32; m * n];
-
-        let row_kernel = |row_out: &mut [f32], i: usize| {
-            let a_row = &a[i * k..(i + 1) * k];
-            for (j, o) in row_out.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *o = acc;
-            }
-        };
-
-        if parallel_worthwhile(m, k, n) {
-            out.par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, row)| row_kernel(row, i));
-        } else {
-            for (i, row) in out.chunks_mut(n).enumerate() {
-                row_kernel(row, i);
-            }
-        }
-        Tensor::from_vec(out, &[m, n])
+    fn matmul_a_bt_into_prepared(&self, other: &Tensor, out: &mut Tensor) {
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let n = other.dims()[0];
+        with_packed_transpose(other.data(), n, k, |bt| {
+            gemm(out.data_mut(), self.data(), bt, m, k, n);
+        });
     }
 
     /// Transposes a rank-2 tensor.
@@ -181,11 +397,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2, "transpose requires a rank-2 tensor");
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data()[i * n + j];
-            }
-        }
+        transpose_into(self.data(), m, n, &mut out);
         Tensor::from_vec(out, &[n, m])
     }
 
@@ -229,6 +441,36 @@ mod tests {
         a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
     }
 
+    /// The seed's naive ikj loop — the bitwise reference every blocked kernel
+    /// must reproduce exactly.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = vec![0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a_ip = a.data()[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += a_ip * b.data()[p * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn patterned(numel: usize, dims: &[usize], scale: f32) -> Tensor {
+        Tensor::from_vec(
+            (0..numel)
+                .map(|i| ((i * 31 % 17) as f32 - 8.0) * scale)
+                .collect(),
+            dims,
+        )
+    }
+
     #[test]
     fn matmul_small_known_values() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
@@ -252,6 +494,64 @@ mod tests {
     }
 
     #[test]
+    fn blocked_kernel_is_bitwise_identical_to_naive_ikj() {
+        // Odd shapes: non-multiples of the MR/NR/KC tile sizes, single rows
+        // and columns, reduction dims straddling the KC block edge.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 300, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (13, 257, 9),
+            (16, 511, 24),
+            (33, 64, 63),
+        ] {
+            let a = patterned(m * k, &[m, k], 0.25);
+            let b = patterned(k * n, &[k, n], 0.5);
+            let blocked = a.matmul(&b);
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(bits(&blocked), bits(&naive), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn matmul_handles_empty_dimensions() {
+        assert_eq!(
+            Tensor::zeros(&[0, 4]).matmul(&Tensor::zeros(&[4, 3])).dims(),
+            &[0, 3]
+        );
+        assert_eq!(
+            Tensor::zeros(&[2, 0]).matmul(&Tensor::zeros(&[0, 3])).data(),
+            &[0.0; 6]
+        );
+        assert_eq!(
+            Tensor::zeros(&[2, 4]).matmul(&Tensor::zeros(&[4, 0])).numel(),
+            0
+        );
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms_bitwise() {
+        let a = patterned(7 * 13, &[7, 13], 0.3);
+        let b = patterned(13 * 9, &[13, 9], 0.7);
+        let bt = patterned(9 * 13, &[9, 13], 0.7);
+        let at = patterned(13 * 7, &[13, 7], 0.3);
+
+        let mut out = Tensor::full(&[63], f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(bits(&a.matmul(&b)), bits(&out));
+
+        let mut out = Tensor::full(&[63], f32::NAN);
+        a.matmul_a_bt_into(&bt, &mut out);
+        assert_eq!(bits(&a.matmul_a_bt(&bt)), bits(&out));
+
+        let mut out = Tensor::full(&[63], f32::NAN);
+        at.matmul_at_b_into(&b, &mut out);
+        assert_eq!(bits(&at.matmul_at_b(&b)), bits(&out));
+    }
+
+    #[test]
     fn matmul_large_matches_naive() {
         // Large enough to cross the parallel threshold.
         let m = 130;
@@ -266,14 +566,7 @@ mod tests {
             &[k, n],
         );
         let c = a.matmul(&b);
-        // Naive reference for a few probed entries.
-        for &(i, j) in &[(0usize, 0usize), (m - 1, n - 1), (64, 77), (3, 100)] {
-            let mut acc = 0f32;
-            for p in 0..k {
-                acc += a.get(&[i, p]) * b.get(&[p, j]);
-            }
-            assert!((c.get(&[i, j]) - acc).abs() < 1e-3);
-        }
+        assert_eq!(bits(&c), bits(&naive_matmul(&a, &b)));
     }
 
     #[test]
@@ -317,6 +610,22 @@ mod tests {
     }
 
     #[test]
+    fn fused_transpose_forms_are_bitwise_identical_to_packed_matmul() {
+        // matmul_a_bt(a, b) must equal matmul(a, b^T) bit for bit (both run
+        // the same kernel over the same packed panel), including odd shapes.
+        for &(m, k, n) in &[(1usize, 3usize, 1usize), (5, 11, 7), (12, 300, 20)] {
+            let a = patterned(m * k, &[m, k], 0.2);
+            let b = patterned(n * k, &[n, k], 0.4);
+            assert_eq!(bits(&a.matmul_a_bt(&b)), bits(&a.matmul(&b.transpose())));
+            let at = patterned(k * m, &[k, m], 0.2);
+            let c = patterned(k * n, &[k, n], 0.4);
+            if !parallel_worthwhile(m, k, n) {
+                assert_eq!(bits(&at.matmul_at_b(&c)), bits(&at.transpose().matmul(&c)));
+            }
+        }
+    }
+
+    #[test]
     fn transpose_twice_is_identity() {
         let a = Tensor::arange(6).reshape(&[2, 3]);
         assert_eq!(a.transpose().transpose(), a);
@@ -328,6 +637,20 @@ mod tests {
         let t = a.transpose();
         assert_eq!(t.dims(), &[3, 2]);
         assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn tiled_transpose_matches_naive_on_odd_shapes() {
+        for &(rows, cols) in &[(1usize, 1usize), (3, 17), (8, 8), (9, 33), (40, 7)] {
+            let src: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+            let mut dst = vec![0f32; rows * cols];
+            transpose_into(&src, rows, cols, &mut dst);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(dst[c * rows + r], src[r * cols + c]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,16 +5,64 @@
 
 use crate::Tensor;
 
+/// The numerically stable logistic sigmoid used by both the allocating and
+/// in-place forms (one definition so they stay bitwise identical).
+#[inline]
+fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// The ReLU value function — one definition shared by the allocating and
+/// destination-passing forms so they stay bitwise identical.
+#[inline]
+fn relu_scalar(x: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        0.0
+    }
+}
+
+/// The ReLU derivative mask (1 where `x > 0`, else 0); see [`relu_scalar`].
+#[inline]
+fn relu_mask_scalar(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
 impl Tensor {
     /// Rectified linear unit: `max(x, 0)` element-wise.
     pub fn relu(&self) -> Tensor {
-        self.map(|x| if x > 0.0 { x } else { 0.0 })
+        self.map(relu_scalar)
+    }
+
+    /// Destination-passing form of [`Tensor::relu`]; bitwise identical.
+    pub fn relu_into(&self, out: &mut Tensor) {
+        self.map_into(out, relu_scalar);
+    }
+
+    /// In-place form of [`Tensor::relu`]; bitwise identical.
+    pub fn relu_in_place(&mut self) {
+        self.map_in_place(relu_scalar);
     }
 
     /// Element-wise derivative mask of ReLU evaluated at `self` (1 where
     /// `x > 0`, else 0).
     pub fn relu_mask(&self) -> Tensor {
-        self.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+        self.map(relu_mask_scalar)
+    }
+
+    /// Destination-passing form of [`Tensor::relu_mask`]; bitwise identical.
+    pub fn relu_mask_into(&self, out: &mut Tensor) {
+        self.map_into(out, relu_mask_scalar);
     }
 
     /// Leaky ReLU with negative slope `alpha`.
@@ -24,19 +72,27 @@ impl Tensor {
 
     /// Logistic sigmoid `1 / (1 + e^{-x})`, numerically stable for large |x|.
     pub fn sigmoid(&self) -> Tensor {
-        self.map(|x| {
-            if x >= 0.0 {
-                1.0 / (1.0 + (-x).exp())
-            } else {
-                let e = x.exp();
-                e / (1.0 + e)
-            }
-        })
+        self.map(sigmoid_scalar)
+    }
+
+    /// In-place form of [`Tensor::sigmoid`]; bitwise identical.
+    pub fn sigmoid_in_place(&mut self) {
+        self.map_in_place(sigmoid_scalar);
+    }
+
+    /// Destination-passing form of [`Tensor::sigmoid`]; bitwise identical.
+    pub fn sigmoid_into(&self, out: &mut Tensor) {
+        self.map_into(out, sigmoid_scalar);
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
         self.map(f32::tanh)
+    }
+
+    /// In-place form of [`Tensor::tanh`]; bitwise identical.
+    pub fn tanh_in_place(&mut self) {
+        self.map_in_place(f32::tanh);
     }
 
     /// Element-wise natural exponent.
@@ -85,17 +141,25 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor is not rank-2.
     pub fn log_softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        out.log_softmax_rows_in_place();
+        out
+    }
+
+    /// In-place form of [`Tensor::log_softmax_rows`]; bitwise identical.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2.
+    pub fn log_softmax_rows_in_place(&mut self) {
         assert_eq!(self.rank(), 2, "log_softmax_rows requires a rank-2 tensor");
         let cols = self.dims()[1];
-        let mut out = self.clone();
-        for row in out.data_mut().chunks_mut(cols) {
+        for row in self.data_mut().chunks_mut(cols) {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
             for x in row.iter_mut() {
                 *x -= log_sum;
             }
         }
-        out
     }
 }
 

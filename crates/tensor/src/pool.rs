@@ -1,0 +1,156 @@
+//! A size-bucketed scratch arena for activation and gradient buffers.
+//!
+//! One training step of a CNN performs dozens of transient full-activation
+//! allocations (layer outputs, im2col matrices, gradient temporaries). The
+//! [`TensorPool`] extends the zero-copy convention of the parameter plane
+//! (`fedcross_nn::params::ParamBlock`) into the compute plane: layers check
+//! reusable buffers out of the pool in their `forward_into` / `backward_into`
+//! forms and recycle them when done, so a steady-state minibatch step
+//! performs **zero** full-activation allocations — each shape is allocated
+//! once on the first step and reused forever after.
+//!
+//! The pool is deliberately dumb: free lists keyed by element count, no
+//! trimming, no sharing across threads (each training client owns one pool).
+//! Checked-out buffers are ordinary [`Tensor`]s; a tensor that is never
+//! recycled is simply freed by its destructor, so leaking buffers out of the
+//! pool is safe (just slower).
+
+use crate::Tensor;
+use std::collections::HashMap;
+
+/// A size-bucketed free list of reusable `f32` buffers.
+#[derive(Debug, Default)]
+pub struct TensorPool {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    fresh_allocations: usize,
+    checkouts: usize,
+}
+
+impl TensorPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a tensor of the given shape with **unspecified contents**
+    /// (stale data from a previous checkout). Use when every element will be
+    /// overwritten; use [`TensorPool::take_zeroed`] when the computation
+    /// accumulates into the buffer.
+    pub fn take_uninit(&mut self, dims: &[usize]) -> Tensor {
+        let numel: usize = dims.iter().product();
+        self.checkouts += 1;
+        let data = match self.buckets.get_mut(&numel).and_then(Vec::pop) {
+            Some(buf) => buf,
+            None => {
+                self.fresh_allocations += 1;
+                vec![0f32; numel]
+            }
+        };
+        let mut t = Tensor::from_vec(data, &[numel]);
+        t.reshape_in_place(dims);
+        t
+    }
+
+    /// Checks out a zero-filled tensor of the given shape.
+    pub fn take_zeroed(&mut self, dims: &[usize]) -> Tensor {
+        let mut t = self.take_uninit(dims);
+        t.fill(0.0);
+        t
+    }
+
+    /// Checks out a tensor containing a copy of `src` (same shape and bits).
+    pub fn take_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.take_uninit(src.dims());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        let data = tensor.into_vec();
+        self.buckets.entry(data.len()).or_default().push(data);
+    }
+
+    /// Number of buffers the pool had to allocate fresh (cache misses).
+    ///
+    /// In a steady-state training loop this stops growing after the first
+    /// step; the allocation-count regression test pins exactly that.
+    pub fn fresh_allocations(&self) -> usize {
+        self.fresh_allocations
+    }
+
+    /// Total number of checkouts served (hits + misses).
+    pub fn checkouts(&self) -> usize {
+        self.checkouts
+    }
+
+    /// Number of buffers currently parked in the free lists.
+    pub fn free_buffers(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_uninit_reuses_recycled_buffers() {
+        let mut pool = TensorPool::new();
+        let t = pool.take_uninit(&[4, 8]);
+        assert_eq!(t.dims(), &[4, 8]);
+        let ptr = t.data().as_ptr();
+        pool.recycle(t);
+        let t2 = pool.take_uninit(&[8, 4]); // same numel, different shape
+        assert_eq!(t2.dims(), &[8, 4]);
+        assert_eq!(t2.data().as_ptr(), ptr, "buffer must be reused");
+        assert_eq!(pool.fresh_allocations(), 1);
+        assert_eq!(pool.checkouts(), 2);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let mut pool = TensorPool::new();
+        let mut t = pool.take_uninit(&[3]);
+        t.fill(7.0);
+        pool.recycle(t);
+        let z = pool.take_zeroed(&[3]);
+        assert_eq!(z.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn take_copy_matches_source_bitwise() {
+        let mut pool = TensorPool::new();
+        let src = Tensor::from_vec(vec![1.5, -0.0, f32::MIN_POSITIVE], &[3]);
+        let copy = pool.take_copy(&src);
+        let bits: Vec<u32> = copy.data().iter().map(|x| x.to_bits()).collect();
+        let src_bits: Vec<u32> = src.data().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits, src_bits);
+    }
+
+    #[test]
+    fn distinct_sizes_use_distinct_buckets() {
+        let mut pool = TensorPool::new();
+        let a = pool.take_uninit(&[4]);
+        let b = pool.take_uninit(&[8]);
+        pool.recycle(a);
+        pool.recycle(b);
+        assert_eq!(pool.free_buffers(), 2);
+        let _a = pool.take_uninit(&[4]);
+        let _b = pool.take_uninit(&[8]);
+        assert_eq!(pool.fresh_allocations(), 2, "both sizes served from cache");
+    }
+
+    #[test]
+    fn steady_state_loop_stops_allocating() {
+        let mut pool = TensorPool::new();
+        for _ in 0..10 {
+            let x = pool.take_uninit(&[16, 16]);
+            let y = pool.take_zeroed(&[16]);
+            pool.recycle(x);
+            pool.recycle(y);
+        }
+        assert_eq!(pool.fresh_allocations(), 2);
+        assert_eq!(pool.checkouts(), 20);
+    }
+}

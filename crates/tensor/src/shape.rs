@@ -1,40 +1,65 @@
 //! Shape and stride bookkeeping for row-major dense tensors.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Maximum tensor rank the inline shape representation supports.
+///
+/// Nothing in the workspace exceeds rank 4 (`[N, C, H, W]` image batches);
+/// 6 leaves headroom. Storing dims inline (instead of a `Vec`) makes shape
+/// construction, cloning and reshaping allocation-free — a [`crate::Tensor`]
+/// checked out of the [`crate::TensorPool`] arena touches the heap exactly
+/// zero times, which is what lets the zero-allocation training plane pin
+/// steady-state steps to zero allocations.
+pub const MAX_RANK: usize = 6;
 
 /// A tensor shape: an ordered list of dimension extents.
 ///
 /// Shapes are stored in row-major (C) order: the last dimension is contiguous
 /// in memory. A rank-0 shape (empty dimension list) denotes a scalar with one
-/// element.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// element. The extents live in a fixed inline array (see [`MAX_RANK`]), so
+/// `Shape` values never allocate; unused trailing slots are kept zeroed so
+/// the derived equality/hashing stay correct.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
-    dims: Vec<usize>,
+    dims: [usize; MAX_RANK],
+    rank: usize,
 }
 
 impl Shape {
     /// Creates a shape from a slice of dimension extents.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_RANK`] dimensions are given.
     pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "tensor rank {} exceeds MAX_RANK {}",
+            dims.len(),
+            MAX_RANK
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
         Self {
-            dims: dims.to_vec(),
+            dims: inline,
+            rank: dims.len(),
         }
     }
 
     /// Returns the dimension extents.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank]
     }
 
     /// Returns the number of dimensions (the rank).
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank
     }
 
     /// Returns the total number of elements the shape describes.
     ///
     /// A rank-0 shape has one element (a scalar).
     pub fn numel(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Returns the extent of dimension `i`.
@@ -42,7 +67,7 @@ impl Shape {
     /// # Panics
     /// Panics if `i >= rank()`.
     pub fn dim(&self, i: usize) -> usize {
-        self.dims[i]
+        self.dims()[i]
     }
 
     /// Returns row-major strides (in elements) for this shape.
@@ -50,9 +75,9 @@ impl Shape {
     /// `strides()[i]` is the number of elements to skip to advance by one along
     /// dimension `i`.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![0usize; self.dims.len()];
+        let mut strides = vec![0usize; self.rank];
         let mut acc = 1usize;
-        for (i, d) in self.dims.iter().enumerate().rev() {
+        for (i, d) in self.dims().iter().enumerate().rev() {
             strides[i] = acc;
             acc *= d;
         }
@@ -64,16 +89,16 @@ impl Shape {
     /// Returns `None` if the index has the wrong rank or any component is out
     /// of bounds.
     pub fn flat_index(&self, index: &[usize]) -> Option<usize> {
-        if index.len() != self.dims.len() {
+        if index.len() != self.rank {
             return None;
         }
+        // Row-major: walk dimensions left to right, scaling by each extent.
         let mut offset = 0usize;
-        let strides = self.strides();
-        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+        for (&i, &d) in index.iter().zip(self.dims()) {
             if i >= d {
                 return None;
             }
-            offset += i * s;
+            offset = offset * d + i;
         }
         Some(offset)
     }
@@ -86,7 +111,7 @@ impl Shape {
             return None;
         }
         let strides = self.strides();
-        let mut index = vec![0usize; self.dims.len()];
+        let mut index = vec![0usize; self.rank];
         for (i, &s) in strides.iter().enumerate() {
             index[i] = offset / s;
             offset %= s;
@@ -96,7 +121,7 @@ impl Shape {
 
     /// Returns `true` when both shapes describe the same extents.
     pub fn same_as(&self, other: &Shape) -> bool {
-        self.dims == other.dims
+        self == other
     }
 }
 
@@ -108,14 +133,38 @@ impl From<&[usize]> for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape { dims }
+        Shape::new(&dims)
+    }
+}
+
+// Manual serde impls preserving the historical `{"dims": [...]}` encoding of
+// the old Vec-backed derive, so serialized checkpoints stay compatible.
+impl Serialize for Shape {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("dims".to_string(), self.dims().to_vec().to_value())])
+    }
+}
+
+impl Deserialize for Shape {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let dims_value = value
+            .get("dims")
+            .ok_or_else(|| SerdeError::custom("Shape: missing field `dims`"))?;
+        let dims = Vec::<usize>::from_value(dims_value)?;
+        if dims.len() > MAX_RANK {
+            return Err(SerdeError::custom(format!(
+                "Shape: rank {} exceeds MAX_RANK {MAX_RANK}",
+                dims.len()
+            )));
+        }
+        Ok(Shape::new(&dims))
     }
 }
 
 impl std::fmt::Display for Shape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -185,5 +234,27 @@ mod tests {
         let a: Shape = vec![1, 2].into();
         let b: Shape = (&[1usize, 2][..]).into();
         assert!(a.same_as(&b));
+    }
+
+    #[test]
+    fn equality_distinguishes_rank_despite_zero_padding() {
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 0]));
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
+        assert_eq!(Shape::new(&[2, 3]), Shape::new(&[2, 3]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_rank_above_max() {
+        let _ = Shape::new(&[1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn serde_roundtrip_keeps_dims_encoding() {
+        let s = Shape::new(&[4, 2, 8]);
+        let v = s.to_value();
+        assert!(v.get("dims").is_some(), "keeps the historical object form");
+        let back = Shape::from_value(&v).unwrap();
+        assert_eq!(back, s);
     }
 }

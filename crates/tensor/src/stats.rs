@@ -194,6 +194,59 @@ pub fn squared_distance_slices(x: &[f32], y: &[f32]) -> f64 {
     acc.iter().sum()
 }
 
+/// Squared L2 norm of a slice in `f64`, with exactly the lane structure the
+/// `nx` accumulator of [`dot_and_norms`] uses — so a cached norm combined via
+/// [`cosine_from_parts`] is bitwise identical to a fresh
+/// [`cosine_similarity`] call. This is what lets similarity-based selection
+/// compute each model's norm once instead of `K-1` times per round.
+pub fn norm_sq(x: &[f32]) -> f64 {
+    let mut acc = [0f64; KERNEL_LANES];
+    let mut chunks = x.chunks_exact(KERNEL_LANES);
+    for xc in &mut chunks {
+        for lane in 0..KERNEL_LANES {
+            let a = xc[lane] as f64;
+            acc[lane] += a * a;
+        }
+    }
+    for (lane, &a) in chunks.remainder().iter().enumerate() {
+        let a = a as f64;
+        acc[lane] += a * a;
+    }
+    acc.iter().sum()
+}
+
+/// Dot product of two slices in `f64`, with exactly the lane structure the
+/// `dot` accumulator of [`dot_and_norms`] uses (see [`norm_sq`]).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot_f64(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_f64: lengths differ");
+    let mut acc = [0f64; KERNEL_LANES];
+    let mut x_chunks = x.chunks_exact(KERNEL_LANES);
+    let mut y_chunks = y.chunks_exact(KERNEL_LANES);
+    for (xc, yc) in (&mut x_chunks).zip(&mut y_chunks) {
+        for lane in 0..KERNEL_LANES {
+            acc[lane] += (xc[lane] as f64) * (yc[lane] as f64);
+        }
+    }
+    for (lane, (&a, &b)) in x_chunks.remainder().iter().zip(y_chunks.remainder()).enumerate() {
+        acc[lane] += (a as f64) * (b as f64);
+    }
+    acc.iter().sum()
+}
+
+/// Combines a dot product and two squared norms into the clamped cosine
+/// similarity — the one definition shared by [`cosine_similarity`] and the
+/// cached-norm selection path.
+pub fn cosine_from_parts(dot: f64, nx: f64, ny: f64) -> f32 {
+    let denom = nx.sqrt() * ny.sqrt();
+    if denom <= f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    (dot / denom).clamp(-1.0, 1.0) as f32
+}
+
 /// Cosine similarity between two flat parameter slices.
 ///
 /// Defined as `<x, y> / (||x|| * ||y||)` and clamped to `[-1, 1]`; returns 0
@@ -202,11 +255,7 @@ pub fn squared_distance_slices(x: &[f32], y: &[f32]) -> f64 {
 pub fn cosine_similarity(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "cosine_similarity: lengths differ");
     let (dot, nx, ny) = dot_and_norms(x, y);
-    let denom = nx.sqrt() * ny.sqrt();
-    if denom <= f64::MIN_POSITIVE {
-        return 0.0;
-    }
-    (dot / denom).clamp(-1.0, 1.0) as f32
+    cosine_from_parts(dot, nx, ny)
 }
 
 /// Cosine similarity between two tensors of identical element count.
@@ -347,6 +396,25 @@ mod tests {
             assert!((dot - ref_dot).abs() < 1e-9 * (1.0 + ref_dot.abs()));
             assert!((nx - ref_nx).abs() < 1e-9 * (1.0 + ref_nx));
             assert!((ny - ref_ny).abs() < 1e-9 * (1.0 + ref_ny));
+        }
+    }
+
+    #[test]
+    fn cached_norm_parts_are_bitwise_identical_to_fused_pass() {
+        // The whole point of norm_sq/dot_f64: splitting the fused pass into
+        // cached pieces must not change a single similarity bit, or cached
+        // selection would alter training trajectories.
+        for n in [0usize, 1, 7, 8, 9, 65, 1000] {
+            let x: Vec<f32> = (0..n).map(|i| ((i % 19) as f32) * 0.4 - 3.0).collect();
+            let y: Vec<f32> = (0..n).map(|i| ((i % 11) as f32) * -0.6 + 2.0).collect();
+            let (dot, nx, ny) = super::dot_and_norms(&x, &y);
+            assert_eq!(super::dot_f64(&x, &y).to_bits(), dot.to_bits());
+            assert_eq!(super::norm_sq(&x).to_bits(), nx.to_bits());
+            assert_eq!(super::norm_sq(&y).to_bits(), ny.to_bits());
+            assert_eq!(
+                super::cosine_from_parts(dot, nx, ny).to_bits(),
+                super::cosine_similarity(&x, &y).to_bits()
+            );
         }
     }
 

@@ -255,6 +255,27 @@ impl Tensor {
         Tensor::from_vec(data, &out_dims)
     }
 
+    /// Destination-passing form of [`Tensor::index_select0`]: gathers the
+    /// selected rows into `out`, resizing its buffer as needed. When `out`'s
+    /// backing capacity already covers the result (e.g. a reused minibatch
+    /// gather buffer), no allocation is performed.
+    pub fn index_select0_into(&self, indices: &[usize], out: &mut Tensor) {
+        assert!(self.rank() >= 1, "index_select0_into requires rank >= 1");
+        let dims = self.dims();
+        let row_len: usize = dims[1..].iter().product();
+        let mut out_dims = [0usize; crate::shape::MAX_RANK];
+        out_dims[..dims.len()].copy_from_slice(dims);
+        out_dims[0] = indices.len();
+        out.data.clear();
+        out.data.reserve(indices.len() * row_len);
+        for &i in indices {
+            assert!(i < dims[0], "index {i} out of bounds for dim0 {}", dims[0]);
+            out.data
+                .extend_from_slice(&self.data[i * row_len..(i + 1) * row_len]);
+        }
+        out.shape = Shape::new(&out_dims[..dims.len()]);
+    }
+
     /// Concatenates tensors along dimension 0. All trailing dims must match.
     ///
     /// # Panics
@@ -378,6 +399,49 @@ impl Tensor {
         }
     }
 
+    /// Destination-passing form of [`Tensor::map`]: writes `f` applied to
+    /// every element into `out` (which takes this tensor's shape). Bitwise
+    /// identical to the allocating form.
+    ///
+    /// # Panics
+    /// Panics if `out` has a different element count.
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32) {
+        assert_eq!(self.numel(), out.numel(), "map_into: element count mismatch");
+        out.shape = self.shape.clone();
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+    }
+
+    /// Destination-passing form of [`Tensor::zip_map`]; bitwise identical to
+    /// the allocating form.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch with `other` or element-count mismatch with
+    /// `out`.
+    pub fn zip_map_into(&self, other: &Tensor, out: &mut Tensor, f: impl Fn(f32, f32) -> f32) {
+        self.assert_same_shape(other, "zip_map_into");
+        assert_eq!(
+            self.numel(),
+            out.numel(),
+            "zip_map_into: element count mismatch"
+        );
+        out.shape = self.shape.clone();
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
+    }
+
+    /// Copies another tensor's shape and contents into this one.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert_eq!(self.numel(), src.numel(), "copy_from: element count mismatch");
+        self.shape = src.shape.clone();
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Combines two same-shaped tensors element-wise with `f`.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         self.assert_same_shape(other, "zip_map");
@@ -408,6 +472,23 @@ impl Tensor {
             }
         }
         out
+    }
+
+    /// Adds a rank-1 bias vector to every row of this rank-2 tensor in place.
+    /// Bitwise identical to [`Tensor::add_row_broadcast`].
+    ///
+    /// # Panics
+    /// Panics if `self` is not rank-2 or the bias length differs from the
+    /// number of columns.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Tensor) {
+        assert_eq!(self.rank(), 2, "add_row_broadcast_assign requires rank-2 input");
+        let cols = self.dims()[1];
+        assert_eq!(bias.numel(), cols, "bias length must equal column count");
+        for row in self.data.chunks_mut(cols) {
+            for (x, b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
     }
 
     /// Clamps every element into `[lo, hi]`, returning a new tensor.

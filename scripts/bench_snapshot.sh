@@ -1,20 +1,21 @@
 #!/usr/bin/env bash
-# Snapshot the round-pipeline criterion benches into a machine-readable JSON
-# file (default: BENCH_PR1.json at the repo root).
+# Snapshot the round-pipeline and client-training criterion benches into a
+# machine-readable JSON file (default: BENCH_PR2.json at the repo root).
 #
 # The workspace's criterion shim appends one JSON line per benchmark to the
-# file named by FEDCROSS_BENCH_JSON; this script runs the `aggregation` and
-# `fl_round` benches with that hook enabled and wraps the lines into a JSON
-# document.
+# file named by FEDCROSS_BENCH_JSON; this script runs the `aggregation`,
+# `fl_round` and `client_training` benches with that hook enabled and wraps
+# the lines into a JSON document.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 lines="$(mktemp)"
 trap 'rm -f "$lines"' EXIT
 
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench aggregation
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench fl_round
+FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench client_training
 
 {
     printf '{\n'

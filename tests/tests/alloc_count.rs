@@ -1,0 +1,188 @@
+//! Allocation-count regression tests for the zero-allocation training plane.
+//!
+//! A counting global allocator wraps the system allocator for this test
+//! binary only. Two properties are pinned:
+//!
+//! 1. A steady-state `local_train` minibatch step — gather, forward, loss,
+//!    backward, optimizer step — performs **zero** heap allocations once the
+//!    arena, gather buffers and optimizer state are warm (measured directly
+//!    on the public training-plane APIs, exactly the sequence
+//!    `local_train` runs).
+//! 2. Whole `local_train` calls allocate a fixed warm-up set that does NOT
+//!    grow with the number of epochs/steps — tripling the epochs must not
+//!    change the allocation count.
+//!
+//! If a layer quietly reintroduces a `clone()` or a fresh `Vec` per step,
+//! these counts move and the test fails.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::{Batch, Dataset, Heterogeneity};
+use fedcross_flsim::client::local_train;
+use fedcross_flsim::LocalTrainConfig;
+use fedcross_nn::loss::softmax_cross_entropy_into;
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_nn::optim::Sgd;
+use fedcross_nn::Model;
+use fedcross_tensor::{SeededRng, TensorPool};
+
+fn tiny_task() -> (Dataset, Box<dyn Model>) {
+    let mut rng = SeededRng::new(7);
+    let data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: 1,
+            samples_per_client: 40,
+            test_samples: 10,
+            ..Default::default()
+        },
+        Heterogeneity::Iid,
+        &mut rng,
+    );
+    let model = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (3, 6),
+            fc_hidden: 12,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+    (data.client(0).clone(), model)
+}
+
+/// Runs `epochs` of the exact minibatch loop `local_train` executes, using
+/// pre-warmed state, and returns the allocations performed.
+#[allow(clippy::too_many_arguments)]
+fn run_epochs(
+    model: &mut dyn Model,
+    data: &Dataset,
+    config: &LocalTrainConfig,
+    rng: &mut SeededRng,
+    pool: &mut TensorPool,
+    order: &mut Vec<usize>,
+    batch: &mut Batch,
+    optimizer: &mut Sgd,
+    epochs: usize,
+) -> usize {
+    let before = allocations();
+    for _ in 0..epochs {
+        data.epoch_order(Some(rng), order);
+        for chunk in order.chunks(config.batch_size) {
+            data.gather_batch(chunk, batch);
+            model.zero_grads();
+            let logits = model.forward_into(&batch.features, true, pool);
+            let (_, grad) = softmax_cross_entropy_into(&logits, &batch.labels, pool);
+            pool.recycle(logits);
+            model.backward_into(&grad, pool);
+            pool.recycle(grad);
+            optimizer.step(model);
+        }
+    }
+    allocations() - before
+}
+
+// NOTE: this binary contains exactly one #[test] so no concurrent test
+// thread can pollute the global allocation counter.
+#[test]
+fn steady_state_training_steps_allocate_nothing() {
+    let (data, template) = tiny_task();
+    let mut model = template.clone_model();
+    let config = LocalTrainConfig {
+        epochs: 1,
+        batch_size: 16, // 40 samples -> chunks of 16, 16, 8: both shapes warm up
+        lr: 0.05,
+        momentum: 0.5,
+        weight_decay: 1e-4,
+    };
+    let mut rng = SeededRng::new(5);
+    let mut pool = TensorPool::new();
+    let mut order = Vec::new();
+    let mut batch = Batch::reusable();
+    let mut optimizer = Sgd::new(config.lr, config.momentum, config.weight_decay);
+
+    // Warm-up epochs: populate the arena, gather buffers, velocity, the
+    // matmul packing scratch and the free-list capacities for every batch
+    // shape (the second epoch catches one-time free-list growth that only
+    // occurs once buffers from the first epoch are parked).
+    let warmup = run_epochs(
+        &mut *model, &data, &config, &mut rng, &mut pool, &mut order, &mut batch, &mut optimizer, 2,
+    );
+    assert!(warmup > 0, "warm-up should allocate the arena");
+    let fresh_after_warmup = pool.fresh_allocations();
+
+    // Steady state: three more epochs (including epoch-boundary reshuffles
+    // and the smaller tail batch) must perform ZERO heap allocations.
+    let steady = run_epochs(
+        &mut *model, &data, &config, &mut rng, &mut pool, &mut order, &mut batch, &mut optimizer, 3,
+    );
+    assert_eq!(
+        steady, 0,
+        "steady-state training steps must not allocate (got {steady} allocations over 3 epochs)"
+    );
+    assert_eq!(
+        pool.fresh_allocations(),
+        fresh_after_warmup,
+        "the arena must serve every steady-state checkout from its free lists"
+    );
+    assert!(pool.checkouts() > fresh_after_warmup);
+
+    // End-to-end pin on `local_train` itself: its per-call allocations are a
+    // fixed warm-up set, so tripling the epochs must not change the count.
+    let count_for = |epochs: usize| {
+        let mut model = template.clone_model();
+        let config = LocalTrainConfig {
+            epochs,
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        };
+        let mut rng = SeededRng::new(9);
+        let before = allocations();
+        let update = local_train(0, model.as_mut(), &data, &config, &mut rng, None);
+        let delta = allocations() - before;
+        assert!(update.steps >= epochs * 3);
+        delta
+    };
+    // Run once to absorb any one-time lazy initialisation (thread-local
+    // packing scratch, etc.), then compare runs whose warm-up phase (first
+    // two epochs: arena population plus one-time free-list growth) is
+    // identical but whose steady-state step count triples.
+    count_for(2);
+    let two_epochs = count_for(2);
+    let six_epochs = count_for(6);
+    assert_eq!(
+        two_epochs, six_epochs,
+        "local_train allocations must not scale with the number of steps"
+    );
+}
