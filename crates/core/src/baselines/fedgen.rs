@@ -119,6 +119,12 @@ impl FederatedAlgorithm for FedGen {
     fn global_params(&self) -> Vec<f32> {
         self.global.to_vec()
     }
+
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        // Allocation-free deployment read for the per-round evaluation path.
+        out.clear();
+        out.extend_from_slice(&self.global);
+    }
 }
 
 #[cfg(test)]

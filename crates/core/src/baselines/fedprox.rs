@@ -72,6 +72,12 @@ impl FederatedAlgorithm for FedProx {
     fn global_params(&self) -> Vec<f32> {
         self.global.to_vec()
     }
+
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        // Allocation-free deployment read for the per-round evaluation path.
+        out.clear();
+        out.extend_from_slice(&self.global);
+    }
 }
 
 #[cfg(test)]

@@ -38,19 +38,47 @@ pub enum AvailabilityModel {
 
 
 impl AvailabilityModel {
+    /// Validates the model's configuration, panicking on nonsense values.
+    ///
+    /// The variants are plain public structs (they arrive from config files
+    /// via serde), so there is no constructor to validate in; instead the
+    /// engine validates eagerly at attach time and [`Self::is_available`]
+    /// re-asserts on every query. Both checks are real `assert!`s — a
+    /// `RandomDropout { prob: 1.5 }` used to pass silently in release builds
+    /// and drop every client of every round.
+    ///
+    /// # Panics
+    /// Panics if a dropout probability lies outside `[0, 1)` or is not
+    /// finite, or a straggler period is below 2.
+    pub fn validate(&self) {
+        match *self {
+            AvailabilityModel::AlwaysOn => {}
+            AvailabilityModel::RandomDropout { prob } => {
+                assert!(
+                    prob.is_finite() && (0.0..1.0).contains(&prob),
+                    "dropout probability must be in [0, 1), got {prob}"
+                );
+            }
+            AvailabilityModel::PeriodicStraggler { period } => {
+                assert!(period >= 2, "straggler period must be at least 2, got {period}");
+            }
+        }
+    }
+
     /// Whether the given client responds in the given round. `rng` supplies
     /// the randomness for the stochastic models; deterministic models ignore
     /// it (and consume nothing from it).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see [`Self::validate`]) — in every
+    /// build profile, not just debug.
     pub fn is_available(&self, round: usize, client: usize, rng: &mut SeededRng) -> bool {
+        self.validate();
         match *self {
             AvailabilityModel::AlwaysOn => true,
-            AvailabilityModel::RandomDropout { prob } => {
-                debug_assert!((0.0..1.0).contains(&prob), "dropout prob must be in [0, 1)");
-                rng.uniform() >= prob
-            }
+            AvailabilityModel::RandomDropout { prob } => rng.uniform() >= prob,
             AvailabilityModel::PeriodicStraggler { period } => {
-                debug_assert!(period >= 2, "straggler period must be at least 2");
-                !(client + round).is_multiple_of(period.max(2))
+                !(client + round).is_multiple_of(period)
             }
         }
     }
@@ -135,6 +163,36 @@ mod tests {
             assert_eq!(drops, 1);
         }
         assert!((model.expected_failure_rate() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability must be in [0, 1)")]
+    fn out_of_range_dropout_probability_is_rejected() {
+        // Regression: this used to be a debug_assert, so release builds
+        // silently dropped every client instead of failing.
+        let mut rng = SeededRng::new(0);
+        let _ = AvailabilityModel::RandomDropout { prob: 1.5 }.is_available(0, 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability must be in [0, 1)")]
+    fn nan_dropout_probability_is_rejected() {
+        AvailabilityModel::RandomDropout { prob: f32::NAN }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler period must be at least 2")]
+    fn degenerate_straggler_period_is_rejected() {
+        let mut rng = SeededRng::new(0);
+        let _ = AvailabilityModel::PeriodicStraggler { period: 1 }.is_available(0, 0, &mut rng);
+    }
+
+    #[test]
+    fn validate_accepts_all_sane_configurations() {
+        AvailabilityModel::AlwaysOn.validate();
+        AvailabilityModel::RandomDropout { prob: 0.0 }.validate();
+        AvailabilityModel::RandomDropout { prob: 0.999 }.validate();
+        AvailabilityModel::PeriodicStraggler { period: 2 }.validate();
     }
 
     #[test]

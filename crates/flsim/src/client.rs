@@ -69,9 +69,15 @@ impl LocalTrainConfig {
 pub struct LocalUpdate {
     /// Index of the client that produced the update.
     pub client: usize,
-    /// Trained (uploaded) parameter vector. A freshly trained update always
-    /// owns its buffer uniquely, so server-side aggregation can take it over
-    /// (`update.params` by move, or `make_mut` in place) without copying.
+    /// Trained (uploaded) parameter vector.
+    ///
+    /// Updates produced through the persistent worker plane share their
+    /// buffer with the worker's reusable upload block (so a steady-state
+    /// round uploads without allocating); copy-on-write protects both sides,
+    /// so server-side aggregation may freely read the slice, keep a clone, or
+    /// `make_mut` (which duplicates only while the worker still holds its
+    /// handle). An update from the standalone [`local_train`] owns its buffer
+    /// uniquely, as before.
     pub params: ParamBlock,
     /// Number of local training samples (FedAvg weighting).
     pub num_samples: usize,
@@ -81,11 +87,59 @@ pub struct LocalUpdate {
     pub steps: usize,
 }
 
+/// Reusable per-worker training state: the scratch arena, the minibatch
+/// gather buffers, the optimizer (with its velocity buffer) and the upload
+/// block.
+///
+/// One `TrainScratch` belongs to exactly one logical training worker (a
+/// `fedcross_flsim::worker::ClientWorkerPool` slot, or one `local_train`
+/// call). Reusing it across rounds is what turns the per-round "allocate
+/// arena + velocity + upload vector" cost into a one-time warm-up: every
+/// buffer inside is cleared/overwritten — never dropped — between uses, so a
+/// steady-state round performs zero full-model or full-activation heap
+/// allocations.
+pub struct TrainScratch {
+    pool: TensorPool,
+    order: Vec<usize>,
+    batch: Batch,
+    optimizer: Sgd,
+    upload: ParamBlock,
+}
+
+impl TrainScratch {
+    /// Creates cold scratch state; every buffer is grown on first use.
+    pub fn new() -> Self {
+        Self {
+            pool: TensorPool::new(),
+            order: Vec::new(),
+            batch: Batch::reusable(),
+            optimizer: Sgd::paper_default(),
+            upload: ParamBlock::default(),
+        }
+    }
+
+    /// Number of fresh buffers the scratch arena had to allocate (stops
+    /// growing once the worker is warm; exposed for the allocation tests).
+    pub fn arena_fresh_allocations(&self) -> usize {
+        self.pool.fresh_allocations()
+    }
+}
+
+impl Default for TrainScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Runs local training of `model` (already loaded with the dispatched
 /// parameters) on `data`, returning the trained parameter vector and stats.
 ///
 /// `correction` optionally adjusts every per-parameter gradient before the
 /// SGD update — the hook FedProx and SCAFFOLD use.
+///
+/// This standalone form builds (and drops) its own [`TrainScratch`], so the
+/// returned update owns its parameter buffer uniquely. The round loop instead
+/// goes through [`local_train_pooled`] with a persistent worker's scratch.
 pub fn local_train(
     client: usize,
     model: &mut dyn Model,
@@ -94,35 +148,63 @@ pub fn local_train(
     rng: &mut SeededRng,
     correction: Option<&GradCorrection>,
 ) -> LocalUpdate {
+    let mut scratch = TrainScratch::new();
+    local_train_pooled(client, model, data, config, rng, correction, &mut scratch)
+    // `scratch` drops here, releasing its handle on the upload block: the
+    // update leaves as the unique owner.
+}
+
+/// [`local_train`] against caller-owned reusable scratch state — the form the
+/// persistent worker plane dispatches to. Bitwise identical to the standalone
+/// form (same loop, same arithmetic); the only difference is that every
+/// transient buffer, the optimizer velocity and the upload block come from
+/// `scratch` and survive for the next round. The returned update's `params`
+/// share the scratch's upload block (copy-on-write; see
+/// [`LocalUpdate::params`]).
+pub fn local_train_pooled(
+    client: usize,
+    model: &mut dyn Model,
+    data: &Dataset,
+    config: &LocalTrainConfig,
+    rng: &mut SeededRng,
+    correction: Option<&GradCorrection>,
+    scratch: &mut TrainScratch,
+) -> LocalUpdate {
     assert!(config.epochs > 0, "at least one local epoch is required");
     assert!(config.batch_size > 0, "batch size must be positive");
-    let mut optimizer = Sgd::new(config.lr, config.momentum, config.weight_decay);
+    // Fresh-optimizer semantics on a reused velocity buffer: a round always
+    // starts from zero momentum, exactly like the historical per-call
+    // `Sgd::new`.
+    scratch
+        .optimizer
+        .reconfigure(config.lr, config.momentum, config.weight_decay);
     let mut steps = 0usize;
     let mut last_epoch_loss = 0f32;
 
     // All transient training state — activations, gradients, the minibatch
     // gather buffers and the epoch order — is checked out once and reused
-    // across every step and epoch: after the first step the loop performs
-    // zero allocations (pinned by tests/tests/training_plane.rs).
-    let mut pool = TensorPool::new();
-    let mut order: Vec<usize> = Vec::new();
-    let mut batch = Batch::reusable();
+    // across every step, epoch and (for persistent workers) round: after the
+    // warm-up the loop performs zero allocations (pinned by
+    // tests/tests/training_plane.rs and tests/tests/round_alloc.rs).
+    let pool = &mut scratch.pool;
+    let order = &mut scratch.order;
+    let batch = &mut scratch.batch;
 
     for epoch in 0..config.epochs {
         let mut epoch_loss = 0f32;
         let mut epoch_batches = 0usize;
-        data.epoch_order(Some(rng), &mut order);
+        data.epoch_order(Some(rng), order);
         for chunk in order.chunks(config.batch_size) {
-            data.gather_batch(chunk, &mut batch);
+            data.gather_batch(chunk, batch);
             model.zero_grads();
-            let logits = model.forward_into(&batch.features, true, &mut pool);
-            let (loss, grad) = softmax_cross_entropy_into(&logits, &batch.labels, &mut pool);
+            let logits = model.forward_into(&batch.features, true, pool);
+            let (loss, grad) = softmax_cross_entropy_into(&logits, &batch.labels, pool);
             pool.recycle(logits);
-            model.backward_into(&grad, &mut pool);
+            model.backward_into(&grad, pool);
             pool.recycle(grad);
             match correction {
-                Some(correct) => optimizer.step_with(model, correct),
-                None => optimizer.step(model),
+                Some(correct) => scratch.optimizer.step_with(model, correct),
+                None => scratch.optimizer.step(model),
             }
             epoch_loss += loss;
             epoch_batches += 1;
@@ -133,9 +215,20 @@ pub fn local_train(
         }
     }
 
+    // Upload through the reusable block: `make_mut` reuses the buffer in
+    // place whenever the server released last round's handle (the steady
+    // state). When the server retained the upload, duplicating the shared
+    // contents would be wasted work (they are about to be overwritten), so
+    // start from an empty block instead — correctness never depends on the
+    // server's behaviour.
+    if !scratch.upload.is_unique() {
+        scratch.upload = ParamBlock::default();
+    }
+    let buf = scratch.upload.make_mut();
+    model.read_params_into(buf);
     LocalUpdate {
         client,
-        params: ParamBlock::from(model.params_flat()),
+        params: scratch.upload.clone(),
         num_samples: data.len(),
         train_loss: last_epoch_loss,
         steps,

@@ -10,10 +10,11 @@
 //! SCAFFOLD, FedGen, CluSamp and FedCross.
 
 use crate::availability::AvailabilityModel;
-use crate::client::{local_train, GradCorrection, LocalTrainConfig, LocalUpdate};
+use crate::client::{GradCorrection, LocalTrainConfig, LocalUpdate};
 use crate::comm::CommTracker;
-use crate::eval::evaluate_params;
+use crate::eval::EvalWorker;
 use crate::history::{RoundRecord, TrainingHistory};
+use crate::worker::ClientWorkerPool;
 use fedcross_data::FederatedDataset;
 use fedcross_nn::params::ParamBlock;
 use fedcross_nn::Model;
@@ -80,6 +81,25 @@ impl RoundReport {
     }
 }
 
+/// The worker plane a [`RoundContext`] trains on: either a pool borrowed
+/// from the long-lived simulation (warm across rounds — the steady-state
+/// path) or a context-owned pool (one-shot contexts built by tests and
+/// benches keep their historical clone-per-round cost profile, with
+/// unchanged results).
+enum WorkerPlane<'a> {
+    Owned(ClientWorkerPool),
+    Shared(&'a mut ClientWorkerPool),
+}
+
+impl WorkerPlane<'_> {
+    fn pool(&mut self) -> &mut ClientWorkerPool {
+        match self {
+            WorkerPlane::Owned(pool) => pool,
+            WorkerPlane::Shared(pool) => pool,
+        }
+    }
+}
+
 /// Everything an algorithm can touch during one communication round.
 pub struct RoundContext<'a> {
     data: &'a FederatedDataset,
@@ -91,6 +111,7 @@ pub struct RoundContext<'a> {
     availability: AvailabilityModel,
     round: usize,
     dropped: Vec<usize>,
+    plane: WorkerPlane<'a>,
 }
 
 impl<'a> RoundContext<'a> {
@@ -115,15 +136,33 @@ impl<'a> RoundContext<'a> {
             availability: AvailabilityModel::AlwaysOn,
             round: 0,
             dropped: Vec::new(),
+            plane: WorkerPlane::Owned(ClientWorkerPool::new()),
         }
     }
 
     /// Attaches a client-availability model for this round (the round number
     /// is needed by the deterministic straggler patterns). Defaults to
     /// [`AvailabilityModel::AlwaysOn`].
+    ///
+    /// The model is validated eagerly: an out-of-range dropout probability or
+    /// straggler period panics here instead of silently misbehaving at
+    /// training time.
     pub fn with_availability(mut self, availability: AvailabilityModel, round: usize) -> Self {
+        availability.validate();
         self.availability = availability;
         self.round = round;
+        self
+    }
+
+    /// Attaches a persistent [`ClientWorkerPool`] that outlives this context,
+    /// so the round trains on warm cached models instead of fresh template
+    /// clones. For contexts sharing one template (the supported use — see
+    /// [`ClientWorkerPool::ensure`] for the exact compatibility contract),
+    /// results are bitwise identical either way (see the [`crate::worker`]
+    /// module docs); only the allocation profile changes. [`Simulation`]
+    /// attaches one pool for its whole run.
+    pub fn with_worker_pool(mut self, pool: &'a mut ClientWorkerPool) -> Self {
+        self.plane = WorkerPlane::Shared(pool);
         self
     }
 
@@ -196,8 +235,13 @@ impl<'a> RoundContext<'a> {
 
     /// Trains one client on the dispatched parameters and returns its update,
     /// recording the communication.
-    pub fn local_train(&mut self, client: usize, params: &[f32]) -> LocalUpdate {
-        let updates = self.local_train_jobs(vec![TrainJob::plain(client, params.to_vec())]);
+    ///
+    /// Accepts anything convertible into a [`ParamBlock`]: pass a cloned
+    /// block (a reference-count bump) to dispatch a server model without
+    /// copying it; `&[f32]` / `Vec<f32>` still work and copy once at the
+    /// conversion boundary.
+    pub fn local_train(&mut self, client: usize, params: impl Into<ParamBlock>) -> LocalUpdate {
+        let updates = self.local_train_jobs(vec![TrainJob::plain(client, params)]);
         updates.into_iter().next().expect("one job yields one update")
     }
 
@@ -253,26 +297,38 @@ impl<'a> RoundContext<'a> {
             }
         }
 
-        // Prepare per-job state serially (model clones, RNG forks), then train
-        // in parallel — the paper's "parallel for" block (Algorithm 1, line 6).
+        // Derive every job's RNG stream serially, in job order. Safety of the
+        // `fork(client + 1)` derivation: `fork` reads only the round RNG's
+        // *construction seed* (see `SeededRng::fork`), so two jobs for the
+        // same client in the same round would collide — but a round never
+        // dispatches the same client twice, and the simulation rebuilds the
+        // round RNG from `master.fork(round)` every round, so the (round,
+        // client) pair uniquely identifies each stream. The worker pool must
+        // preserve exactly this derivation (it does: the reseeding fork below
+        // never consumes the job stream).
         let local = self.local;
-        let prepared: Vec<(TrainJob, Box<dyn Model>, SeededRng)> = jobs
+        let prepared: Vec<(TrainJob, SeededRng)> = jobs
             .into_iter()
             .map(|job| {
-                let mut model = self.template.clone_model();
-                model.set_params_flat(&job.params);
                 let rng = self.rng.fork(job.client as u64 + 1);
-                (job, model, rng)
+                (job, rng)
             })
             .collect();
 
+        // Dispatch onto the persistent worker plane: slot i takes job i,
+        // reloads the dispatched parameters into its cached model and rewinds
+        // stochastic layer state, which is bitwise identical to the
+        // historical clone-per-round preparation — then train in parallel,
+        // the paper's "parallel for" block (Algorithm 1, line 6).
         let data = self.data;
-        prepared
-            .into_par_iter()
-            .map(|(job, mut model, mut rng)| {
-                local_train(
+        let template = self.template;
+        let workers = self.plane.pool().ensure(prepared.len(), template);
+        let work: Vec<_> = prepared.into_iter().zip(workers.iter_mut()).collect();
+        work.into_par_iter()
+            .map(|((job, mut rng), worker)| {
+                worker.train(
                     job.client,
-                    model.as_mut(),
+                    &job.params,
                     data.client(job.client),
                     &local,
                     &mut rng,
@@ -306,6 +362,18 @@ pub trait FederatedAlgorithm {
     /// (FedCross generates it on demand from the middleware models; FedAvg
     /// simply returns its global model).
     fn global_params(&self) -> Vec<f32>;
+
+    /// Writes the deployed parameter vector into `out` (cleared first),
+    /// reusing its capacity — the allocation-free form the simulation's
+    /// evaluation loop uses every round. Must produce exactly the bytes of
+    /// [`FederatedAlgorithm::global_params`]; the default falls back to the
+    /// allocating form, so algorithms only override it when they can generate
+    /// the global model into a caller buffer (FedCross and FedAvg do).
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        let params = self.global_params();
+        out.clear();
+        out.extend_from_slice(&params);
+    }
 }
 
 /// Simulation-level configuration (everything outside a single round).
@@ -387,7 +455,13 @@ impl<'a> Simulation<'a> {
 
     /// Simulates unreliable clients: selected clients may drop out according
     /// to `availability` (default: every client always responds).
+    ///
+    /// # Panics
+    /// Panics on an invalid model (dropout probability outside `[0, 1)`,
+    /// straggler period below 2) — validated eagerly so a misconfiguration
+    /// fails at setup instead of silently dropping every client.
     pub fn with_availability(mut self, availability: AvailabilityModel) -> Self {
+        availability.validate();
         self.availability = availability;
         self
     }
@@ -413,6 +487,16 @@ impl<'a> Simulation<'a> {
         let mut comm = CommTracker::new();
         let mut history = TrainingHistory::new();
 
+        // The persistent round plane: one pool of warm client workers shared
+        // by every round, one cached evaluation model, and one reusable
+        // global-parameter buffer. After the first (warm-up) round a
+        // steady-state round — training *and* evaluation — constructs zero
+        // models and performs zero full-model heap allocations (pinned by
+        // tests/tests/round_alloc.rs).
+        let mut plane = ClientWorkerPool::new();
+        let mut eval_worker = EvalWorker::new(self.template.as_ref());
+        let mut global_buf: Vec<f32> = Vec::new();
+
         for round in 0..self.config.rounds {
             let report = {
                 let mut ctx = RoundContext::new(
@@ -423,16 +507,17 @@ impl<'a> Simulation<'a> {
                     master.fork(round as u64),
                     &mut comm,
                 )
-                .with_availability(self.availability, round);
+                .with_availability(self.availability, round)
+                .with_worker_pool(&mut plane);
                 algorithm.run_round(round, &mut ctx)
             };
             comm.end_round();
 
             let is_last = round + 1 == self.config.rounds;
             if round % self.config.eval_every == 0 || is_last {
-                let evaluation = evaluate_params(
-                    self.template.as_ref(),
-                    &algorithm.global_params(),
+                algorithm.global_params_into(&mut global_buf);
+                let evaluation = eval_worker.evaluate_params(
+                    &global_buf,
                     self.data.test_set(),
                     self.config.eval_batch_size,
                 );
@@ -459,6 +544,7 @@ impl<'a> Simulation<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate_params;
     use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
     use fedcross_data::Heterogeneity;
     use fedcross_nn::models::CnnConfig;

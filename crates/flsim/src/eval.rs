@@ -1,8 +1,9 @@
 //! Centralised model evaluation on the global test set.
 
-use fedcross_data::Dataset;
-use fedcross_nn::loss::{accuracy, softmax_cross_entropy};
+use fedcross_data::{Batch, Dataset};
+use fedcross_nn::loss::{accuracy, softmax_cross_entropy, softmax_cross_entropy_into};
 use fedcross_nn::Model;
+use fedcross_tensor::TensorPool;
 
 /// Result of evaluating a model on a dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,17 +54,110 @@ pub fn evaluate(model: &mut dyn Model, data: &Dataset, batch_size: usize) -> Eva
 }
 
 /// Evaluates a flat parameter vector by loading it into a clone of
-/// `template`. This is how the engine evaluates the server-side global model
-/// without disturbing any client state.
+/// `template`. This is how one-shot callers (fairness sweeps, tests)
+/// evaluate a model without disturbing any client state; the simulation's
+/// round loop instead reuses an [`EvalWorker`] so the per-evaluation clone
+/// disappears. Results are bitwise identical either way.
 pub fn evaluate_params(
     template: &dyn Model,
     params: &[f32],
     data: &Dataset,
     batch_size: usize,
 ) -> Evaluation {
-    let mut model = template.clone_model();
-    model.set_params_flat(params);
-    evaluate(model.as_mut(), data, batch_size)
+    EvalWorker::new(template).evaluate_params(params, data, batch_size)
+}
+
+/// A persistent evaluation worker: one cached model instance plus the scratch
+/// arena and gather buffers every evaluation reuses.
+///
+/// [`evaluate_params`] clones the template and materialises every mini-batch
+/// on each call; an `EvalWorker` pays that cost once and then evaluates with
+/// zero model constructions and zero full-activation allocations — the
+/// evaluation half of the persistent round plane. Produces bit-for-bit the
+/// numbers [`evaluate`] produces (the pooled forward/loss forms are pinned
+/// bitwise-identical to the allocating ones).
+pub struct EvalWorker {
+    model: Box<dyn Model>,
+    pool: TensorPool,
+    order: Vec<usize>,
+    batch: Batch,
+}
+
+impl EvalWorker {
+    /// Creates a worker for the given architecture (clones the template
+    /// once).
+    pub fn new(template: &dyn Model) -> Self {
+        Self {
+            model: template.clone_model(),
+            pool: TensorPool::new(),
+            order: Vec::new(),
+            batch: Batch::reusable(),
+        }
+    }
+
+    /// Loads `params` into the cached model without evaluating — useful when
+    /// the same parameters are then evaluated against several datasets (e.g.
+    /// a per-client fairness sweep).
+    pub fn load_params(&mut self, params: &[f32]) {
+        self.model.set_params_flat(params);
+    }
+
+    /// Loads `params` into the cached model and evaluates it on `data`.
+    ///
+    /// Evaluation runs in inference mode, so no stochastic layer state is
+    /// consumed and no reseeding is needed between calls.
+    pub fn evaluate_params(
+        &mut self,
+        params: &[f32],
+        data: &Dataset,
+        batch_size: usize,
+    ) -> Evaluation {
+        self.model.set_params_flat(params);
+        self.evaluate_current(data, batch_size)
+    }
+
+    /// Fresh-buffer count of the worker's scratch arena; stops growing once
+    /// every batch shape has been evaluated once (the warm-up evaluation).
+    pub fn arena_fresh_allocations(&self) -> usize {
+        self.pool.fresh_allocations()
+    }
+
+    /// Evaluates whatever parameters the cached model currently holds.
+    pub fn evaluate_current(&mut self, data: &Dataset, batch_size: usize) -> Evaluation {
+        assert!(batch_size > 0, "batch size must be positive");
+        if data.is_empty() {
+            return Evaluation {
+                accuracy: 0.0,
+                loss: 0.0,
+                samples: 0,
+            };
+        }
+        let mut weighted_acc = 0f64;
+        let mut weighted_loss = 0f64;
+        let mut samples = 0usize;
+        // Deterministic order + reused gather buffers reproduce exactly the
+        // batches `Dataset::minibatches(batch_size, None)` would build.
+        data.epoch_order(None, &mut self.order);
+        for chunk in self.order.chunks(batch_size) {
+            data.gather_batch(chunk, &mut self.batch);
+            let logits = self
+                .model
+                .forward_into(&self.batch.features, false, &mut self.pool);
+            let (loss, grad) =
+                softmax_cross_entropy_into(&logits, &self.batch.labels, &mut self.pool);
+            self.pool.recycle(grad);
+            let acc = accuracy(&logits, &self.batch.labels);
+            self.pool.recycle(logits);
+            weighted_acc += acc as f64 * chunk.len() as f64;
+            weighted_loss += loss as f64 * chunk.len() as f64;
+            samples += chunk.len();
+        }
+        Evaluation {
+            accuracy: (weighted_acc / samples as f64) as f32,
+            loss: (weighted_loss / samples as f64) as f32,
+            samples,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! summarises the spread, so the claim can be measured directly (the
 //! `fairness_report` harness compares FedAvg and FedCross on it).
 
-use crate::eval::evaluate_params;
+use crate::eval::EvalWorker;
 use fedcross_data::FederatedDataset;
 use fedcross_nn::Model;
 use fedcross_tensor::stats::{mean_of, std_dev_of};
@@ -96,8 +96,17 @@ pub fn per_client_fairness(
     data: &FederatedDataset,
     batch_size: usize,
 ) -> FairnessReport {
+    // One cached evaluation worker for the whole sweep (the parameters are
+    // loaded once; each client evaluation reuses the model and arena),
+    // instead of one model clone per client.
+    let mut worker = EvalWorker::new(template);
+    worker.load_params(params);
     let accuracies: Vec<f32> = (0..data.num_clients())
-        .map(|client| evaluate_params(template, params, data.client(client), batch_size).accuracy)
+        .map(|client| {
+            worker
+                .evaluate_current(data.client(client), batch_size)
+                .accuracy
+        })
         .collect();
     FairnessReport::from_accuracies(accuracies)
 }

@@ -18,6 +18,8 @@
 //!   FedCross middleware list, learning curve),
 //! * [`fairness`] — per-client accuracy distribution of a deployed global
 //!   model (the measurement behind the paper's Figure 1 motivation),
+//! * [`worker`] — the persistent client-worker plane: warm model + scratch
+//!   slots reused across rounds so steady-state rounds construct no models,
 //! * [`engine`] — the round loop: an implementation of
 //!   [`engine::FederatedAlgorithm`] (FedCross and the five baselines live in
 //!   the `fedcross` crate) is driven round by round against a
@@ -75,11 +77,14 @@ pub mod eval;
 pub mod fairness;
 pub mod history;
 pub mod landscape;
+pub mod worker;
 
 pub use availability::AvailabilityModel;
 pub use checkpoint::Checkpoint;
 pub use client::{LocalTrainConfig, LocalUpdate};
 pub use comm::{CommOverheadClass, CommTracker};
 pub use engine::{FederatedAlgorithm, RoundContext, RoundReport, Simulation, SimulationConfig};
+pub use eval::EvalWorker;
 pub use fairness::{per_client_fairness, FairnessReport};
 pub use history::{RoundRecord, TrainingHistory};
+pub use worker::{ClientWorker, ClientWorkerPool};

@@ -1,0 +1,275 @@
+//! The persistent client-worker plane.
+//!
+//! Before this module existed the engine rebuilt every client-side model on
+//! every communication round: `clone_model()` + `set_params_flat` per
+//! training job, plus another clone per evaluation — so the zero-copy /
+//! zero-allocation guarantees of the parameter and training planes stopped at
+//! the round boundary. A [`ClientWorkerPool`] keeps one warm slot per
+//! parallel worker — a model instance, the scratch arena, the minibatch
+//! gather buffers, the optimizer velocity and a reusable upload block — so a
+//! steady-state round performs **zero model constructions and zero
+//! full-model heap allocations**: dispatch degenerates to "reload parameters
+//! into a cached model".
+//!
+//! ## Why reuse is trajectory-safe
+//!
+//! Reloading parameters restores *almost* all model state: every trainable
+//! tensor and the batch-norm running statistics are `Param`s, and the forward
+//! caches are overwritten before they are read. The one exception is
+//! stochastic layer state — [`Dropout`](fedcross_nn::layers::Dropout) owns an
+//! RNG forked once at construction, so a naively reused model would continue
+//! its mask stream where last round stopped while a fresh clone would restart
+//! it. Every dispatch therefore calls
+//! [`Model::reset_stochastic_state`], which rewinds such streams to their
+//! construction seed — making "cached slot + reload + reset" bitwise
+//! identical to "clone template + reload" (pinned by
+//! `tests/tests/round_plane.rs` and the fixed-seed trajectory fingerprints in
+//! `tests/tests/training_plane.rs`).
+//!
+//! The pool requires the template's own stochastic state to be unconsumed
+//! (never `forward(train=true)` the template itself) — true for every
+//! template the [`crate::Simulation`] manages.
+
+use crate::client::{
+    local_train_pooled, GradCorrection, LocalTrainConfig, LocalUpdate, TrainScratch,
+};
+use fedcross_data::Dataset;
+use fedcross_nn::Model;
+use fedcross_tensor::SeededRng;
+
+/// Stream id used to derive the (currently unused-by-`Dropout`) reseeding
+/// entropy for [`Model::reset_stochastic_state`] from a job's training RNG.
+/// Forking does not consume the parent (see [`SeededRng::fork`]), so the
+/// job's shuffle stream is untouched — a requirement for bitwise equivalence
+/// with the clone-per-round path, which never touched the job RNG either.
+const RESEED_STREAM: u64 = 0x5EED;
+
+/// One warm worker: a cached model plus all reusable training state.
+pub struct ClientWorker {
+    model: Box<dyn Model>,
+    scratch: TrainScratch,
+}
+
+impl ClientWorker {
+    fn from_template(template: &dyn Model) -> Self {
+        Self {
+            model: template.clone_model(),
+            scratch: TrainScratch::new(),
+        }
+    }
+
+    /// Runs one training job on this worker: reload the dispatched
+    /// parameters, rewind stochastic layer state to fresh-clone semantics,
+    /// then train. Bitwise identical to training a fresh template clone.
+    pub fn train(
+        &mut self,
+        client: usize,
+        params: &[f32],
+        data: &Dataset,
+        config: &LocalTrainConfig,
+        rng: &mut SeededRng,
+        correction: Option<&GradCorrection>,
+    ) -> LocalUpdate {
+        self.model.set_params_flat(params);
+        let mut reseed = rng.fork(RESEED_STREAM);
+        self.model.reset_stochastic_state(&mut reseed);
+        local_train_pooled(
+            client,
+            self.model.as_mut(),
+            data,
+            config,
+            rng,
+            correction,
+            &mut self.scratch,
+        )
+    }
+
+    /// The cached model (read access, for tests and diagnostics).
+    pub fn model(&self) -> &dyn Model {
+        self.model.as_ref()
+    }
+
+    /// Fresh-buffer count of this worker's scratch arena; stops growing once
+    /// the worker is warm (see [`TrainScratch::arena_fresh_allocations`]).
+    pub fn arena_fresh_allocations(&self) -> usize {
+        self.scratch.arena_fresh_allocations()
+    }
+}
+
+/// A growable pool of persistent [`ClientWorker`]s, one per parallel training
+/// job of a round.
+///
+/// The pool is architecture-checked: if it is reused with a template whose
+/// architecture or parameter count differs from the cached workers, the slots
+/// are rebuilt (a correctness guard, not a hot path). Within one simulation
+/// the pool grows to the round width once and then serves every subsequent
+/// round without constructing a single model.
+#[derive(Default)]
+pub struct ClientWorkerPool {
+    workers: Vec<ClientWorker>,
+    arch: Option<(&'static str, u64)>,
+    models_built: usize,
+}
+
+impl ClientWorkerPool {
+    /// Creates an empty pool; slots are cloned from the template lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of warm worker slots currently cached.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool holds no workers yet.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Total number of model instances this pool has ever constructed. In a
+    /// steady-state simulation this stops growing after the widest round —
+    /// the "zero model constructions per round" invariant the round-plane
+    /// tests pin.
+    pub fn models_built(&self) -> usize {
+        self.models_built
+    }
+
+    /// Total fresh-buffer count across every worker's scratch arena. Like
+    /// [`ClientWorkerPool::models_built`], this stops growing once the plane
+    /// is warm: a steady-state round serves every activation, gradient and
+    /// gather buffer from the free lists (pinned by
+    /// `tests/tests/round_alloc.rs`).
+    pub fn arena_fresh_allocations(&self) -> usize {
+        self.workers
+            .iter()
+            .map(ClientWorker::arena_fresh_allocations)
+            .sum()
+    }
+
+    /// Ensures at least `n` warm workers compatible with `template` exist and
+    /// returns exactly `n` of them.
+    ///
+    /// **Contract: one pool serves one template** (or identical clones of
+    /// it). The `(arch_name, param_layout_hash)` signature check is
+    /// defense-in-depth against accidental mismatches: the hash covers the
+    /// layer sequence, per-parameter tensor sizes and each layer's
+    /// value-level configuration (`Layer::config_hash` — dropout
+    /// probability + mask-stream seed, conv stride/padding, pooling
+    /// geometry), so template variants along any of those axes force a
+    /// rebuild. External `Model` impls that don't override
+    /// `param_layout_hash`/`config_hash` fall back to coarser signatures —
+    /// keep to the one-template contract there. `Simulation` creates a
+    /// fresh pool per run, so the engine never shares pools across
+    /// templates.
+    pub fn ensure(&mut self, n: usize, template: &dyn Model) -> &mut [ClientWorker] {
+        // Keyed on the parameter *layout* hash, not the parameter count:
+        // different layer shapes can sum to the same total, and loading a
+        // same-length flat vector into a differently shaped cached model
+        // would silently train through the wrong architecture.
+        let signature = (template.arch_name(), template.param_layout_hash());
+        if self.arch != Some(signature) {
+            // Different architecture than the cached slots: rebuild from
+            // scratch rather than training through mismatched models.
+            self.workers.clear();
+            self.arch = Some(signature);
+        }
+        while self.workers.len() < n {
+            self.workers.push(ClientWorker::from_template(template));
+            self.models_built += 1;
+        }
+        &mut self.workers[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedcross_nn::models::mlp;
+
+    #[test]
+    fn pool_grows_once_and_then_reuses_workers() {
+        let mut rng = SeededRng::new(0);
+        let template = mlp(4, &[8], 2, &mut rng);
+        let mut pool = ClientWorkerPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.ensure(3, template.as_ref()).len(), 3);
+        assert_eq!(pool.models_built(), 3);
+        // Narrower and equal-width rounds construct nothing new.
+        let _ = pool.ensure(2, template.as_ref());
+        let _ = pool.ensure(3, template.as_ref());
+        assert_eq!(pool.models_built(), 3);
+        assert_eq!(pool.len(), 3);
+        // A wider round grows by the difference only.
+        let _ = pool.ensure(5, template.as_ref());
+        assert_eq!(pool.models_built(), 5);
+    }
+
+    #[test]
+    fn pool_rebuilds_on_architecture_change() {
+        let mut rng = SeededRng::new(1);
+        let a = mlp(4, &[8], 2, &mut rng);
+        let b = mlp(6, &[8], 2, &mut rng);
+        let mut pool = ClientWorkerPool::new();
+        let _ = pool.ensure(2, a.as_ref());
+        let workers = pool.ensure(2, b.as_ref());
+        assert_eq!(workers[0].model().param_count(), b.param_count());
+        assert_eq!(pool.models_built(), 4, "mismatched slots must be rebuilt");
+    }
+
+    #[test]
+    fn pool_rebuilds_on_same_size_layout_collision() {
+        // Same arch label AND same total parameter count, different layer
+        // shapes: mlp(1, [12], 10) and mlp(13, [6], 10) are both "mlp" with
+        // 154 parameters. The layout hash must still force a rebuild —
+        // loading one's flat vector into the other's cached model would
+        // silently train through the wrong architecture.
+        let mut rng = SeededRng::new(2);
+        let a = mlp(1, &[12], 10, &mut rng);
+        let b = mlp(13, &[6], 10, &mut rng);
+        assert_eq!(a.param_count(), b.param_count());
+        assert_ne!(a.param_layout_hash(), b.param_layout_hash());
+        let mut pool = ClientWorkerPool::new();
+        let _ = pool.ensure(1, a.as_ref());
+        let _ = pool.ensure(1, b.as_ref());
+        assert_eq!(pool.models_built(), 2, "layout collisions must rebuild");
+    }
+
+    #[test]
+    fn pool_rebuilds_on_value_level_config_difference() {
+        use fedcross_nn::layers::{Dropout, Linear};
+        use fedcross_nn::Sequential;
+        // Identical layer sequence and parameter shapes; only the dropout
+        // probability differs. The config-hash channel must still force a
+        // rebuild — reusing the cached model would silently train with the
+        // wrong dropout rate.
+        let build = |p: f32| {
+            let mut rng = SeededRng::new(3);
+            Sequential::new("cfg-probe")
+                .push(Linear::new(4, 6, &mut rng))
+                .push(Dropout::new(p, &mut rng))
+                .push(Linear::new(6, 2, &mut rng))
+                .boxed()
+        };
+        let a = build(0.2);
+        let b = build(0.5);
+        assert_eq!(a.param_count(), b.param_count());
+        assert_ne!(a.param_layout_hash(), b.param_layout_hash());
+        let mut pool = ClientWorkerPool::new();
+        let _ = pool.ensure(1, a.as_ref());
+        let _ = pool.ensure(1, b.as_ref());
+        assert_eq!(pool.models_built(), 2, "config differences must rebuild");
+
+        // Same probability but a different construction seed changes the
+        // dropout mask stream — also a rebuild.
+        let c = {
+            let mut rng = SeededRng::new(4);
+            Sequential::new("cfg-probe")
+                .push(Linear::new(4, 6, &mut rng))
+                .push(Dropout::new(0.5, &mut rng))
+                .push(Linear::new(6, 2, &mut rng))
+                .boxed()
+        };
+        assert_ne!(b.param_layout_hash(), c.param_layout_hash());
+    }
+}

@@ -1,6 +1,6 @@
 //! The [`Layer`] trait and the [`Param`] (value + gradient) pair.
 
-use fedcross_tensor::{Tensor, TensorPool};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 /// A trainable parameter: its current value and the gradient accumulated by
 /// the most recent backward pass(es).
@@ -104,6 +104,44 @@ pub trait Layer: Send {
     /// Resets all parameter gradients to zero.
     fn zero_grads(&mut self) {
         self.visit_params_mut(&mut |p| p.zero_grad());
+    }
+
+    /// Restores the layer's *stochastic* state (anything that evolves as the
+    /// layer is used but is not a parameter — e.g. the dropout mask RNG) to
+    /// the state a fresh construction-time copy of the layer would have.
+    ///
+    /// Together with [`crate::Model::set_params_flat`] this makes a cached,
+    /// previously trained layer indistinguishable from a freshly cloned one:
+    /// the persistent client-worker plane calls it on every dispatch so that
+    /// reusing a model across federated rounds is **bitwise identical** to
+    /// cloning the template each round. Layers whose reset needs fresh
+    /// entropy may draw it (deterministically) from `rng`; [`Dropout`]
+    /// deliberately ignores `rng` and rewinds its own forked stream to its
+    /// construction seed, because that is exactly the state a clone of a
+    /// never-trained template carries.
+    ///
+    /// The default is a no-op, which is correct for every layer whose only
+    /// cross-step state is parameters and forward caches (caches are
+    /// overwritten by the next forward pass before they are read).
+    ///
+    /// [`Dropout`]: crate::layers::Dropout
+    fn reset_stochastic_state(&mut self, rng: &mut SeededRng) {
+        let _ = rng;
+    }
+
+    /// Folds this layer's *value-level* configuration — anything that changes
+    /// behaviour but lives in neither a parameter tensor nor the layer name:
+    /// a dropout probability and its mask-stream seed, a convolution's
+    /// stride/padding, a pooling window — into an FNV-1a hash state and
+    /// returns the new state (use `crate::fnv1a_mix`). Together with the
+    /// layer-name and parameter-size sequence this makes
+    /// [`crate::Model::param_layout_hash`] distinguish templates that would
+    /// otherwise collide, which is what the persistent worker pool keys
+    /// cached-model compatibility on. The default mixes nothing — correct
+    /// for layers whose constructor takes no behaviour-affecting values
+    /// beyond their parameter shapes.
+    fn config_hash(&self, hash: u64) -> u64 {
+        hash
     }
 
     /// Short layer name for debugging / summaries.

@@ -1,7 +1,7 @@
 //! Parameter-free activation layers.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::{Tensor, TensorPool};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 /// Rectified linear unit layer.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +52,10 @@ impl Layer for Relu {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic activation: no stochastic state to reset.
     }
 
     fn name(&self) -> &'static str {
@@ -115,6 +119,10 @@ impl Layer for Tanh {
         Vec::new()
     }
 
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic activation: no stochastic state to reset.
+    }
+
     fn name(&self) -> &'static str {
         "tanh"
     }
@@ -174,6 +182,10 @@ impl Layer for Sigmoid {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic activation: no stochastic state to reset.
     }
 
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 //! 2-D batch normalisation.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::{Tensor, TensorPool};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 const EPS: f32 = 1e-5;
 
@@ -271,6 +271,11 @@ impl Layer for BatchNorm2d {
         f(&mut self.beta);
         f(&mut self.running_mean);
         f(&mut self.running_var);
+    }
+
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic: running statistics are Params (restored by
+        // set_params_flat) and the forward caches are overwritten before use.
     }
 
     fn name(&self) -> &'static str {

@@ -283,6 +283,21 @@ impl Layer for Conv2d {
         f(&mut self.bias);
     }
 
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic: only parameters and forward caches.
+    }
+
+    fn config_hash(&self, hash: u64) -> u64 {
+        // The whole geometry: the weight is stored im2col-style as
+        // [OC, IC·K²], so even full tensor dims cannot separate a
+        // kernel/channel trade-off (4ch·k=2 and 16ch·k=1 share [4, 64]) —
+        // the kernel size must be mixed explicitly, alongside stride and
+        // padding which live in no tensor at all.
+        let hash = crate::fnv1a_mix(hash, &self.geom.kernel.to_le_bytes());
+        let hash = crate::fnv1a_mix(hash, &self.geom.stride.to_le_bytes());
+        crate::fnv1a_mix(hash, &self.geom.padding.to_le_bytes())
+    }
+
     fn name(&self) -> &'static str {
         "conv2d"
     }

@@ -90,6 +90,27 @@ impl Layer for Dropout {
         }
     }
 
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Rewind the mask stream to its construction seed rather than
+        // re-forking from `_rng`: a clone of a never-trained template carries
+        // the *unconsumed* state of the fork taken in `Dropout::new`, and
+        // `SeededRng::new(seed)` reproduces exactly that state. This is what
+        // keeps a cached worker model bitwise identical to clone-per-round.
+        // The stale mask (if any) is left in place on purpose — the next
+        // `forward_into` recycles it into the worker's own arena, whereas
+        // dropping it here would leak the buffer out of the pool and force a
+        // fresh allocation next round.
+        self.rng = SeededRng::new(self.rng.seed());
+    }
+
+    fn config_hash(&self, hash: u64) -> u64 {
+        // Both the drop probability and the mask-stream seed change training
+        // behaviour without touching any parameter tensor; folding them in
+        // lets the worker pool tell two same-shaped templates apart.
+        let hash = crate::fnv1a_mix(hash, &self.p.to_bits().to_le_bytes());
+        crate::fnv1a_mix(hash, &self.rng.seed().to_le_bytes())
+    }
+
     fn params(&self) -> Vec<&Param> {
         Vec::new()
     }
@@ -163,6 +184,29 @@ mod tests {
         // Gradient must be zero exactly where the output was dropped.
         for (gy, yy) in g.data().iter().zip(y.data()) {
             assert_eq!(*gy == 0.0, *yy == 0.0);
+        }
+    }
+
+    #[test]
+    fn reset_stochastic_state_rewinds_the_mask_stream() {
+        let mut rng = SeededRng::new(6);
+        let template = Dropout::new(0.5, &mut rng);
+        let x = Tensor::ones(&[8, 8]);
+
+        // A cached layer that already produced masks, then was reset, must
+        // generate exactly the mask sequence a fresh clone generates.
+        let mut cached = template.clone();
+        for _ in 0..3 {
+            let _ = cached.forward(&x, true);
+        }
+        let mut entropy = SeededRng::new(99);
+        cached.reset_stochastic_state(&mut entropy);
+
+        let mut fresh = template.clone();
+        for _ in 0..2 {
+            let a = cached.forward(&x, true);
+            let b = fresh.forward(&x, true);
+            assert_eq!(a.data(), b.data(), "reset must rewind to the construction stream");
         }
     }
 

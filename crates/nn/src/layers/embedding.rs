@@ -176,6 +176,10 @@ impl Layer for Embedding {
         f(&mut self.weight);
     }
 
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic lookup table: no stochastic state.
+    }
+
     fn name(&self) -> &'static str {
         "embedding"
     }

@@ -1,7 +1,7 @@
 //! Flatten layer: collapses all non-batch dimensions.
 
 use crate::layer::{Layer, Param};
-use fedcross_tensor::{Tensor, TensorPool};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 /// Flattens `[N, d1, d2, ...]` into `[N, d1*d2*...]`.
 #[derive(Debug, Clone, Default)]
@@ -65,6 +65,10 @@ impl Layer for Flatten {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Pure reshape: no stochastic state.
     }
 
     fn name(&self) -> &'static str {

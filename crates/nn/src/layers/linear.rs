@@ -152,6 +152,10 @@ impl Layer for Linear {
         f(&mut self.bias);
     }
 
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic: only parameters and forward caches.
+    }
+
     fn name(&self) -> &'static str {
         "linear"
     }

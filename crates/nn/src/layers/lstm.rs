@@ -448,6 +448,11 @@ impl Layer for Lstm {
         f(&mut self.bias);
     }
 
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic: the per-timestep caches are rebuilt by every
+        // forward pass; the construction RNG is consumed at init only.
+    }
+
     fn name(&self) -> &'static str {
         "lstm"
     }

@@ -6,7 +6,7 @@ use fedcross_tensor::conv::{
     global_avg_pool2d_into, max_pool2d, max_pool2d_backward, max_pool2d_backward_into,
     max_pool2d_into, Conv2dGeom,
 };
-use fedcross_tensor::{Tensor, TensorPool};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 /// 2-D max pooling.
 #[derive(Debug, Clone)]
@@ -87,6 +87,17 @@ impl Layer for MaxPool2d {
         Vec::new()
     }
 
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic pooling: no stochastic state.
+    }
+
+    fn config_hash(&self, hash: u64) -> u64 {
+        // The whole layer is configuration: window size and stride exist in
+        // no parameter tensor.
+        let hash = crate::fnv1a_mix(hash, &self.geom.kernel.to_le_bytes());
+        crate::fnv1a_mix(hash, &self.geom.stride.to_le_bytes())
+    }
+
     fn name(&self) -> &'static str {
         "maxpool2d"
     }
@@ -153,6 +164,10 @@ impl Layer for GlobalAvgPool2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    fn reset_stochastic_state(&mut self, _rng: &mut SeededRng) {
+        // Deterministic pooling: no stochastic state.
     }
 
     fn name(&self) -> &'static str {

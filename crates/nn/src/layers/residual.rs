@@ -239,6 +239,31 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn reset_stochastic_state(&mut self, rng: &mut SeededRng) {
+        // Composite layer: thread the reset through every child so a future
+        // stochastic sub-layer (e.g. dropout inside a block) is covered.
+        self.conv1.reset_stochastic_state(rng);
+        self.bn1.reset_stochastic_state(rng);
+        self.conv2.reset_stochastic_state(rng);
+        self.bn2.reset_stochastic_state(rng);
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.reset_stochastic_state(rng);
+            bn.reset_stochastic_state(rng);
+        }
+    }
+
+    fn config_hash(&self, hash: u64) -> u64 {
+        // Composite layer: fold in every child's configuration.
+        let hash = self.conv1.config_hash(hash);
+        let hash = self.bn1.config_hash(hash);
+        let hash = self.conv2.config_hash(hash);
+        let hash = self.bn2.config_hash(hash);
+        match &self.downsample {
+            Some((conv, bn)) => bn.config_hash(conv.config_hash(hash)),
+            None => hash,
+        }
+    }
+
     fn name(&self) -> &'static str {
         "residual_block"
     }

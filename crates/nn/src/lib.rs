@@ -55,7 +55,20 @@ pub use layer::{Layer, Param};
 pub use params::ParamBlock;
 pub use sequential::Sequential;
 
-use fedcross_tensor::{Tensor, TensorPool};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
+
+/// FNV-1a offset basis / prime, shared by every layout-hash implementation so
+/// the default and the structured overrides can never drift apart.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Mixes one byte string into an FNV-1a hash state.
+pub(crate) fn fnv1a_mix(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
 
 /// A trainable model: a differentiable classifier exposing its parameters as a
 /// single flat `f32` vector.
@@ -95,6 +108,24 @@ pub trait Model: Send {
     /// Total number of scalar parameters.
     fn param_count(&self) -> usize;
 
+    /// A cheap fingerprint of the model's *parameter layout*: the sequence of
+    /// per-parameter tensor sizes in [`Model::params_flat`] order (plus, for
+    /// structured models, the layer-name sequence), FNV-1a hashed. Two models
+    /// with equal hashes accept each other's flat vectors tensor-for-tensor;
+    /// a matching `param_count` alone does not guarantee that (different
+    /// layer shapes can sum to the same total). The worker pool keys its
+    /// cached-model compatibility check on this.
+    ///
+    /// Structured models additionally fold in each layer's value-level
+    /// configuration via [`Layer::config_hash`] (dropout probability and
+    /// mask-stream seed, conv stride/padding, pooling geometry), so template
+    /// variants along those axes hash differently too. The default falls
+    /// back to hashing just the total count — correct but collision-prone,
+    /// so structured models should override it ([`Sequential`] does).
+    fn param_layout_hash(&self) -> u64 {
+        fnv1a_mix(FNV_OFFSET, &self.param_count().to_le_bytes())
+    }
+
     /// Returns all parameters concatenated into one flat vector.
     fn params_flat(&self) -> Vec<f32>;
 
@@ -133,6 +164,22 @@ pub trait Model: Send {
 
     /// Resets all accumulated gradients to zero.
     fn zero_grads(&mut self);
+
+    /// Restores every layer's stochastic state (dropout mask RNGs, …) to what
+    /// a fresh construction-time copy of the model would have; see
+    /// [`Layer::reset_stochastic_state`].
+    ///
+    /// `set_params_flat` + `reset_stochastic_state` together turn a cached,
+    /// previously trained model instance into the bitwise equivalent of
+    /// `template.clone_model()` + `set_params_flat` — the contract the
+    /// persistent client-worker plane in `fedcross-flsim` relies on. The
+    /// default is a no-op; models composed of stochastic layers (anything
+    /// holding [`layers::Dropout`]) **must** override it and forward the call
+    /// to their layers, or cached reuse will silently diverge from
+    /// clone-per-round trajectories. [`Sequential`] already does.
+    fn reset_stochastic_state(&mut self, rng: &mut SeededRng) {
+        let _ = rng;
+    }
 
     /// Clones the model (architecture, parameters and buffers) behind a box.
     fn clone_model(&self) -> Box<dyn Model>;

@@ -31,17 +31,18 @@ pub struct Sgd {
 impl Sgd {
     /// Creates a new SGD optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
-        Self {
-            lr,
-            momentum,
-            weight_decay,
+        let mut sgd = Self {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
             velocity: Vec::new(),
             params_scratch: Vec::new(),
             grads_scratch: Vec::new(),
-        }
+        };
+        // One shared validation + install path: `new` and `reconfigure` can
+        // never drift apart in what they accept.
+        sgd.reconfigure(lr, momentum, weight_decay);
+        sgd
     }
 
     /// The paper's client optimizer: lr 0.01, momentum 0.5, no weight decay.
@@ -50,8 +51,27 @@ impl Sgd {
     }
 
     /// Resets the momentum buffer (used when a client receives a fresh model).
+    ///
+    /// The buffer's *capacity* is kept, so an optimizer owned by a persistent
+    /// client worker re-zeroes (rather than re-allocates) its velocity on the
+    /// next step — one of the pieces of the zero-allocation round plane.
     pub fn reset_state(&mut self) {
         self.velocity.clear();
+    }
+
+    /// Re-validates and installs new hyper-parameters, resetting the momentum
+    /// state (capacity preserved). Equivalent to replacing the optimizer with
+    /// `Sgd::new(lr, momentum, weight_decay)` except that the velocity and
+    /// scratch buffers keep their allocations — the form the persistent
+    /// worker plane uses at every dispatch.
+    pub fn reconfigure(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.lr = lr;
+        self.momentum = momentum;
+        self.weight_decay = weight_decay;
+        self.reset_state();
     }
 
     /// Performs one update step using the gradients accumulated in `model`.
@@ -79,7 +99,10 @@ impl Sgd {
         // allocation-count test).
         let count = model.param_count();
         if self.velocity.len() != count {
-            self.velocity = vec![0f32; count];
+            // clear + resize reuses the existing allocation when the buffer
+            // was reset (or previously sized) for the same parameter count.
+            self.velocity.clear();
+            self.velocity.resize(count, 0.0);
         }
         let (lr, momentum, weight_decay) = (self.lr, self.momentum, self.weight_decay);
         let velocity = &mut self.velocity;
@@ -131,7 +154,8 @@ impl Sgd {
     pub fn step_raw(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
         if self.velocity.len() != params.len() {
-            self.velocity = vec![0f32; params.len()];
+            self.velocity.clear();
+            self.velocity.resize(params.len(), 0.0);
         }
         for i in 0..params.len() {
             let mut g = grads[i];
@@ -263,6 +287,32 @@ mod tests {
         sgd.step_raw(&mut p2, &[1.0, 1.0, 1.0]);
         // After reset the first step is identical to a fresh optimizer's.
         assert_eq!(p2, vec![-0.1, -0.1, -0.1]);
+    }
+
+    #[test]
+    fn reconfigure_matches_a_fresh_optimizer_bitwise() {
+        // A reused (reconfigured) optimizer must produce exactly the update
+        // sequence of a brand-new one — the worker-plane reuse contract.
+        let mut reused = Sgd::new(0.3, 0.9, 1e-3);
+        let mut p = vec![1.0f32, -1.0];
+        reused.step_raw(&mut p, &[0.5, -0.5]);
+        reused.reconfigure(0.1, 0.5, 0.0);
+
+        let mut fresh = Sgd::new(0.1, 0.5, 0.0);
+        let mut p_reused = vec![2.0f32, -3.0];
+        let mut p_fresh = vec![2.0f32, -3.0];
+        for _ in 0..3 {
+            reused.step_raw(&mut p_reused, &[1.0, -2.0]);
+            fresh.step_raw(&mut p_fresh, &[1.0, -2.0]);
+        }
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&p_reused), bits(&p_fresh));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reconfigure_rejects_invalid_momentum() {
+        Sgd::new(0.1, 0.0, 0.0).reconfigure(0.1, 1.5, 0.0);
     }
 
     #[test]

@@ -131,6 +131,20 @@ impl From<&[f32]> for ParamBlock {
     }
 }
 
+impl From<&Vec<f32>> for ParamBlock {
+    fn from(data: &Vec<f32>) -> Self {
+        Self::new(data.clone())
+    }
+}
+
+impl From<&ParamBlock> for ParamBlock {
+    fn from(block: &ParamBlock) -> Self {
+        // A reference-count bump, preserving the zero-copy dispatch path for
+        // callers that pass `&block` through `impl Into<ParamBlock>` APIs.
+        block.clone()
+    }
+}
+
 impl FromIterator<f32> for ParamBlock {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
         Self::new(iter.into_iter().collect())
@@ -203,14 +217,25 @@ pub fn average<V: AsRef<[f32]>>(vectors: &[V]) -> ParamVec {
 }
 
 /// Destination-passing [`average`]: writes the mean into `out`, reusing its
-/// allocation.
+/// allocation. Allocation-free: the uniform weight is applied directly
+/// (`1/K` equals the normalised weight `1.0 / Σ 1.0` bit-for-bit for any
+/// realistic `K`, so results are identical to
+/// [`weighted_average_into`] with all-ones weights).
 ///
 /// # Panics
 /// Panics if `vectors` is empty, the vectors have different lengths, or `out`
 /// has the wrong length.
 pub fn average_into<V: AsRef<[f32]>>(out: &mut [f32], vectors: &[V]) {
     assert!(!vectors.is_empty(), "average requires at least one vector");
-    weighted_average_into(out, vectors, &vec![1.0; vectors.len()]);
+    let dim = vectors[0].as_ref().len();
+    assert_eq!(out.len(), dim, "output length must match the vectors");
+    let scale = 1.0 / vectors.len() as f32;
+    out.fill(0.0);
+    for vec in vectors {
+        let vec = vec.as_ref();
+        assert_eq!(vec.len(), dim, "all vectors must have identical length");
+        accumulate_scaled(out, vec, scale);
+    }
 }
 
 /// Weighted element-wise average of parameter vectors.

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::Model;
-use fedcross_tensor::{Tensor, TensorPool};
+use fedcross_tensor::{SeededRng, Tensor, TensorPool};
 
 /// A model built from a linear chain of layers.
 ///
@@ -132,6 +132,30 @@ impl Model for Sequential {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
 
+    fn param_layout_hash(&self) -> u64 {
+        // Layer names, per-parameter sizes and value-level layer config:
+        // distinguishes shape collisions (same totals, different tensors),
+        // parameter-free structural changes (relu vs tanh, an extra flatten)
+        // and config-only variants (dropout probability/seed, conv stride).
+        let mut hash = crate::FNV_OFFSET;
+        for layer in &self.layers {
+            hash = crate::fnv1a_mix(hash, layer.name().as_bytes());
+            layer.visit_params(&mut |p| {
+                // Full dims, not just the element count: Conv2d(4ch, k=2)
+                // and Conv2d(16ch, k=1) — or Embedding(V, D) vs (D, V) —
+                // have equal numels but incompatible tensors. Rank is mixed
+                // first so dim sequences can't alias across parameters.
+                let dims = p.value.dims();
+                hash = crate::fnv1a_mix(hash, &dims.len().to_le_bytes());
+                for &d in dims {
+                    hash = crate::fnv1a_mix(hash, &d.to_le_bytes());
+                }
+            });
+            hash = layer.config_hash(hash);
+        }
+        hash
+    }
+
     fn params_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
         self.read_params_into_impl(&mut out);
@@ -182,6 +206,12 @@ impl Model for Sequential {
     fn zero_grads(&mut self) {
         for layer in &mut self.layers {
             layer.zero_grads();
+        }
+    }
+
+    fn reset_stochastic_state(&mut self, rng: &mut SeededRng) {
+        for layer in &mut self.layers {
+            layer.reset_stochastic_state(rng);
         }
     }
 
@@ -272,6 +302,51 @@ mod tests {
         cloned.set_params_flat(&zeros);
         assert_eq!(model.params_flat(), flat);
         assert_eq!(cloned.params_flat(), zeros);
+    }
+
+    #[test]
+    fn param_layout_hash_distinguishes_shapes_and_config() {
+        use crate::layers::{Conv2d, Dropout, Embedding, Flatten, GlobalAvgPool2d};
+
+        // Equal element counts, different tensor shapes: must differ.
+        let mut rng = SeededRng::new(9);
+        let transposed = Sequential::new("emb")
+            .push(Embedding::new(10, 6, &mut rng))
+            .boxed();
+        let mut rng = SeededRng::new(9);
+        let original = Sequential::new("emb")
+            .push(Embedding::new(6, 10, &mut rng))
+            .boxed();
+        assert_eq!(original.param_count(), transposed.param_count());
+        assert_ne!(original.param_layout_hash(), transposed.param_layout_hash());
+
+        // Conv kernel/channel trade-off with equal numels: must differ.
+        let conv_chain = |inc: usize, k: usize| {
+            let mut rng = SeededRng::new(11);
+            Sequential::new("cnn")
+                .push(Conv2d::new(inc, 4, k, 1, 0, &mut rng))
+                .push(GlobalAvgPool2d::new())
+                .push(Flatten::new())
+                .boxed()
+        };
+        let a = conv_chain(4, 2); // weight numel 4*4*2*2 = 64
+        let b = conv_chain(16, 1); // weight numel 4*16*1*1 = 64
+        assert_eq!(a.param_count(), b.param_count());
+        assert_ne!(a.param_layout_hash(), b.param_layout_hash());
+
+        // Identical model cloned: must match.
+        let model = conv_chain(4, 2);
+        assert_eq!(
+            model.param_layout_hash(),
+            model.clone_model().param_layout_hash()
+        );
+
+        // Value-level config (dropout probability): must differ.
+        let with_p = |p: f32| {
+            let mut rng = SeededRng::new(13);
+            Sequential::new("drop").push(Dropout::new(p, &mut rng)).boxed()
+        };
+        assert_ne!(with_p(0.2).param_layout_hash(), with_p(0.5).param_layout_hash());
     }
 
     #[test]

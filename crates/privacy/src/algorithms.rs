@@ -17,7 +17,7 @@
 use crate::accountant::RdpAccountant;
 use crate::mechanism::{privatize_aggregate, privatize_client_delta, DpConfig};
 use crate::secure_agg::{aggregate_masked, PairwiseMasker};
-use fedcross::aggregation::{cross_aggregate_all, global_model};
+use fedcross::aggregation::{cross_aggregate_all, global_model, global_model_into};
 use fedcross::selection::{SelectionStrategy, SimilarityMeasure};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
 use fedcross_nn::params::{add_scaled, average, difference, ParamBlock};
@@ -129,6 +129,12 @@ impl FederatedAlgorithm for DpFedAvg {
 
     fn global_params(&self) -> Vec<f32> {
         self.global.to_vec()
+    }
+
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        // Allocation-free deployment read for the per-round evaluation path.
+        out.clear();
+        out.extend_from_slice(&self.global);
     }
 }
 
@@ -292,6 +298,13 @@ impl FederatedAlgorithm for DpFedCross {
     fn global_params(&self) -> Vec<f32> {
         global_model(&self.middleware)
     }
+
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        // Allocation-free `GlobalModelGen` for the per-round evaluation path
+        // (the kernel zero-fills `out` itself).
+        out.resize(self.middleware[0].len(), 0.0);
+        global_model_into(out, &self.middleware);
+    }
 }
 
 /// FedAvg over pairwise-masked uploads (secure-aggregation simulation).
@@ -351,6 +364,12 @@ impl FederatedAlgorithm for SecureAggFedAvg {
 
     fn global_params(&self) -> Vec<f32> {
         self.global.to_vec()
+    }
+
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        // Allocation-free deployment read for the per-round evaluation path.
+        out.clear();
+        out.extend_from_slice(&self.global);
     }
 }
 

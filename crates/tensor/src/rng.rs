@@ -38,6 +38,30 @@ impl SeededRng {
     /// The child seed mixes the parent seed with `stream` using a
     /// SplitMix64-style finaliser so children with nearby stream ids are
     /// decorrelated. Used to give every client / round / model its own stream.
+    ///
+    /// # Contract: forks derive from the construction seed, not the state
+    ///
+    /// `fork` reads only the seed this generator was **created** with —
+    /// drawing any number of samples from the parent beforehand does not
+    /// change what `fork(s)` returns, and two forks with the same stream id
+    /// are always identical:
+    ///
+    /// ```
+    /// use fedcross_tensor::SeededRng;
+    /// let mut rng = SeededRng::new(7);
+    /// let before = rng.fork(3);
+    /// let _ = rng.uniform(); // consume parent state
+    /// let after = rng.fork(3);
+    /// assert_eq!(before.seed(), after.seed());
+    /// ```
+    ///
+    /// This makes derived streams reproducible independent of how much the
+    /// parent was consumed (the round loop relies on exactly that: client
+    /// streams don't shift when selection draws more or fewer samples), but
+    /// it is a footgun if you expect `fork` to act like a random draw: to get
+    /// *different* children from one parent you must pass *different* stream
+    /// ids — typically by forking a fresh parent per round, as the engine
+    /// does with `master.fork(round)` followed by `round_rng.fork(client + 1)`.
     pub fn fork(&self, stream: u64) -> SeededRng {
         let mut z = self
             .seed
@@ -227,6 +251,26 @@ mod tests {
         let c2 = parent.fork(1);
         assert_eq!(c1.uniform().to_bits(), c1_again.uniform().to_bits());
         assert_ne!(c1.seed(), c2.seed());
+    }
+
+    #[test]
+    fn fork_ignores_consumed_parent_state() {
+        // Regression pin for the documented contract: forking derives from
+        // the construction seed only, so consuming the parent between forks
+        // must not change the children — and equal stream ids always collide.
+        let mut parent = SeededRng::new(123);
+        let mut before = parent.fork(5);
+        for _ in 0..100 {
+            let _ = parent.uniform();
+            let _ = parent.below(10);
+        }
+        let mut after = parent.fork(5);
+        for _ in 0..32 {
+            assert_eq!(before.uniform().to_bits(), after.uniform().to_bits());
+        }
+        // A reconstructed parent with the same seed forks identically too.
+        let rebuilt = SeededRng::new(123).fork(5);
+        assert_eq!(rebuilt.seed(), after.seed());
     }
 
     #[test]

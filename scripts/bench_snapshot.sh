@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
-# Snapshot the round-pipeline and client-training criterion benches into a
-# machine-readable JSON file (default: BENCH_PR2.json at the repo root).
+# Snapshot the round-pipeline, client-training and round-plane criterion
+# benches into a machine-readable JSON file (default: BENCH_PR3.json at the
+# repo root).
 #
 # The workspace's criterion shim appends one JSON line per benchmark to the
 # file named by FEDCROSS_BENCH_JSON; this script runs the `aggregation`,
-# `fl_round` and `client_training` benches with that hook enabled and wraps
-# the lines into a JSON document.
+# `fl_round`, `client_training` and `round_plane` benches with that hook
+# enabled and wraps the lines into a JSON document. Note that since PR 3 the
+# `fl_round/one_round/*` benchmarks measure *steady-state* rounds on the
+# persistent worker plane (warm cached models), which is the cost a
+# multi-round simulation actually pays per round; compare against
+# `round_plane/fedcross_round_clone_per_round` for the historical cold cost.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 lines="$(mktemp)"
 trap 'rm -f "$lines"' EXIT
 
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench aggregation
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench fl_round
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench client_training
+FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench round_plane
 
 {
     printf '{\n'

@@ -287,7 +287,12 @@ fn dispatch_is_by_reference_and_fusion_reuses_middleware_buffers() {
 }
 
 #[test]
-fn local_updates_own_their_buffers_uniquely() {
+fn local_updates_share_worker_buffers_under_copy_on_write() {
+    // Since the persistent worker plane (PR 3), an upload produced through a
+    // RoundContext shares its buffer with the worker slot's reusable upload
+    // block (one handle each), so a steady-state round uploads without
+    // allocating. Copy-on-write keeps both sides safe: a server that mutates
+    // its update duplicates the buffer and never perturbs the worker.
     let (data, template) = tiny_setup(13, 3);
     let mut comm = CommTracker::new();
     let mut ctx = RoundContext::new(
@@ -300,11 +305,31 @@ fn local_updates_own_their_buffers_uniquely() {
     );
     let global = ParamBlock::from(template.params_flat());
     let jobs: Vec<(usize, ParamBlock)> = (0..3).map(|c| (c, global.clone())).collect();
-    let updates = ctx.local_train_batch(&jobs);
+    let mut updates = ctx.local_train_batch(&jobs);
     for update in &updates {
-        assert!(
-            update.params.is_unique(),
-            "an upload must own its buffer so the server can take it over"
+        assert_eq!(
+            update.params.ref_count(),
+            2,
+            "an upload shares its buffer with exactly its worker slot"
         );
     }
+    // Server-side mutation copies on write instead of corrupting the worker.
+    let before = updates[0].params.to_vec();
+    updates[0].params.make_mut()[0] += 1.0;
+    assert!(updates[0].params.is_unique());
+    assert_eq!(updates[0].params.as_slice()[1..], before[1..]);
+
+    // The standalone client API keeps the historical unique-ownership
+    // guarantee: its scratch (and the buffer handle) dies with the call.
+    let mut model = template.clone_model();
+    model.set_params_flat(&global);
+    let update = fedcross_flsim::client::local_train(
+        0,
+        model.as_mut(),
+        data.client(0),
+        &LocalTrainConfig::fast(),
+        &mut SeededRng::new(2),
+        None,
+    );
+    assert!(update.params.is_unique());
 }
