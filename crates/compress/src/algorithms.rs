@@ -43,6 +43,11 @@ impl UploadStats {
 /// [`ErrorFeedback`]), decode on the server, average the decoded deltas and
 /// apply them to the global model. The exact raw-vs-compressed upload volume is
 /// tracked in [`UploadStats`].
+///
+/// Not resumable: the stochastic-compression RNG is consumed incrementally
+/// across rounds (it cannot be re-derived from a round index), so this type
+/// keeps the default `FederatedAlgorithm::restore_state`, which refuses
+/// rather than silently replaying a different compression sequence.
 pub struct CompressedFedAvg {
     global: ParamBlock,
     compressor: Box<dyn Compressor>,

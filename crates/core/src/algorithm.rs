@@ -5,6 +5,7 @@ use crate::aggregation::{
     cross_aggregate_into, cross_aggregate_propellers_into, global_model, global_model_into,
 };
 use crate::selection::{mean_pairwise_similarity, SelectionStrategy, SimilarityMeasure};
+use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
 use fedcross_nn::params::ParamBlock;
 use rayon::prelude::*;
@@ -73,23 +74,6 @@ impl FedCross {
         Self { config, middleware }
     }
 
-    /// Creates FedCross from explicitly distinct initial middleware models.
-    pub fn with_initial_models(config: FedCrossConfig, middleware: Vec<Vec<f32>>) -> Self {
-        assert!(
-            middleware.len() >= 2,
-            "FedCross needs at least two middleware models"
-        );
-        let dim = middleware[0].len();
-        assert!(
-            middleware.iter().all(|m| m.len() == dim),
-            "all middleware models must have identical length"
-        );
-        Self {
-            config,
-            middleware: middleware.into_iter().map(ParamBlock::from).collect(),
-        }
-    }
-
     /// The configured hyper-parameters.
     pub fn config(&self) -> &FedCrossConfig {
         &self.config
@@ -103,11 +87,6 @@ impl FedCross {
     /// The current middleware model list (for analysis and tests).
     pub fn middleware(&self) -> &[ParamBlock] {
         &self.middleware
-    }
-
-    /// The middleware models as owned vectors (checkpointing).
-    pub fn middleware_vecs(&self) -> Vec<Vec<f32>> {
-        self.middleware.iter().map(|m| m.to_vec()).collect()
     }
 
     /// Mean pairwise cosine similarity of the middleware models — the paper's
@@ -278,6 +257,24 @@ impl FederatedAlgorithm for FedCross {
         // plain length adjustment suffices here.
         out.resize(self.middleware[0].len(), 0.0);
         global_model_into(out, &self.middleware);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        // The middleware list in slot order *is* the training state (the
+        // global model is derived from it on demand). Snapshotting stays on
+        // the copy-on-write plane: K reference bumps, no O(K·d) clone storm.
+        Ok(AlgorithmState::multi_model(self.middleware.clone()))
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let k = self.middleware.len();
+        let dim = self.middleware[0].len();
+        let models = state.expect_models(k, dim)?;
+        // Reference bumps again; the first post-restore round's fusion pays
+        // one copy-on-write duplication per block, exactly like any server
+        // that retains a reader of its middleware.
+        self.middleware = models.to_vec();
+        Ok(())
     }
 }
 

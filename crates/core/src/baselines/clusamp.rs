@@ -6,6 +6,7 @@
 //! Aggregation is FedAvg; only the *selection* changes, so communication
 //! overhead stays Low (Table I).
 
+use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
 use fedcross_nn::params::{cosine, difference, weighted_average_into, ParamBlock};
 
@@ -129,6 +130,33 @@ impl FederatedAlgorithm for CluSamp {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        // Losing the per-client update directions would silently fall back to
+        // uniform sampling after a restart (the `known.len() < k` path), so
+        // the observed directions are part of the state.
+        Ok(AlgorithmState::single_model(self.global.clone()).with_client_table(
+            "client_updates",
+            self.client_updates
+                .iter()
+                .enumerate()
+                .filter_map(|(client, update)| update.clone().map(|u| (client, u)))
+                .collect(),
+        ))
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let dim = self.global.len();
+        let total_clients = self.client_updates.len();
+        let global = state.expect_single_model(dim)?;
+        let table = state.expect_client_table("client_updates", total_clients, dim)?;
+        self.global = global.clone();
+        self.client_updates = vec![None; total_clients];
+        for (client, update) in table {
+            self.client_updates[*client] = Some(update.clone());
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! FedAvg (McMahan et al. 2017): the classic one-to-multi baseline.
 
+use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
 use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
@@ -67,6 +68,16 @@ impl FederatedAlgorithm for FedAvg {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        // The global model is the whole training state (reference bump).
+        Ok(AlgorithmState::single_model(self.global.clone()))
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        self.global = state.expect_single_model(self.global.len())?.clone();
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 //!    sized as a configurable fraction of the model, which reproduces the
 //!    paper's "Medium" communication-overhead classification in Table I.
 
+use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
 use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
@@ -70,7 +71,14 @@ impl FedGen {
 
 impl FederatedAlgorithm for FedGen {
     fn name(&self) -> String {
-        "fedgen".to_string()
+        // The hyper-parameters are part of the name so a checkpoint taken
+        // under one distillation configuration cannot silently resume under
+        // another (resume validates the name, and neither value is covered
+        // by the simulation's config fingerprint).
+        format!(
+            "fedgen(distill={}, gen={})",
+            self.config.distill_weight, self.config.generator_fraction
+        )
     }
 
     fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
@@ -124,6 +132,23 @@ impl FederatedAlgorithm for FedGen {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        // The distillation teacher (last round's ensemble — the state the
+        // generator would be trained from) must survive a restart, or the
+        // first resumed round would distill towards the wrong target.
+        Ok(AlgorithmState::single_model(self.global.clone())
+            .with_aux("teacher", self.teacher.to_vec()))
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let dim = self.global.len();
+        let global = state.expect_single_model(dim)?;
+        let teacher = state.expect_aux("teacher", dim)?;
+        self.global = global.clone();
+        self.teacher = ParamBlock::from(teacher);
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! FedProx (Li et al. 2020): FedAvg with a proximal term on the local loss.
 
+use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
 use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
@@ -77,6 +78,17 @@ impl FederatedAlgorithm for FedProx {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        // μ lives in the constructor (and in the name, which resume checks);
+        // the global model is the whole cross-round state.
+        Ok(AlgorithmState::single_model(self.global.clone()))
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        self.global = state.expect_single_model(self.global.len())?.clone();
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! SCAFFOLD (Karimireddy et al. 2020): stochastic controlled averaging with
 //! server and client control variates.
 
+use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
 use fedcross_nn::params::{add_scaled, average, average_into, difference, ParamBlock};
 use std::collections::HashMap;
@@ -118,6 +119,36 @@ impl FederatedAlgorithm for Scaffold {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        // A lossy restart would zero every control variate and silently
+        // change the drift correction of all future rounds, so both the
+        // server control and the full per-client table are part of the state
+        // (the table is sorted by client id for a deterministic file).
+        Ok(AlgorithmState::single_model(self.global.clone())
+            .with_aux("server_control", self.server_control.clone())
+            .with_client_table(
+                "client_controls",
+                self.client_controls
+                    .iter()
+                    .map(|(&client, control)| (client, control.clone()))
+                    .collect(),
+            ))
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let dim = self.global.len();
+        let global = state.expect_single_model(dim)?;
+        let server_control = state.expect_aux("server_control", dim)?;
+        let table = state.expect_client_table("client_controls", self.total_clients, dim)?;
+        self.global = global.clone();
+        self.server_control = server_control.to_vec();
+        self.client_controls = table
+            .iter()
+            .map(|(client, control)| (*client, control.clone()))
+            .collect();
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! SCAFFOLD, FedGen, CluSamp and FedCross.
 
 use crate::availability::AvailabilityModel;
+use crate::checkpoint::{AlgorithmState, Checkpoint, StateError, CHECKPOINT_VERSION};
 use crate::client::{GradCorrection, LocalTrainConfig, LocalUpdate};
 use crate::comm::CommTracker;
 use crate::eval::EvalWorker;
@@ -374,6 +375,39 @@ pub trait FederatedAlgorithm {
         out.clear();
         out.extend_from_slice(&params);
     }
+
+    /// Captures the algorithm's **complete** training state for a
+    /// [`Checkpoint`] — everything a fresh instance needs to continue the
+    /// run bitwise identically (FedCross: the middleware list in slot order;
+    /// SCAFFOLD: global model plus server and client control variates; ...).
+    ///
+    /// Algorithms opt in by overriding this together with
+    /// [`FederatedAlgorithm::restore_state`]. The default **fails** rather
+    /// than guess: silently capturing only the derived global model would
+    /// produce checkpoints that save fine every round and turn out to be
+    /// unrecoverable at resume time — the failure must surface when the
+    /// checkpoint is taken, while the state still exists.
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        Err(StateError::new(format!(
+            "algorithm `{}` does not implement checkpoint snapshot",
+            self.name()
+        )))
+    }
+
+    /// Restores the state captured by [`FederatedAlgorithm::snapshot_state`]
+    /// into this (freshly constructed, identically configured) instance.
+    ///
+    /// Implementations must validate the state's shape (model count, parameter
+    /// count, table entries) and fail with a [`StateError`] on any mismatch —
+    /// never restore partially. The default implementation always fails:
+    /// algorithms that do not opt in to the resume plane cannot be resumed.
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let _ = state;
+        Err(StateError::new(format!(
+            "algorithm `{}` does not implement checkpoint restore",
+            self.name()
+        )))
+    }
 }
 
 /// Simulation-level configuration (everything outside a single round).
@@ -406,17 +440,121 @@ impl Default for SimulationConfig {
     }
 }
 
-/// The result of a full simulation run.
+/// The result of a full or partial simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationResult {
     /// Name of the algorithm that was run.
     pub algorithm: String,
-    /// Learning curve (one record per evaluated round).
+    /// Learning curve (one record per evaluated round, absolute indices).
     pub history: TrainingHistory,
     /// Accumulated communication counters.
     pub comm: CommTracker,
     /// Number of scalar parameters of the trained model.
     pub model_params: usize,
+    /// Absolute number of communication rounds completed when this result was
+    /// produced (equals the configured `rounds` for a full run; less for a
+    /// partial [`Simulation::run_segment`] run). This is the round a
+    /// checkpoint taken from this result resumes from.
+    pub rounds_completed: usize,
+}
+
+/// Why a [`Simulation::resume`] refused a checkpoint. Every variant is a
+/// configuration the resumed run could not reproduce bitwise — resuming
+/// anyway would silently change the training trajectory, so the engine fails
+/// loudly instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResumeError {
+    /// The checkpoint was written by a different format version.
+    Version {
+        /// Version found in the checkpoint file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The checkpoint belongs to a different algorithm (or the same algorithm
+    /// under different hyper-parameters — the name encodes them).
+    AlgorithmMismatch {
+        /// Algorithm name recorded in the checkpoint.
+        checkpoint: String,
+        /// Name of the algorithm passed to `resume`.
+        resuming: String,
+    },
+    /// The checkpointed model size does not match the simulation's template.
+    ParamCountMismatch {
+        /// Parameters per model in the checkpoint.
+        checkpoint: usize,
+        /// Parameters of the simulation's architecture template.
+        template: usize,
+    },
+    /// The checkpoint was produced under a different master seed.
+    SeedMismatch {
+        /// Seed recorded in the checkpoint.
+        checkpoint: u64,
+        /// Seed of the resuming simulation's configuration.
+        resuming: u64,
+    },
+    /// The checkpoint was produced under a different simulation configuration
+    /// (per-round schedule, local training hyper-parameters, availability
+    /// model, template size or federation shape).
+    ConfigMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        checkpoint: String,
+        /// Fingerprint of the resuming simulation.
+        resuming: String,
+    },
+    /// The checkpoint already contains at least as many rounds as the
+    /// simulation is configured to run.
+    NothingToResume {
+        /// Rounds completed per the checkpoint.
+        rounds_completed: usize,
+        /// Total rounds the simulation is configured for.
+        configured_rounds: usize,
+    },
+    /// The algorithm rejected the checkpointed state (wrong middleware count,
+    /// missing table, dimension mismatch, or restore not implemented).
+    State(StateError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Version { found, expected } => {
+                write!(f, "checkpoint format version {found}, this build reads {expected}")
+            }
+            ResumeError::AlgorithmMismatch { checkpoint, resuming } => write!(
+                f,
+                "checkpoint belongs to `{checkpoint}` but the resuming algorithm is `{resuming}`"
+            ),
+            ResumeError::ParamCountMismatch { checkpoint, template } => write!(
+                f,
+                "checkpoint stores {checkpoint}-parameter models, the template has {template}"
+            ),
+            ResumeError::SeedMismatch { checkpoint, resuming } => write!(
+                f,
+                "checkpoint was trained under seed {checkpoint}, the resuming simulation uses {resuming}"
+            ),
+            ResumeError::ConfigMismatch { checkpoint, resuming } => write!(
+                f,
+                "checkpoint config fingerprint {checkpoint} does not match the resuming simulation ({resuming})"
+            ),
+            ResumeError::NothingToResume {
+                rounds_completed,
+                configured_rounds,
+            } => write!(
+                f,
+                "checkpoint already holds {rounds_completed} rounds, simulation is configured for {configured_rounds}"
+            ),
+            ResumeError::State(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<StateError> for ResumeError {
+    fn from(err: StateError) -> Self {
+        ResumeError::State(err)
+    }
 }
 
 impl SimulationResult {
@@ -481,23 +619,98 @@ impl<'a> Simulation<'a> {
     pub fn run_with_observer(
         &self,
         algorithm: &mut dyn FederatedAlgorithm,
+        observer: impl FnMut(usize, &RoundRecord),
+    ) -> SimulationResult {
+        self.run_segment_with_observer(
+            algorithm,
+            0,
+            self.config.rounds,
+            TrainingHistory::new(),
+            CommTracker::new(),
+            observer,
+        )
+    }
+
+    /// Runs the **absolute** round range `[start_round, end_round)` of this
+    /// configuration's trajectory and returns the (possibly partial) result.
+    ///
+    /// Every per-round random stream is derived from the absolute round index
+    /// (`master.fork(round)`), and the `eval_every` cadence is anchored to
+    /// absolute rounds too, so running `[0, R)` and then `[R, rounds)` on a
+    /// faithfully restored algorithm is **bitwise identical** to one
+    /// uninterrupted `[0, rounds)` run. The forced final evaluation happens
+    /// only when the segment reaches the configured last round.
+    pub fn run_segment(
+        &self,
+        algorithm: &mut dyn FederatedAlgorithm,
+        start_round: usize,
+        end_round: usize,
+    ) -> SimulationResult {
+        self.run_segment_with_observer(
+            algorithm,
+            start_round,
+            end_round,
+            TrainingHistory::new(),
+            CommTracker::new(),
+            |_, _| {},
+        )
+    }
+
+    /// Continues a run from absolute round `start_round` to the configured
+    /// end, appending to the carried-over `history` and `comm` (typically
+    /// restored from a [`Checkpoint`]). See [`Simulation::run_segment`] for
+    /// the absolute-round contract; most callers should use
+    /// [`Simulation::resume`], which also validates and restores the
+    /// checkpoint.
+    pub fn run_from(
+        &self,
+        algorithm: &mut dyn FederatedAlgorithm,
+        start_round: usize,
+        history: TrainingHistory,
+        comm: CommTracker,
+    ) -> SimulationResult {
+        self.run_segment_with_observer(
+            algorithm,
+            start_round,
+            self.config.rounds,
+            history,
+            comm,
+            |_, _| {},
+        )
+    }
+
+    /// The full-control form backing every run entry point: absolute round
+    /// range, carried-over history/comm, and a per-evaluation observer.
+    pub fn run_segment_with_observer(
+        &self,
+        algorithm: &mut dyn FederatedAlgorithm,
+        start_round: usize,
+        end_round: usize,
+        mut history: TrainingHistory,
+        mut comm: CommTracker,
         mut observer: impl FnMut(usize, &RoundRecord),
     ) -> SimulationResult {
+        assert!(
+            start_round <= end_round && end_round <= self.config.rounds,
+            "round segment [{start_round}, {end_round}) must lie within the configured {} rounds",
+            self.config.rounds
+        );
         let master = SeededRng::new(self.config.seed);
-        let mut comm = CommTracker::new();
-        let mut history = TrainingHistory::new();
 
         // The persistent round plane: one pool of warm client workers shared
         // by every round, one cached evaluation model, and one reusable
         // global-parameter buffer. After the first (warm-up) round a
         // steady-state round — training *and* evaluation — constructs zero
         // models and performs zero full-model heap allocations (pinned by
-        // tests/tests/round_alloc.rs).
+        // tests/tests/round_alloc.rs). A segment starting mid-trajectory
+        // begins with a cold pool, which is bitwise harmless: dispatch
+        // reloads parameters and rewinds stochastic state either way (the
+        // warm-vs-fresh identity pinned by tests/tests/round_plane.rs).
         let mut plane = ClientWorkerPool::new();
         let mut eval_worker = EvalWorker::new(self.template.as_ref());
         let mut global_buf: Vec<f32> = Vec::new();
 
-        for round in 0..self.config.rounds {
+        for round in start_round..end_round {
             let report = {
                 let mut ctx = RoundContext::new(
                     self.data,
@@ -537,7 +750,159 @@ impl<'a> Simulation<'a> {
             history,
             comm,
             model_params: self.template.param_count(),
+            rounds_completed: end_round,
         }
+    }
+
+    /// Fingerprint of everything that shapes this simulation's trajectory:
+    /// the master seed, per-round schedule (`clients_per_round`,
+    /// `eval_every`, `eval_batch_size`), the local training
+    /// hyper-parameters, the availability model, the template's parameter
+    /// count and the federation's shape (client count, per-client shard
+    /// sizes, class count, test-set size). Deliberately **excludes** the
+    /// total round count, so a checkpointed run may be resumed with a larger
+    /// `rounds` to train further — every completed round is still bitwise
+    /// identical.
+    ///
+    /// The dataset enters at shape level only: two federations with
+    /// identical shapes but different contents hash the same (hashing every
+    /// sample on each checkpoint would be `O(N·samples)`); regenerated
+    /// synthetic data is covered because its shape derives from its
+    /// generation config, but a caller swapping real datasets of identical
+    /// shape must keep that pairing straight themselves.
+    pub fn config_fingerprint(&self) -> String {
+        // FNV-1a over the trajectory-shaping fields, rendered as hex (a u64
+        // survives the JSON number representation only up to 2^53, so the
+        // fingerprint travels as a string).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.config.seed);
+        mix(self.config.clients_per_round as u64);
+        mix(self.config.eval_every as u64);
+        mix(self.config.eval_batch_size as u64);
+        mix(self.config.local.epochs as u64);
+        mix(self.config.local.batch_size as u64);
+        mix(self.config.local.lr.to_bits() as u64);
+        mix(self.config.local.momentum.to_bits() as u64);
+        mix(self.config.local.weight_decay.to_bits() as u64);
+        match self.availability {
+            AvailabilityModel::AlwaysOn => mix(1),
+            AvailabilityModel::RandomDropout { prob } => {
+                mix(2);
+                mix(prob.to_bits() as u64);
+            }
+            AvailabilityModel::PeriodicStraggler { period } => {
+                mix(3);
+                mix(period as u64);
+            }
+        }
+        mix(self.template.param_count() as u64);
+        mix(self.data.num_clients() as u64);
+        mix(self.data.num_classes() as u64);
+        mix(self.data.test_set().len() as u64);
+        for size in self.data.client_sizes() {
+            mix(size as u64);
+        }
+        format!("fnv1a:{hash:016x}")
+    }
+
+    /// Captures a [`Checkpoint`] of `algorithm` after the partial (or full)
+    /// run that produced `result`, stamping it with this simulation's seed
+    /// and configuration fingerprint so [`Simulation::resume`] can verify the
+    /// resumed run reproduces the same trajectory.
+    ///
+    /// # Errors
+    /// Fails with the algorithm's [`StateError`] when it does not implement
+    /// [`FederatedAlgorithm::snapshot_state`] — at checkpoint time, not
+    /// after the crash that would have needed the checkpoint.
+    pub fn checkpoint(
+        &self,
+        algorithm: &dyn FederatedAlgorithm,
+        result: &SimulationResult,
+    ) -> Result<Checkpoint, StateError> {
+        Ok(Checkpoint::new(
+            algorithm.name(),
+            result.rounds_completed,
+            self.config.seed,
+            self.config_fingerprint(),
+            algorithm.snapshot_state()?,
+            result.history.clone(),
+            result.comm.clone(),
+        ))
+    }
+
+    /// Resumes a checkpointed run: validates the checkpoint against this
+    /// simulation and the (freshly constructed, identically configured)
+    /// `algorithm`, restores the algorithm's training state, and runs the
+    /// remaining rounds `[checkpoint.rounds_completed, config.rounds)`.
+    ///
+    /// The returned result is **bitwise identical** to what the original
+    /// uninterrupted run would have produced — same global parameters, same
+    /// history records at the same absolute rounds, same communication
+    /// totals (pinned by `tests/tests/resume_plane.rs`).
+    ///
+    /// # Errors
+    /// Fails without running anything — and without touching `algorithm` —
+    /// when the checkpoint's format version, algorithm name, parameter
+    /// count or configuration fingerprint does not match, when there are no
+    /// rounds left to run, or when the algorithm rejects the state (e.g. a
+    /// FedCross middleware-count mismatch).
+    pub fn resume(
+        &self,
+        checkpoint: &Checkpoint,
+        algorithm: &mut dyn FederatedAlgorithm,
+    ) -> Result<SimulationResult, ResumeError> {
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(ResumeError::Version {
+                found: checkpoint.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        let resuming = algorithm.name();
+        if checkpoint.algorithm != resuming {
+            return Err(ResumeError::AlgorithmMismatch {
+                checkpoint: checkpoint.algorithm.clone(),
+                resuming,
+            });
+        }
+        let template_params = self.template.param_count();
+        if checkpoint.param_count() != template_params {
+            return Err(ResumeError::ParamCountMismatch {
+                checkpoint: checkpoint.param_count(),
+                template: template_params,
+            });
+        }
+        if checkpoint.seed != self.config.seed {
+            return Err(ResumeError::SeedMismatch {
+                checkpoint: checkpoint.seed,
+                resuming: self.config.seed,
+            });
+        }
+        let fingerprint = self.config_fingerprint();
+        if checkpoint.config_fingerprint != fingerprint {
+            return Err(ResumeError::ConfigMismatch {
+                checkpoint: checkpoint.config_fingerprint.clone(),
+                resuming: fingerprint,
+            });
+        }
+        if checkpoint.rounds_completed >= self.config.rounds {
+            return Err(ResumeError::NothingToResume {
+                rounds_completed: checkpoint.rounds_completed,
+                configured_rounds: self.config.rounds,
+            });
+        }
+        algorithm.restore_state(&checkpoint.state)?;
+        Ok(self.run_from(
+            algorithm,
+            checkpoint.rounds_completed,
+            checkpoint.history.clone(),
+            checkpoint.comm.clone(),
+        ))
     }
 }
 
@@ -575,6 +940,15 @@ mod tests {
 
         fn global_params(&self) -> Vec<f32> {
             self.global.to_vec()
+        }
+
+        fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+            Ok(AlgorithmState::single_model(self.global.clone()))
+        }
+
+        fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+            self.global = state.expect_single_model(self.global.len())?.clone();
+            Ok(())
         }
     }
 
@@ -851,6 +1225,164 @@ mod tests {
         assert_eq!(dropped_len, 2);
         // Only the surviving clients were contacted.
         assert_eq!(comm.client_contacts, 2);
+    }
+
+    fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn split_segments_reproduce_the_uninterrupted_run_bitwise() {
+        let (data, template) = tiny_setup(20);
+        let config = SimulationConfig {
+            rounds: 6,
+            clients_per_round: 3,
+            eval_every: 2,
+            eval_batch_size: 32,
+            local: LocalTrainConfig::fast(),
+            seed: 21,
+        };
+
+        let mut whole = EngineFedAvg {
+            global: ParamBlock::from(template.params_flat()),
+        };
+        let sim = Simulation::new(config, &data, template.clone_model());
+        let uninterrupted = sim.run(&mut whole);
+        assert_eq!(uninterrupted.rounds_completed, 6);
+
+        // Same trajectory, executed as [0, 3) + [3, 6) with the state handed
+        // across the boundary through snapshot/restore.
+        let mut first_half = EngineFedAvg {
+            global: ParamBlock::from(template.params_flat()),
+        };
+        let sim2 = Simulation::new(config, &data, template);
+        let partial = sim2.run_segment(&mut first_half, 0, 3);
+        assert_eq!(partial.rounds_completed, 3);
+        // Evals at absolute rounds 0 and 2 only — no forced eval mid-run.
+        let partial_rounds: Vec<usize> =
+            partial.history.records().iter().map(|r| r.round).collect();
+        assert_eq!(partial_rounds, vec![0, 2]);
+
+        let mut second_half = EngineFedAvg {
+            global: ParamBlock::from(vec![0.0; first_half.global.len()]),
+        };
+        second_half
+            .restore_state(&first_half.snapshot_state().expect("snapshot supported"))
+            .expect("state restores");
+        let resumed = sim2.run_from(&mut second_half, 3, partial.history, partial.comm);
+
+        assert!(bitwise_eq(&whole.global_params(), &second_half.global_params()));
+        assert_eq!(resumed.history, uninterrupted.history);
+        assert_eq!(resumed.comm, uninterrupted.comm);
+        assert_eq!(resumed.rounds_completed, 6);
+    }
+
+    #[test]
+    fn resume_validates_and_continues_a_checkpoint() {
+        let (data, template) = tiny_setup(22);
+        let config = SimulationConfig {
+            rounds: 5,
+            clients_per_round: 2,
+            eval_every: 2,
+            eval_batch_size: 32,
+            local: LocalTrainConfig::fast(),
+            seed: 23,
+        };
+        let sim = Simulation::new(config, &data, template.clone_model());
+
+        let mut algo = EngineFedAvg {
+            global: ParamBlock::from(template.params_flat()),
+        };
+        let partial = sim.run_segment(&mut algo, 0, 2);
+        let checkpoint = sim.checkpoint(&algo, &partial).expect("snapshot supported");
+        assert_eq!(checkpoint.version, CHECKPOINT_VERSION);
+        assert_eq!(checkpoint.rounds_completed, 2);
+        assert_eq!(checkpoint.seed, 23);
+
+        // A good resume runs the remaining rounds.
+        let mut fresh = EngineFedAvg {
+            global: ParamBlock::from(template.params_flat()),
+        };
+        let resumed = sim.resume(&checkpoint, &mut fresh).expect("resume succeeds");
+        assert_eq!(resumed.rounds_completed, 5);
+
+        // Version mismatch fails loudly.
+        let mut stale = checkpoint.clone();
+        stale.version = 1;
+        assert!(matches!(
+            sim.resume(&stale, &mut fresh),
+            Err(ResumeError::Version { found: 1, .. })
+        ));
+
+        // Algorithm-name mismatch fails loudly.
+        let mut renamed = checkpoint.clone();
+        renamed.algorithm = "someone-else".to_string();
+        assert!(matches!(
+            sim.resume(&renamed, &mut fresh),
+            Err(ResumeError::AlgorithmMismatch { .. })
+        ));
+
+        // A different master seed is rejected (checked before the broader
+        // fingerprint so the error names the actual culprit).
+        let mut other_config = config;
+        other_config.seed = 99;
+        let other_sim = Simulation::new(other_config, &data, template.clone_model());
+        assert!(matches!(
+            other_sim.resume(&checkpoint, &mut fresh),
+            Err(ResumeError::SeedMismatch { checkpoint: 23, resuming: 99 })
+        ));
+
+        // Any other configuration drift surfaces as a fingerprint mismatch.
+        let mut tampered = checkpoint.clone();
+        tampered.config_fingerprint = "fnv1a:0000000000000000".to_string();
+        assert!(matches!(
+            sim.resume(&tampered, &mut fresh),
+            Err(ResumeError::ConfigMismatch { .. })
+        ));
+
+        // A fully finished checkpoint has nothing left to run.
+        let full = sim.run(&mut EngineFedAvg {
+            global: ParamBlock::from(template.params_flat()),
+        });
+        let done = sim
+            .checkpoint(
+                &EngineFedAvg {
+                    global: ParamBlock::from(template.params_flat()),
+                },
+                &full,
+            )
+            .expect("snapshot supported");
+        assert!(matches!(
+            sim.resume(&done, &mut fresh),
+            Err(ResumeError::NothingToResume { .. })
+        ));
+    }
+
+    #[test]
+    fn default_resume_hooks_fail_loudly() {
+        /// An algorithm that never opted in to the resume plane.
+        struct NoRestore;
+        impl FederatedAlgorithm for NoRestore {
+            fn name(&self) -> String {
+                "no-restore".to_string()
+            }
+            fn run_round(&mut self, _round: usize, _ctx: &mut RoundContext<'_>) -> RoundReport {
+                RoundReport::default()
+            }
+            fn global_params(&self) -> Vec<f32> {
+                vec![0.0]
+            }
+        }
+        let mut algo = NoRestore;
+        // Snapshotting refuses at checkpoint time — a checkpoint that cannot
+        // be restored must not be writable in the first place...
+        let err = algo.snapshot_state().expect_err("default snapshot must fail");
+        assert!(err.to_string().contains("no-restore"));
+        // ...and restoring refuses rather than silently losing state.
+        let err = algo
+            .restore_state(&AlgorithmState::single_model(ParamBlock::from(vec![0.0])))
+            .expect_err("default restore must fail");
+        assert!(err.to_string().contains("no-restore"));
     }
 
     #[test]

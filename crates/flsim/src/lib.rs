@@ -14,8 +14,9 @@
 //!   (Figure 4 / RQ1),
 //! * [`availability`] — client dropout / straggler models for robustness
 //!   experiments,
-//! * [`checkpoint`] — JSON save/resume of training state (global model,
-//!   FedCross middleware list, learning curve),
+//! * [`checkpoint`] — the resume plane: atomic JSON checkpoints of the
+//!   complete training state ([`checkpoint::AlgorithmState`]), restored by
+//!   [`engine::Simulation::resume`] for bitwise-identical continuation,
 //! * [`fairness`] — per-client accuracy distribution of a deployed global
 //!   model (the measurement behind the paper's Figure 1 motivation),
 //! * [`worker`] — the persistent client-worker plane: warm model + scratch
@@ -80,10 +81,12 @@ pub mod landscape;
 pub mod worker;
 
 pub use availability::AvailabilityModel;
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{AlgorithmState, Checkpoint, StateError, CHECKPOINT_VERSION};
 pub use client::{LocalTrainConfig, LocalUpdate};
 pub use comm::{CommOverheadClass, CommTracker};
-pub use engine::{FederatedAlgorithm, RoundContext, RoundReport, Simulation, SimulationConfig};
+pub use engine::{
+    FederatedAlgorithm, ResumeError, RoundContext, RoundReport, Simulation, SimulationConfig,
+};
 pub use eval::EvalWorker;
 pub use fairness::{per_client_fairness, FairnessReport};
 pub use history::{RoundRecord, TrainingHistory};

@@ -19,6 +19,7 @@ use crate::mechanism::{privatize_aggregate, privatize_client_delta, DpConfig};
 use crate::secure_agg::{aggregate_masked, PairwiseMasker};
 use fedcross::aggregation::{cross_aggregate_all, global_model, global_model_into};
 use fedcross::selection::{SelectionStrategy, SimilarityMeasure};
+use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
 use fedcross_nn::params::{add_scaled, average, difference, ParamBlock};
 use fedcross_tensor::SeededRng;
@@ -30,6 +31,12 @@ use fedcross_tensor::SeededRng;
 /// average the deltas, (centrally noise the average if the placement is
 /// central) and apply the result to the global model. An [`RdpAccountant`] is
 /// advanced every round so the spent (ε, δ) can be read off at any time.
+///
+/// Not resumable: the privacy noise stream (`noise_rng`) is consumed
+/// incrementally across rounds and cannot be reconstructed from a round
+/// index, so this type keeps the default
+/// [`FederatedAlgorithm::restore_state`], which refuses rather than silently
+/// replaying a different noise sequence.
 pub struct DpFedAvg {
     global: ParamBlock,
     config: DpConfig,
@@ -312,6 +319,10 @@ impl FederatedAlgorithm for DpFedCross {
 /// Clients upload `delta + mask` where the pairwise masks cancel in the sum;
 /// the server averages the masked uploads and obtains exactly the plain
 /// FedAvg average without ever observing an individual client's delta.
+///
+/// Resumable: the per-round [`PairwiseMasker`] is derived from
+/// `mask_seed + round` (an absolute round index, never a consumed stream),
+/// so the global model is the entire cross-round state.
 pub struct SecureAggFedAvg {
     global: ParamBlock,
     mask_scale: f32,
@@ -332,7 +343,13 @@ impl SecureAggFedAvg {
 
 impl FederatedAlgorithm for SecureAggFedAvg {
     fn name(&self) -> String {
-        format!("secureagg-fedavg(scale={})", self.mask_scale)
+        // mask_seed is part of the name: the per-round masks cancel only in
+        // exact sequential summation, so a resume under a different mask
+        // seed would differ in the low bits — the name check rejects it.
+        format!(
+            "secureagg-fedavg(scale={}, seed={})",
+            self.mask_scale, self.mask_seed
+        )
     }
 
     fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
@@ -370,6 +387,15 @@ impl FederatedAlgorithm for SecureAggFedAvg {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        Ok(AlgorithmState::single_model(self.global.clone()))
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        self.global = state.expect_single_model(self.global.len())?.clone();
+        Ok(())
     }
 }
 

@@ -148,6 +148,10 @@ fn write_number(out: &mut String, n: f64) {
         // Real serde_json refuses non-finite numbers; emit null like its
         // lossy writers do.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The i64 fast path below would print -0.0 as "0" and lose the sign
+        // bit; real serde_json prints "-0.0", which parses back exactly.
+        out.push_str("-0.0");
     } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
         out.push_str(&format!("{}", n as i64));
     } else {

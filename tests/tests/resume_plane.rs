@@ -1,0 +1,377 @@
+//! Resume-plane integration tests: a run checkpointed at round `R` and
+//! resumed after a (simulated) server restart must be **bitwise identical**
+//! to the uninterrupted run — same global parameters, same history records at
+//! the same absolute rounds, same communication totals. Covers FedCross and
+//! the stateful baselines (SCAFFOLD's control variates, FedGen's teacher,
+//! CluSamp's update directions) under both full availability and random
+//! client dropout, plus checkpoint validation and on-disk corruption safety.
+
+use fedcross::{build_algorithm, AlgorithmSpec};
+use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
+use fedcross_data::Heterogeneity;
+use fedcross_flsim::{
+    AvailabilityModel, Checkpoint, FederatedAlgorithm, LocalTrainConfig, ResumeError, Simulation,
+    SimulationConfig,
+};
+use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_nn::Model;
+use fedcross_tensor::SeededRng;
+use std::path::PathBuf;
+
+fn setup(seed: u64) -> (FederatedDataset, Box<dyn Model>) {
+    let mut rng = SeededRng::new(seed);
+    let data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: 6,
+            samples_per_client: 12,
+            test_samples: 40,
+            ..Default::default()
+        },
+        Heterogeneity::Dirichlet(0.5),
+        &mut rng,
+    );
+    let template = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (2, 4),
+            fc_hidden: 8,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+    (data, template)
+}
+
+fn sim_config(rounds: usize, eval_every: usize) -> SimulationConfig {
+    SimulationConfig {
+        rounds,
+        clients_per_round: 3,
+        eval_every,
+        eval_batch_size: 32,
+        local: LocalTrainConfig::fast(),
+        seed: 77,
+    }
+}
+
+fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fedcross-resume-plane-{tag}.json"))
+}
+
+/// Runs `spec` uninterrupted, then as checkpoint-at-R + restart + resume
+/// (through an actual JSON file round trip), and asserts the two trajectories
+/// are indistinguishable bit for bit.
+fn assert_restart_is_a_non_event(
+    spec: AlgorithmSpec,
+    availability: AvailabilityModel,
+    tag: &str,
+) {
+    let (data, template) = setup(5);
+    let config = sim_config(6, 2);
+    let checkpoint_round = 3;
+    let sim = Simulation::new(config, &data, template.clone_model())
+        .with_availability(availability);
+    let build = || build_algorithm(spec, template.params_flat(), data.num_clients(), 3);
+
+    let mut whole = build();
+    let uninterrupted = sim.run(whole.as_mut());
+
+    // Phase 1 + checkpoint + (simulated) process death.
+    let mut first = build();
+    let partial = sim.run_segment(first.as_mut(), 0, checkpoint_round);
+    let path = temp_path(tag);
+    sim.checkpoint(first.as_ref(), &partial)
+        .expect("snapshot supported")
+        .save(&path)
+        .expect("checkpoint saves");
+    drop(first);
+
+    // Restart: fresh algorithm, state restored from disk, run to the end.
+    let restored = Checkpoint::load(&path).expect("checkpoint loads");
+    let mut fresh = build();
+    let resumed = sim
+        .resume(&restored, fresh.as_mut())
+        .expect("checkpoint matches the resuming simulation");
+    let _ = std::fs::remove_file(&path);
+
+    let label = spec.label();
+    assert!(
+        bitwise_eq(&whole.global_params(), &fresh.global_params()),
+        "{label} ({tag}): resumed global params differ from the uninterrupted run"
+    );
+    assert_eq!(
+        resumed.history, uninterrupted.history,
+        "{label} ({tag}): history records diverged"
+    );
+    assert_eq!(
+        resumed.comm, uninterrupted.comm,
+        "{label} ({tag}): communication totals diverged"
+    );
+    assert_eq!(resumed.rounds_completed, config.rounds);
+    // The eval_every cadence is anchored to absolute rounds: evaluations land
+    // on the same rounds as the uninterrupted run, including the forced final
+    // one, with no duplicate at the resume boundary.
+    let rounds: Vec<usize> = resumed.history.records().iter().map(|r| r.round).collect();
+    assert_eq!(rounds, vec![0, 2, 4, 5], "{label} ({tag}): eval cadence shifted");
+}
+
+#[test]
+fn fedcross_restart_is_a_non_event_when_always_on() {
+    assert_restart_is_a_non_event(
+        AlgorithmSpec::fedcross_default(),
+        AvailabilityModel::AlwaysOn,
+        "fedcross-on",
+    );
+}
+
+#[test]
+fn fedcross_restart_is_a_non_event_under_random_dropout() {
+    assert_restart_is_a_non_event(
+        AlgorithmSpec::fedcross_default(),
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+        "fedcross-drop",
+    );
+}
+
+#[test]
+fn scaffold_restart_is_a_non_event_when_always_on() {
+    assert_restart_is_a_non_event(
+        AlgorithmSpec::Scaffold,
+        AvailabilityModel::AlwaysOn,
+        "scaffold-on",
+    );
+}
+
+#[test]
+fn scaffold_restart_is_a_non_event_under_random_dropout() {
+    assert_restart_is_a_non_event(
+        AlgorithmSpec::Scaffold,
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+        "scaffold-drop",
+    );
+}
+
+#[test]
+fn fedgen_restart_is_a_non_event_when_always_on() {
+    assert_restart_is_a_non_event(
+        AlgorithmSpec::FedGen,
+        AvailabilityModel::AlwaysOn,
+        "fedgen-on",
+    );
+}
+
+#[test]
+fn fedgen_restart_is_a_non_event_under_random_dropout() {
+    assert_restart_is_a_non_event(
+        AlgorithmSpec::FedGen,
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+        "fedgen-drop",
+    );
+}
+
+#[test]
+fn remaining_baselines_resume_bitwise_too() {
+    for (spec, tag) in [
+        (AlgorithmSpec::FedAvg, "fedavg"),
+        (AlgorithmSpec::FedProx { mu: 0.01 }, "fedprox"),
+        (AlgorithmSpec::CluSamp, "clusamp"),
+    ] {
+        assert_restart_is_a_non_event(spec, AvailabilityModel::AlwaysOn, tag);
+    }
+}
+
+#[test]
+fn resume_aligns_eval_cadence_even_from_an_off_cadence_checkpoint() {
+    // Checkpoint at round 2, between the eval rounds 0 and 3 of an
+    // eval_every = 3 schedule: the resumed run must evaluate at exactly the
+    // absolute rounds the uninterrupted run does.
+    let (data, template) = setup(6);
+    let config = sim_config(7, 3);
+    let sim = Simulation::new(config, &data, template.clone_model());
+    let build =
+        || build_algorithm(AlgorithmSpec::FedAvg, template.params_flat(), data.num_clients(), 3);
+
+    let mut whole = build();
+    let uninterrupted = sim.run(whole.as_mut());
+    let expected: Vec<usize> =
+        uninterrupted.history.records().iter().map(|r| r.round).collect();
+    assert_eq!(expected, vec![0, 3, 6]);
+
+    let mut first = build();
+    let partial = sim.run_segment(first.as_mut(), 0, 2);
+    let checkpoint = sim.checkpoint(first.as_ref(), &partial).expect("snapshot supported");
+    let mut fresh = build();
+    let resumed = sim.resume(&checkpoint, fresh.as_mut()).expect("resume succeeds");
+    let rounds: Vec<usize> = resumed.history.records().iter().map(|r| r.round).collect();
+    assert_eq!(rounds, expected, "cadence must be anchored to absolute rounds");
+    assert_eq!(resumed.history, uninterrupted.history);
+}
+
+#[test]
+fn a_foreign_checkpoint_is_rejected_loudly() {
+    let (data, template) = setup(7);
+    let config = sim_config(6, 2);
+    let sim = Simulation::new(config, &data, template.clone_model());
+
+    // A FedAvg checkpoint must not silently feed a FedCross run.
+    let mut fedavg =
+        build_algorithm(AlgorithmSpec::FedAvg, template.params_flat(), data.num_clients(), 3);
+    let partial = sim.run_segment(fedavg.as_mut(), 0, 2);
+    let checkpoint = sim.checkpoint(fedavg.as_ref(), &partial).expect("snapshot supported");
+
+    let mut fedcross = build_algorithm(
+        AlgorithmSpec::fedcross_default(),
+        template.params_flat(),
+        data.num_clients(),
+        3,
+    );
+    match sim.resume(&checkpoint, fedcross.as_mut()) {
+        Err(ResumeError::AlgorithmMismatch { checkpoint, resuming }) => {
+            assert_eq!(checkpoint, "fedavg");
+            assert!(resuming.contains("fedcross"));
+        }
+        other => panic!("expected AlgorithmMismatch, got {other:?}"),
+    }
+
+    // A checkpoint from a different template size must not load either.
+    let mut rng = SeededRng::new(8);
+    let small = cnn(
+        (3, 16, 16),
+        10,
+        CnnConfig {
+            conv_channels: (2, 2),
+            fc_hidden: 4,
+            kernel: 3,
+        },
+        &mut rng,
+    );
+    let small_sim = Simulation::new(config, &data, small.clone_model());
+    let mut fresh =
+        build_algorithm(AlgorithmSpec::FedAvg, small.params_flat(), data.num_clients(), 3);
+    assert!(matches!(
+        small_sim.resume(&checkpoint, fresh.as_mut()),
+        Err(ResumeError::ParamCountMismatch { .. })
+    ));
+
+    // A different availability model changes the trajectory: rejected.
+    let dropout_sim = Simulation::new(config, &data, template.clone_model())
+        .with_availability(AvailabilityModel::RandomDropout { prob: 0.3 });
+    let mut fresh =
+        build_algorithm(AlgorithmSpec::FedAvg, template.params_flat(), data.num_clients(), 3);
+    assert!(matches!(
+        dropout_sim.resume(&checkpoint, fresh.as_mut()),
+        Err(ResumeError::ConfigMismatch { .. })
+    ));
+
+    // A different federation (here: more clients) changes the trajectory
+    // too — the fingerprint covers the dataset shape, so this is rejected
+    // instead of silently resuming with different client selections.
+    let mut rng = SeededRng::new(11);
+    let other_data = FederatedDataset::synth_cifar10(
+        &SynthCifar10Config {
+            num_clients: 8,
+            samples_per_client: 12,
+            test_samples: 40,
+            ..Default::default()
+        },
+        Heterogeneity::Dirichlet(0.5),
+        &mut rng,
+    );
+    let other_data_sim = Simulation::new(config, &other_data, template.clone_model());
+    let mut fresh = build_algorithm(
+        AlgorithmSpec::FedAvg,
+        template.params_flat(),
+        other_data.num_clients(),
+        3,
+    );
+    assert!(matches!(
+        other_data_sim.resume(&checkpoint, fresh.as_mut()),
+        Err(ResumeError::ConfigMismatch { .. })
+    ));
+}
+
+#[test]
+fn a_middleware_count_mismatch_is_rejected_loudly() {
+    use fedcross::{FedCross, FedCrossConfig};
+    // A K = 4 FedCross state must not restore into a K = 3 instance, even
+    // though the algorithm family matches.
+    let init = vec![0.5f32; 16];
+    let four = FedCross::new(FedCrossConfig::default(), init.clone(), 4);
+    let mut three = FedCross::new(FedCrossConfig::default(), init, 3);
+    let err = three
+        .restore_state(&four.snapshot_state().expect("snapshot supported"))
+        .expect_err("K mismatch must fail");
+    assert!(
+        err.to_string().contains("middleware count mismatch"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn checkpoint_corruption_cannot_happen_mid_save_and_is_detected_on_load() {
+    let (data, template) = setup(9);
+    let config = sim_config(4, 2);
+    let sim = Simulation::new(config, &data, template.clone_model());
+    let mut algo =
+        build_algorithm(AlgorithmSpec::FedAvg, template.params_flat(), data.num_clients(), 3);
+    let partial = sim.run_segment(algo.as_mut(), 0, 2);
+    let checkpoint = sim.checkpoint(algo.as_ref(), &partial).expect("snapshot supported");
+
+    let dir = std::env::temp_dir().join("fedcross-resume-plane-corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.json");
+    checkpoint.save(&path).expect("initial save succeeds");
+
+    // A "crash" during a later save (simulated by blocking the temp path)
+    // must leave the previous checkpoint fully intact and loadable.
+    let tmp = dir.join("ckpt.json.tmp");
+    std::fs::create_dir_all(&tmp).unwrap();
+    assert!(checkpoint.save(&path).is_err(), "blocked temp write must error");
+    let survivor = Checkpoint::load(&path).expect("previous checkpoint survives");
+    assert_eq!(survivor, checkpoint);
+    std::fs::remove_dir_all(&tmp).unwrap();
+
+    // A truncated file — what a non-atomic in-place write would leave after
+    // a crash — is detected on load instead of half-restoring.
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+    let err = Checkpoint::load(&path).expect_err("truncated checkpoint must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn resumed_run_can_extend_the_total_round_count() {
+    // The fingerprint deliberately excludes `rounds`: a checkpoint from a
+    // 4-round config resumes under a 6-round config (same everything else),
+    // and the overlapping prefix stays bitwise identical.
+    let (data, template) = setup(10);
+    let short = sim_config(4, 2);
+    let long = sim_config(6, 2);
+    let build =
+        || build_algorithm(AlgorithmSpec::FedAvg, template.params_flat(), data.num_clients(), 3);
+
+    let short_sim = Simulation::new(short, &data, template.clone_model());
+    let mut algo = build();
+    let partial = short_sim.run_segment(algo.as_mut(), 0, 2);
+    let checkpoint = short_sim
+        .checkpoint(algo.as_ref(), &partial)
+        .expect("snapshot supported");
+
+    let long_sim = Simulation::new(long, &data, template.clone_model());
+    let mut extended = build();
+    let resumed = long_sim
+        .resume(&checkpoint, extended.as_mut())
+        .expect("longer run accepts the checkpoint");
+    assert_eq!(resumed.rounds_completed, 6);
+
+    let mut reference = build();
+    let uninterrupted = long_sim.run(reference.as_mut());
+    assert!(bitwise_eq(&reference.global_params(), &extended.global_params()));
+    assert_eq!(resumed.history, uninterrupted.history);
+}

@@ -6,8 +6,8 @@ use fedcross::{build_algorithm, AlgorithmSpec, FedCross, FedCrossConfig};
 use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
 use fedcross_data::Heterogeneity;
 use fedcross_flsim::{
-    per_client_fairness, AvailabilityModel, Checkpoint, FederatedAlgorithm, LocalTrainConfig,
-    Simulation, SimulationConfig,
+    per_client_fairness, AvailabilityModel, Checkpoint, LocalTrainConfig, Simulation,
+    SimulationConfig,
 };
 use fedcross_nn::models::{cnn, CnnConfig};
 use fedcross_nn::Model;
@@ -137,38 +137,32 @@ fn fedcross_checkpoint_resume_preserves_training_progress() {
         ..Default::default()
     };
 
-    // Phase 1: train, checkpoint to a temp file.
+    // Phase 1: train the first half of a 14-round run, checkpoint to a temp
+    // file through the simulation (which stamps seed + config fingerprint).
+    let sim = Simulation::new(sim_config(14, 4), &data, template.clone_model());
     let mut algo = FedCross::new(fed_config, template.params_flat(), 4);
-    let first = Simulation::new(sim_config(8, 4), &data, template.clone_model()).run(&mut algo);
+    let first = sim.run_segment(&mut algo, 0, 8);
+    assert_eq!(first.rounds_completed, 8);
     let path = std::env::temp_dir().join("fedcross-integration-checkpoint.json");
-    Checkpoint::multi_model(
-        algo.name(),
-        8,
-        algo.global_params(),
-        algo.middleware_vecs(),
-        first.history.clone(),
-    )
-    .save(&path)
-    .expect("checkpoint saves");
+    sim.checkpoint(&algo, &first)
+        .expect("snapshot supported")
+        .save(&path)
+        .expect("checkpoint saves");
 
-    // Phase 2: reload into a fresh algorithm instance and continue.
+    // Phase 2: reload into a fresh algorithm instance and continue. Resume
+    // derives every remaining round from its absolute index, so the restart
+    // preserves (and keeps improving on) the checkpointed progress.
     let restored = Checkpoint::load(&path).expect("checkpoint loads");
     assert_eq!(restored.rounds_completed, 8);
-    let middleware = restored.middleware.expect("middleware stored");
-    assert_eq!(middleware.len(), 4);
-    let mut resumed = FedCross::with_initial_models(fed_config, middleware);
-    // Before any further training the resumed global model equals the saved one.
-    let diff: f32 = resumed
-        .global_params()
-        .iter()
-        .zip(&restored.global_params)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f32::max);
-    assert!(diff < 1e-6, "restored global model diverged by {diff}");
-
-    let mut resume_config = sim_config(6, 4);
-    resume_config.seed = 11;
-    let second = Simulation::new(resume_config, &data, template).run(&mut resumed);
+    assert_eq!(restored.state.models.len(), 4);
+    let mut resumed = FedCross::new(fed_config, template.params_flat(), 4);
+    let second = sim.resume(&restored, &mut resumed).expect("checkpoint matches");
+    // The resumed history extends the checkpointed one past round 8.
+    assert!(second.history.len() > first.history.len());
+    assert_eq!(
+        second.history.records()[..first.history.len()],
+        *first.history.records()
+    );
     assert!(
         second.best_accuracy_pct() + 5.0 >= first.final_accuracy_pct(),
         "resumed run regressed: {} vs {}",
