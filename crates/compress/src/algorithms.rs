@@ -2,10 +2,22 @@
 
 use crate::codec::Compressor;
 use crate::feedback::ErrorFeedback;
+use fedcross_flsim::checkpoint::{decode_u64, encode_u64, AlgorithmState, StateError};
+use fedcross_flsim::client::LocalUpdate;
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
+use fedcross_flsim::streams::{RoundStreams, StreamDomain};
 use fedcross_nn::params::{add_scaled, average, difference, ParamBlock};
-use fedcross_tensor::SeededRng;
 use serde::{Deserialize, Serialize};
+
+/// Name of the [`AlgorithmState`] record holding the [`UploadStats`]
+/// counters: `[raw_scalars, compressed_scalars, uploads]` as decimal strings
+/// (the JSON shim's numbers are f64-backed, so numeric u64 would truncate
+/// above 2^53).
+const UPLOAD_STATS_RECORD: &str = "upload_stats";
+
+/// Name of the [`AlgorithmState`] client table holding the per-client
+/// error-feedback residuals.
+const RESIDUALS_TABLE: &str = "ef_residuals";
 
 /// Accumulated upload-volume accounting of a compressed run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -44,21 +56,26 @@ impl UploadStats {
 /// apply them to the global model. The exact raw-vs-compressed upload volume is
 /// tracked in [`UploadStats`].
 ///
-/// Not resumable: the stochastic-compression RNG is consumed incrementally
-/// across rounds (it cannot be re-derived from a round index), so this type
-/// keeps the default `FederatedAlgorithm::restore_state`, which refuses
-/// rather than silently replaying a different compression sequence.
+/// **Resumable.** Stochastic-compression randomness (dithered quantization,
+/// random-`k`) derives from a [`RoundStreams`] keyed by
+/// `(CompressionDither, seed, absolute round, client id)` — client-side
+/// randomness, so client identity is the natural key and the encoding a
+/// client produces does not depend on which uploads the server happened to
+/// process first. The cross-round state — global model, [`UploadStats`]
+/// counters and the per-client error-feedback residuals — is captured by
+/// [`FederatedAlgorithm::snapshot_state`].
 pub struct CompressedFedAvg {
     global: ParamBlock,
     compressor: Box<dyn Compressor>,
     feedback: Option<ErrorFeedback>,
     stats: UploadStats,
-    rng: SeededRng,
+    dither: RoundStreams,
 }
 
 impl CompressedFedAvg {
     /// Creates compressed FedAvg. `error_feedback` should be enabled for
-    /// biased compressors (top-`k`); `seed` drives stochastic compression.
+    /// biased compressors (top-`k`); `seed` roots the round-derived
+    /// stochastic-compression streams.
     pub fn new(
         init_params: Vec<f32>,
         compressor: Box<dyn Compressor>,
@@ -74,7 +91,7 @@ impl CompressedFedAvg {
                 None
             },
             stats: UploadStats::default(),
-            rng: SeededRng::new(seed),
+            dither: RoundStreams::new(StreamDomain::CompressionDither, seed),
         }
     }
 
@@ -87,37 +104,36 @@ impl CompressedFedAvg {
     pub fn uses_error_feedback(&self) -> bool {
         self.feedback.is_some()
     }
-}
 
-impl FederatedAlgorithm for CompressedFedAvg {
-    fn name(&self) -> String {
-        let ef = if self.feedback.is_some() { ", EF" } else { "" };
-        format!("fedavg+{}{}", self.compressor.label(), ef)
-    }
-
-    fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
-        let selected = ctx.select_clients();
-        let jobs: Vec<(usize, ParamBlock)> = selected
-            .iter()
-            .map(|&client| (client, self.global.clone()))
-            .collect();
-        let updates = ctx.local_train_batch(&jobs);
-        drop(jobs);
+    /// The server half of one round: compress/decode every upload's delta
+    /// (clients would do the compression in a real deployment — the
+    /// simulation runs both ends), average the decoded deltas and apply them
+    /// to the global model.
+    ///
+    /// Public so the order-independence contract is testable: updates are
+    /// processed in canonical client-id order and each client's compression
+    /// stream is keyed by `(round, client)`, so any permutation of `updates`
+    /// produces a bitwise-identical model, residual memory and counters.
+    pub fn apply_updates(&mut self, round: usize, updates: &[LocalUpdate]) -> RoundReport {
         if updates.is_empty() {
             return RoundReport::default();
         }
+        let mut ordered: Vec<&LocalUpdate> = updates.iter().collect();
+        ordered.sort_by_key(|update| update.client);
 
-        let mut decoded_deltas = Vec::with_capacity(updates.len());
-        for update in &updates {
+        let round_dither = self.dither.round(round);
+        let mut decoded_deltas = Vec::with_capacity(ordered.len());
+        for update in &ordered {
             let delta = difference(&update.params, &self.global);
+            let mut rng = round_dither.stream(update.client);
             let compressed = match self.feedback.as_mut() {
                 Some(feedback) => feedback.compress_with_feedback(
                     update.client,
                     &delta,
                     self.compressor.as_ref(),
-                    &mut self.rng,
+                    &mut rng,
                 ),
-                None => self.compressor.compress(&delta, &mut self.rng),
+                None => self.compressor.compress(&delta, &mut rng),
             };
             self.stats.raw_scalars += delta.len() as u64;
             self.stats.compressed_scalars += compressed.payload_scalars() as u64;
@@ -127,7 +143,35 @@ impl FederatedAlgorithm for CompressedFedAvg {
 
         let aggregate = average(&decoded_deltas);
         add_scaled(self.global.make_mut(), &aggregate, 1.0);
-        RoundReport::from_updates(&updates)
+        RoundReport::from_ordered(&ordered)
+    }
+}
+
+impl FederatedAlgorithm for CompressedFedAvg {
+    fn name(&self) -> String {
+        // The dither seed is part of the name: stochastic compressors make
+        // the trajectory a function of the seed, so a resume under a
+        // different seed would silently splice two dither sequences — the
+        // name check rejects it. (Deterministic compressors don't consume
+        // the streams, but the generic path cannot tell them apart.)
+        let ef = if self.feedback.is_some() { ", EF" } else { "" };
+        format!(
+            "fedavg+{}, seed={}{}",
+            self.compressor.label(),
+            self.dither.base_seed(),
+            ef
+        )
+    }
+
+    fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+        let selected = ctx.select_clients();
+        let jobs: Vec<(usize, ParamBlock)> = selected
+            .iter()
+            .map(|&client| (client, self.global.clone()))
+            .collect();
+        let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
+        self.apply_updates(round, &updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
@@ -138,6 +182,49 @@ impl FederatedAlgorithm for CompressedFedAvg {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        let mut state = AlgorithmState::single_model(self.global.clone()).with_record(
+            UPLOAD_STATS_RECORD,
+            vec![
+                encode_u64(self.stats.raw_scalars),
+                encode_u64(self.stats.compressed_scalars),
+                encode_u64(self.stats.uploads),
+            ],
+        );
+        if let Some(feedback) = &self.feedback {
+            state = state.with_client_table(RESIDUALS_TABLE, feedback.snapshot_residuals());
+        }
+        Ok(state)
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let dim = self.global.len();
+        let global = state.expect_single_model(dim)?.clone();
+        let record = state.expect_record(UPLOAD_STATS_RECORD, 3)?;
+        let stats = UploadStats {
+            raw_scalars: decode_u64(&record[0])?,
+            compressed_scalars: decode_u64(&record[1])?,
+            uploads: decode_u64(&record[2])?,
+        };
+        // The residual table exists iff error feedback is on: the algorithm
+        // name encodes the EF flag, so the engine's name check already rules
+        // out a cross-configuration restore — but validate anyway so a
+        // hand-edited checkpoint fails loudly. Residual dimensions match the
+        // model (the residual of a full-model delta); client ids are bounded
+        // by usize::MAX here because the federation size is not known at
+        // restore time — the ids only key the memory, they are never indexed.
+        let residuals = match &self.feedback {
+            Some(_) => Some(state.expect_client_table(RESIDUALS_TABLE, usize::MAX, dim)?),
+            None => None,
+        };
+        self.global = global;
+        self.stats = stats;
+        if let (Some(feedback), Some(table)) = (self.feedback.as_mut(), residuals) {
+            feedback.restore_residuals(table);
+        }
+        Ok(())
     }
 }
 
@@ -152,6 +239,7 @@ mod tests {
     use fedcross_flsim::{LocalTrainConfig, Simulation, SimulationConfig};
     use fedcross_nn::models::{cnn, CnnConfig};
     use fedcross_nn::Model;
+    use fedcross_tensor::SeededRng;
 
     fn tiny_setup(seed: u64) -> (FederatedDataset, Box<dyn Model>) {
         let mut rng = SeededRng::new(seed);

@@ -71,6 +71,29 @@ impl ErrorFeedback {
     pub fn reset(&mut self) {
         self.residuals.clear();
     }
+
+    /// The complete residual memory as a `(client id, residual)` table sorted
+    /// by client id — the deterministic shape a checkpoint's client table
+    /// requires (the backing `HashMap`'s iteration order is not stable).
+    pub fn snapshot_residuals(&self) -> Vec<(usize, Vec<f32>)> {
+        let mut table: Vec<(usize, Vec<f32>)> = self
+            .residuals
+            .iter()
+            .map(|(&client, residual)| (client, residual.clone()))
+            .collect();
+        table.sort_by_key(|(client, _)| *client);
+        table
+    }
+
+    /// Replaces the residual memory with a checkpointed table (validation —
+    /// id ranges, dimensions, sortedness — is the checkpoint layer's job;
+    /// this is the mechanical restore).
+    pub fn restore_residuals(&mut self, table: &[(usize, Vec<f32>)]) {
+        self.residuals = table
+            .iter()
+            .map(|(client, residual)| (*client, residual.clone()))
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +199,37 @@ mod tests {
         assert_eq!(feedback.tracked_clients(), 0);
         assert!(feedback.residual(0).is_none());
         let _ = UniformQuantizer::new(2, false); // quantizer also usable here
+    }
+
+    #[test]
+    fn residual_snapshot_is_sorted_and_restores_identically() {
+        let mut feedback = ErrorFeedback::new();
+        let compressor = TopK::new(0.3);
+        let mut rng = SeededRng::new(6);
+        // Insert in non-ascending client order; the snapshot must sort.
+        for &client in &[9usize, 2, 5] {
+            let delta: Vec<f32> = (0..6).map(|i| (client * 6 + i) as f32 * 0.1).collect();
+            let _ = feedback.compress_with_feedback(client, &delta, &compressor, &mut rng);
+        }
+        let table = feedback.snapshot_residuals();
+        let ids: Vec<usize> = table.iter().map(|(c, _)| *c).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+
+        let mut restored = ErrorFeedback::new();
+        restored.restore_residuals(&table);
+        assert_eq!(restored.tracked_clients(), 3);
+        for (client, residual) in &table {
+            assert_eq!(restored.residual(*client), Some(residual.as_slice()));
+        }
+        // The restored memory continues exactly like the original.
+        let next = vec![0.5f32; 6];
+        let a = feedback
+            .compress_with_feedback(5, &next, &compressor, &mut SeededRng::new(7))
+            .decode();
+        let b = restored
+            .compress_with_feedback(5, &next, &compressor, &mut SeededRng::new(7))
+            .decode();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,6 +2,14 @@
 //!
 //! The benchmark harness sweeps over the six methods of the paper; this
 //! module gives it (and downstream users) a single constructor.
+//!
+//! The privacy and compression extensions (`fedcross-privacy`'s `DpFedAvg` /
+//! `DpFedCross` / `SecureAggFedAvg`, `fedcross-compress`'s
+//! `CompressedFedAvg`) live in crates layered *above* this one, so they
+//! cannot appear in [`AlgorithmSpec`] without a dependency cycle — construct
+//! them directly. Like every spec here, all of them implement the full
+//! resume plane (`snapshot_state`/`restore_state`): no shipped algorithm
+//! relies on the refusing defaults (see docs/CHECKPOINTING.md).
 
 use crate::acceleration::Acceleration;
 use crate::algorithm::{FedCross, FedCrossConfig};

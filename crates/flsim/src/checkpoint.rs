@@ -35,10 +35,46 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
 
-/// Current checkpoint format version. Version 1 (the pre-resume-plane format
-/// without algorithm state, comm counters or a config fingerprint) is no
-/// longer readable; loading one fails with a missing-field error.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// Current checkpoint format version. Older versions are no longer readable;
+/// loading one fails with a missing-field error. Version 1 was the
+/// pre-resume-plane format (no algorithm state, comm counters or config
+/// fingerprint); version 2 lacked the [`AlgorithmState::records`] section
+/// that the DP accountant and compression counters persist through.
+pub const CHECKPOINT_VERSION: u32 = 3;
+
+/// Encodes a `u64` counter for an [`AlgorithmState::records`] entry.
+///
+/// Counters travel as decimal strings because the serde shim's JSON numbers
+/// are `f64`-backed: a numeric `u64` above 2^53 would silently truncate.
+pub fn encode_u64(value: u64) -> String {
+    value.to_string()
+}
+
+/// Decodes a counter written by [`encode_u64`].
+pub fn decode_u64(text: &str) -> Result<u64, StateError> {
+    text.parse::<u64>()
+        .map_err(|_| StateError::new(format!("invalid u64 counter `{text}`")))
+}
+
+/// Encodes an `f64` for an [`AlgorithmState::records`] entry, **bitwise**.
+///
+/// The accountant's spent privacy budget must survive a checkpoint exactly
+/// (the resumed run keeps adding to it, and any rounding would make the
+/// reported ε diverge from the uninterrupted run), so the value travels as
+/// its hex bit pattern rather than a decimal rendering.
+pub fn encode_f64(value: f64) -> String {
+    format!("f64:{:016x}", value.to_bits())
+}
+
+/// Decodes a value written by [`encode_f64`].
+pub fn decode_f64(text: &str) -> Result<f64, StateError> {
+    let hex = text
+        .strip_prefix("f64:")
+        .ok_or_else(|| StateError::new(format!("invalid f64 record `{text}` (missing prefix)")))?;
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|_| StateError::new(format!("invalid f64 record `{text}`")))
+}
 
 /// An error while capturing or restoring an [`AlgorithmState`].
 #[derive(Debug, Clone, PartialEq)]
@@ -80,8 +116,14 @@ pub type ClientTable = Vec<(usize, Vec<f32>)>;
 /// * model-shaped auxiliary vectors (SCAFFOLD's server control variate,
 ///   FedGen's distillation teacher) go into [`AlgorithmState::aux`] by name;
 /// * per-client tables (SCAFFOLD's client control variates, CluSamp's update
-///   directions) go into [`AlgorithmState::client_tables`] by name, sorted by
-///   client id so the serialised form is deterministic.
+///   directions, compressed FedAvg's error-feedback residuals) go into
+///   [`AlgorithmState::client_tables`] by name, sorted by client id so the
+///   serialised form is deterministic;
+/// * scalar counters and budget records that are not model-shaped (the DP
+///   accountant's spent Rényi budget, `UploadStats` totals) go into
+///   [`AlgorithmState::records`] by name, each value string-encoded via
+///   [`encode_u64`] / [`encode_f64`] so `u64` and `f64` survive the
+///   f64-backed JSON number representation losslessly.
 ///
 /// Models are [`ParamBlock`]s: snapshotting FedCross's middleware list is `K`
 /// reference-count bumps, not an `O(K·d)` clone storm, and restoring hands
@@ -95,6 +137,9 @@ pub struct AlgorithmState {
     pub aux: Vec<(String, Vec<f32>)>,
     /// Named per-client vector tables, each sorted by client id.
     pub client_tables: Vec<(String, ClientTable)>,
+    /// Named string-encoded scalar records ([`encode_u64`] / [`encode_f64`]):
+    /// counters and budget accumulators that must survive JSON losslessly.
+    pub records: Vec<(String, Vec<String>)>,
 }
 
 impl AlgorithmState {
@@ -130,6 +175,17 @@ impl AlgorithmState {
     ) -> Self {
         table.sort_by_key(|(client, _)| *client);
         self.client_tables.push((name.into(), table));
+        self
+    }
+
+    /// Adds a named string-encoded record (builder style). Encode each value
+    /// with [`encode_u64`] / [`encode_f64`] so it survives JSON losslessly.
+    pub fn with_record(
+        mut self,
+        name: impl Into<String>,
+        values: Vec<String>,
+    ) -> Self {
+        self.records.push((name.into(), values));
         self
     }
 
@@ -226,9 +282,34 @@ impl AlgorithmState {
         }
         Ok(table)
     }
+
+    /// A named string record, or `None` when absent. Use for records that an
+    /// algorithm only writes once the state exists (e.g. a checkpoint taken
+    /// before the first round has no accountant yet).
+    pub fn record(&self, name: &str) -> Option<&[String]> {
+        self.records
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, values)| values.as_slice())
+    }
+
+    /// A named string record, validated against the expected entry count.
+    pub fn expect_record(&self, name: &str, len: usize) -> Result<&[String], StateError> {
+        let values = self
+            .record(name)
+            .ok_or_else(|| StateError::new(format!("missing record `{name}`")))?;
+        if values.len() != len {
+            return Err(StateError::new(format!(
+                "record `{name}` has {} entries, expected {len}",
+                values.len()
+            )));
+        }
+        Ok(values)
+    }
 }
 
-/// A resumable snapshot of a federated training run (format version 2).
+/// A resumable snapshot of a federated training run (format
+/// [`CHECKPOINT_VERSION`]).
 ///
 /// Build one with [`Simulation::checkpoint`](crate::engine::Simulation::checkpoint)
 /// after a partial run, persist it with [`Checkpoint::save`], and hand it to
@@ -308,7 +389,8 @@ impl Deserialize for Checkpoint {
 }
 
 impl Checkpoint {
-    /// Assembles a version-2 checkpoint from its parts. Most callers should
+    /// Assembles a [`CHECKPOINT_VERSION`] checkpoint from its parts. Most
+    /// callers should
     /// use [`Simulation::checkpoint`](crate::engine::Simulation::checkpoint),
     /// which fills in the seed and configuration fingerprint.
     #[allow(clippy::too_many_arguments)]
@@ -596,6 +678,41 @@ mod tests {
         let restored = Checkpoint::load(&path).expect("load succeeds");
         assert_eq!(restored.seed, u64::MAX - 2);
         assert_eq!(restored.comm, comm);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn records_round_trip_losslessly_and_validate() {
+        // u64 beyond 2^53 and f64 values with no exact decimal rendering must
+        // survive the JSON round trip bit for bit — this is what the DP
+        // accountant's spent budget and the upload counters rely on.
+        let spent = [1.0f64 / 3.0, f64::MIN_POSITIVE, -0.0, 2.5e-300];
+        let state = AlgorithmState::single_model(ParamBlock::from(vec![0.0f32]))
+            .with_record("counters", vec![encode_u64(u64::MAX), encode_u64(0)])
+            .with_record("budget", spent.iter().copied().map(encode_f64).collect());
+        let checkpoint = checkpoint_with_state(state);
+        let dir = std::env::temp_dir().join("fedcross-checkpoint-test-records");
+        let path = dir.join("ckpt.json");
+        checkpoint.save(&path).expect("save succeeds");
+        let restored = Checkpoint::load(&path).expect("load succeeds");
+        assert_eq!(restored, checkpoint);
+
+        let counters = restored.state.expect_record("counters", 2).unwrap();
+        assert_eq!(decode_u64(&counters[0]).unwrap(), u64::MAX);
+        assert_eq!(decode_u64(&counters[1]).unwrap(), 0);
+        let budget = restored.state.expect_record("budget", 4).unwrap();
+        for (text, original) in budget.iter().zip(spent) {
+            assert_eq!(decode_f64(text).unwrap().to_bits(), original.to_bits());
+        }
+
+        // Validation: wrong length, missing name, malformed encodings.
+        assert!(restored.state.expect_record("counters", 3).is_err());
+        assert!(restored.state.expect_record("missing", 1).is_err());
+        assert!(restored.state.record("missing").is_none());
+        assert!(decode_u64("not a number").is_err());
+        assert!(decode_u64("-1").is_err());
+        assert!(decode_f64("0.5").is_err(), "missing prefix must be rejected");
+        assert!(decode_f64("f64:xyz").is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -68,16 +68,25 @@ pub struct RoundReport {
 }
 
 impl RoundReport {
-    /// Builds a report from the round's local updates.
+    /// Builds a report from the round's local updates, in slice order.
     pub fn from_updates(updates: &[LocalUpdate]) -> Self {
-        if updates.is_empty() {
+        let refs: Vec<&LocalUpdate> = updates.iter().collect();
+        Self::from_ordered(&refs)
+    }
+
+    /// Builds a report from updates in a caller-chosen canonical order. The
+    /// f32 loss mean sums in iteration order, so algorithms whose round
+    /// result must be independent of upload arrival order (the round-derived
+    /// noise plane) report from their canonical client-id/slot order too.
+    pub fn from_ordered(ordered: &[&LocalUpdate]) -> Self {
+        if ordered.is_empty() {
             return Self::default();
         }
         Self {
-            participants: updates.len(),
-            mean_train_loss: updates.iter().map(|u| u.train_loss).sum::<f32>()
-                / updates.len() as f32,
-            total_samples: updates.iter().map(|u| u.num_samples).sum(),
+            participants: ordered.len(),
+            mean_train_loss: ordered.iter().map(|u| u.train_loss).sum::<f32>()
+                / ordered.len() as f32,
+            total_samples: ordered.iter().map(|u| u.num_samples).sum(),
         }
     }
 }

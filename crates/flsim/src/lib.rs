@@ -21,6 +21,10 @@
 //!   model (the measurement behind the paper's Figure 1 motivation),
 //! * [`worker`] — the persistent client-worker plane: warm model + scratch
 //!   slots reused across rounds so steady-state rounds construct no models,
+//! * [`streams`] — round-derived stochastic streams: per-round, per-consumer
+//!   RNGs derived from `(domain, base seed, absolute round, slot)` so
+//!   algorithm-side noise (DP, compression dithering, secure-agg masks) is
+//!   resumable and independent of upload arrival order,
 //! * [`engine`] — the round loop: an implementation of
 //!   [`engine::FederatedAlgorithm`] (FedCross and the five baselines live in
 //!   the `fedcross` crate) is driven round by round against a
@@ -78,6 +82,7 @@ pub mod eval;
 pub mod fairness;
 pub mod history;
 pub mod landscape;
+pub mod streams;
 pub mod worker;
 
 pub use availability::AvailabilityModel;
@@ -90,4 +95,5 @@ pub use engine::{
 pub use eval::EvalWorker;
 pub use fairness::{per_client_fairness, FairnessReport};
 pub use history::{RoundRecord, TrainingHistory};
+pub use streams::{RoundStream, RoundStreams, StreamDomain};
 pub use worker::{ClientWorker, ClientWorkerPool};

@@ -1,0 +1,221 @@
+//! Round-derived stochastic streams.
+//!
+//! The resume plane's core contract (docs/CHECKPOINTING.md) is that
+//! everything random in a round derives from the **absolute round index**,
+//! never from a stream consumed across rounds. The engine already obeys it
+//! (`master.fork(round)`, then `round_rng.fork(client + 1)` per job); this
+//! module packages the same construction for *algorithm-side* stochastic
+//! consumers — DP client noise, DP central noise, stochastic-compression
+//! dithering, secure-aggregation masks — so none of them has to keep a
+//! long-lived consumed RNG.
+//!
+//! A [`RoundStreams`] is a pure function of `(domain tag, base seed)`; a
+//! [`RoundStream`] adds the absolute round index; the final RNG adds the
+//! consumer's identity (a middleware slot or client id). Three properties
+//! follow directly from [`SeededRng::fork`]'s construction-seed contract:
+//!
+//! 1. **Resumability** — round `R`'s noise is identical whether the process
+//!    booted at round 0 or restored a checkpoint at round `R`; there is no
+//!    cross-round RNG state to persist.
+//! 2. **Order independence** — two consumers' draws never share a stream, so
+//!    the noise a client receives does not depend on which uploads arrived
+//!    before it (the aggregation estimator becomes a deterministic function
+//!    of the round, not of arrival order).
+//! 3. **Domain separation** — distinct [`StreamDomain`] tags decorrelate
+//!    consumers that share a base seed (e.g. a DP run's per-client noise and
+//!    its central noise), and runs with adjacent base seeds never replay each
+//!    other's streams (the SplitMix64-style finaliser inside `fork` breaks
+//!    the additive aliasing that `seed + round` arithmetic suffers from).
+
+use fedcross_tensor::SeededRng;
+
+/// Identifies an independent family of round-derived streams.
+///
+/// Every stochastic consumer in the workspace draws from its own domain, so
+/// sharing one base seed across consumers is safe. The discriminants are
+/// large, structurally unrelated constants: the derivation adds the tag to
+/// the finaliser input, so small consecutive tags would still be decorrelated
+/// by the mixing — the spread-out values just make collisions with other
+/// `fork` call sites impossible by inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamDomain {
+    /// Per-client differential-privacy noise (local placement).
+    DpClientNoise,
+    /// Server-side differential-privacy noise (central placement).
+    DpCentralNoise,
+    /// Stochastic-compression randomness (dithered quantization, random-k).
+    CompressionDither,
+    /// Secure-aggregation pairwise mask seeds.
+    SecureAggMask,
+}
+
+impl StreamDomain {
+    /// The stream id this domain occupies in the base seed's fork space.
+    fn tag(self) -> u64 {
+        match self {
+            StreamDomain::DpClientNoise => 0x4450_434C_4945_4E54,    // "DPCLIENT"
+            StreamDomain::DpCentralNoise => 0x4450_4345_4E54_5241,   // "DPCENTRA"
+            StreamDomain::CompressionDither => 0x434F_4D50_4449_5448, // "COMPDITH"
+            StreamDomain::SecureAggMask => 0x5345_4341_474D_4153,    // "SECAGMAS"
+        }
+    }
+}
+
+/// A factory of per-round, per-consumer RNGs derived from
+/// `(domain tag, base seed, absolute round, slot or client id)`.
+///
+/// Construct one per stochastic subsystem at algorithm-construction time and
+/// call [`RoundStreams::round`] inside `run_round`; the factory itself holds
+/// no mutable state, so it never needs checkpointing.
+///
+/// ```
+/// use fedcross_flsim::streams::{RoundStreams, StreamDomain};
+///
+/// let noise = RoundStreams::new(StreamDomain::DpClientNoise, 42);
+/// // Round 7's stream for client 3 is the same value no matter how many
+/// // rounds ran before, in which order uploads arrive, or whether the
+/// // process restarted in between:
+/// let mut a = noise.round(7).stream(3);
+/// let mut b = RoundStreams::new(StreamDomain::DpClientNoise, 42).round(7).stream(3);
+/// assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundStreams {
+    base_seed: u64,
+    domain_root: SeededRng,
+}
+
+impl RoundStreams {
+    /// Creates the stream family for `domain`, rooted at `base_seed`.
+    pub fn new(domain: StreamDomain, base_seed: u64) -> Self {
+        Self {
+            base_seed,
+            domain_root: SeededRng::new(base_seed).fork(domain.tag()),
+        }
+    }
+
+    /// The base seed this family was rooted at.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The streams of one **absolute** round.
+    pub fn round(&self, round: usize) -> RoundStream {
+        RoundStream {
+            root: self.domain_root.fork(round as u64),
+        }
+    }
+}
+
+/// One domain's streams for one absolute round.
+///
+/// The round root's fork space is allocated exactly like the engine's round
+/// RNG: stream id 0 is the round's single server-side consumer
+/// ([`RoundStream::server`]), ids `1..` are per-slot/per-client consumers
+/// ([`RoundStream::stream`] shifts by one), so the two can never collide.
+#[derive(Debug, Clone)]
+pub struct RoundStream {
+    root: SeededRng,
+}
+
+impl RoundStream {
+    /// The RNG of the consumer identified by `id` (a middleware slot or a
+    /// client index) in this round.
+    pub fn stream(&self, id: usize) -> SeededRng {
+        self.root.fork(id as u64 + 1)
+    }
+
+    /// The RNG of this round's single server-side consumer (e.g. the one
+    /// central-DP perturbation of the aggregated delta).
+    pub fn server(&self) -> SeededRng {
+        self.root.fork(0)
+    }
+
+    /// The round's derived seed, for consumers that take a `u64` instead of
+    /// an RNG (the secure-aggregation [`PairwiseMasker`] builds its own
+    /// pairwise fork space from one round seed).
+    ///
+    /// [`PairwiseMasker`]: https://docs.rs/fedcross-privacy
+    pub fn seed(&self) -> u64 {
+        self.root.seed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_draws(rng: &mut SeededRng, n: usize) -> Vec<u32> {
+        (0..n).map(|_| rng.uniform().to_bits()).collect()
+    }
+
+    #[test]
+    fn streams_are_a_pure_function_of_their_coordinates() {
+        let a = RoundStreams::new(StreamDomain::DpClientNoise, 9);
+        let b = RoundStreams::new(StreamDomain::DpClientNoise, 9);
+        for round in [0usize, 1, 17, 4096] {
+            for id in [0usize, 1, 5] {
+                let mut x = a.round(round).stream(id);
+                let mut y = b.round(round).stream(id);
+                assert_eq!(first_draws(&mut x, 8), first_draws(&mut y, 8));
+            }
+            let mut x = a.round(round).server();
+            let mut y = b.round(round).server();
+            assert_eq!(first_draws(&mut x, 8), first_draws(&mut y, 8));
+        }
+    }
+
+    #[test]
+    fn domains_rounds_and_ids_are_decorrelated() {
+        let client = RoundStreams::new(StreamDomain::DpClientNoise, 9);
+        let central = RoundStreams::new(StreamDomain::DpCentralNoise, 9);
+        // Same (seed, round, id) in different domains: different streams.
+        let mut a = client.round(3).stream(1);
+        let mut b = central.round(3).stream(1);
+        assert_ne!(first_draws(&mut a, 8), first_draws(&mut b, 8));
+        // Same domain, adjacent rounds: different streams.
+        let mut a = client.round(3).stream(1);
+        let mut b = client.round(4).stream(1);
+        assert_ne!(first_draws(&mut a, 8), first_draws(&mut b, 8));
+        // Same round, adjacent ids — and the server stream — all distinct.
+        let round = client.round(3);
+        let mut seeds = vec![round.server().seed()];
+        for id in 0..8 {
+            seeds.push(round.stream(id).seed());
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 9, "stream ids collided");
+    }
+
+    #[test]
+    fn adjacent_base_seeds_do_not_alias_across_rounds() {
+        // The bug this module exists to prevent: with `seed + round`
+        // arithmetic, (seed 5, round 3) and (seed 6, round 2) share a stream.
+        // Under fork derivation they must not.
+        for domain in [
+            StreamDomain::DpClientNoise,
+            StreamDomain::DpCentralNoise,
+            StreamDomain::CompressionDither,
+            StreamDomain::SecureAggMask,
+        ] {
+            let mut seeds = Vec::new();
+            for base in 0..6u64 {
+                let streams = RoundStreams::new(domain, base);
+                for round in 0..6usize {
+                    seeds.push(streams.round(round).seed());
+                }
+            }
+            let total = seeds.len();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), total, "{domain:?}: round seeds aliased");
+        }
+    }
+
+    #[test]
+    fn base_seed_is_reported() {
+        let streams = RoundStreams::new(StreamDomain::CompressionDither, 1234);
+        assert_eq!(streams.base_seed(), 1234);
+    }
+}

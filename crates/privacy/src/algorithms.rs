@@ -13,16 +13,62 @@
 //!   privacy mechanisms,
 //! * [`SecureAggFedAvg`] — FedAvg over pairwise-masked uploads; the server
 //!   only observes masked vectors yet recovers the exact average.
+//!
+//! All three are **resumable**: every noise/mask draw derives from a
+//! [`RoundStreams`] keyed by `(domain, seed, absolute round, slot or client)`
+//! — never from a consumed RNG — so checkpoint/restore reproduces the
+//! uninterrupted trajectory bitwise (pinned by `tests/tests/resume_plane.rs`),
+//! and the DP noise a client receives is independent of the order in which
+//! uploads arrive.
 
 use crate::accountant::RdpAccountant;
 use crate::mechanism::{privatize_aggregate, privatize_client_delta, DpConfig};
 use crate::secure_agg::{aggregate_masked, PairwiseMasker};
 use fedcross::aggregation::{cross_aggregate_all, global_model, global_model_into};
 use fedcross::selection::{SelectionStrategy, SimilarityMeasure};
-use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
+use fedcross_flsim::checkpoint::{
+    decode_f64, decode_u64, encode_f64, encode_u64, AlgorithmState, StateError,
+};
+use fedcross_flsim::client::LocalUpdate;
 use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
+use fedcross_flsim::streams::{RoundStreams, StreamDomain};
 use fedcross_nn::params::{add_scaled, average, difference, ParamBlock};
-use fedcross_tensor::SeededRng;
+
+/// Name of the [`AlgorithmState`] record holding an [`RdpAccountant`]'s
+/// spent budget: `[rounds, sampling_rate, spent_rdp per order...]`.
+const ACCOUNTANT_RECORD: &str = "rdp_accountant";
+
+/// Encodes an accountant's consumed state for a checkpoint (everything a
+/// [`RdpAccountant::restore`] needs besides the configured noise multiplier,
+/// which the algorithm's own `DpConfig` supplies).
+fn accountant_record(accountant: &RdpAccountant) -> Vec<String> {
+    let mut record = vec![
+        encode_u64(accountant.rounds()),
+        encode_f64(accountant.sampling_rate()),
+    ];
+    record.extend(accountant.spent_rdp().iter().copied().map(encode_f64));
+    record
+}
+
+/// Restores an accountant from [`accountant_record`]'s encoding. `Ok(None)`
+/// when the state has no accountant record (a checkpoint taken before the
+/// first round, where the accountant does not exist yet).
+fn restore_accountant(
+    state: &AlgorithmState,
+    noise_multiplier: f32,
+) -> Result<Option<RdpAccountant>, StateError> {
+    if state.record(ACCOUNTANT_RECORD).is_none() {
+        return Ok(None);
+    }
+    let record = state.expect_record(ACCOUNTANT_RECORD, 2 + RdpAccountant::orders().len())?;
+    let rounds = decode_u64(&record[0])?;
+    let sampling_rate = decode_f64(&record[1])?;
+    let spent: Result<Vec<f64>, StateError> =
+        record[2..].iter().map(|text| decode_f64(text)).collect();
+    RdpAccountant::restore(noise_multiplier as f64, sampling_rate, rounds, spent?)
+        .map(Some)
+        .map_err(|message| StateError::new(format!("accountant record: {message}")))
+}
 
 /// FedAvg with differentially-private client updates.
 ///
@@ -30,29 +76,37 @@ use fedcross_tensor::SeededRng;
 /// to the configured norm, (locally noise it if the placement is local),
 /// average the deltas, (centrally noise the average if the placement is
 /// central) and apply the result to the global model. An [`RdpAccountant`] is
-/// advanced every round so the spent (ε, δ) can be read off at any time.
+/// advanced every round — at the round's **actual** participation rate, so
+/// availability dropout is accounted rather than the first round's frozen
+/// `K / N` — and the spent (ε, δ) can be read off at any time.
 ///
-/// Not resumable: the privacy noise stream (`noise_rng`) is consumed
-/// incrementally across rounds and cannot be reconstructed from a round
-/// index, so this type keeps the default
-/// [`FederatedAlgorithm::restore_state`], which refuses rather than silently
-/// replaying a different noise sequence.
+/// **Resumable.** All noise derives from [`RoundStreams`] — per-client noise
+/// from `(DpClientNoise, noise_seed, round, client id)`, the central
+/// perturbation from `(DpCentralNoise, noise_seed, round)` — so there is no
+/// consumed RNG to persist and round `R`'s noise is the same after a restart.
+/// Keying by client id also makes the noise (and the canonical client-id
+/// aggregation order) independent of upload arrival order. The cross-round
+/// state is the global model plus the accountant's spent budget, both
+/// captured by [`FederatedAlgorithm::snapshot_state`].
 pub struct DpFedAvg {
     global: ParamBlock,
     config: DpConfig,
-    noise_rng: SeededRng,
+    client_noise: RoundStreams,
+    central_noise: RoundStreams,
     accountant: Option<RdpAccountant>,
 }
 
 impl DpFedAvg {
-    /// Creates DP-FedAvg from the shared initial model. `noise_seed` seeds the
-    /// privacy noise stream (kept separate from the simulation's client
-    /// selection stream so noise does not perturb the sampling).
+    /// Creates DP-FedAvg from the shared initial model. `noise_seed` roots the
+    /// round-derived privacy noise streams (kept separate from the
+    /// simulation's client selection stream so noise does not perturb the
+    /// sampling).
     pub fn new(init_params: Vec<f32>, config: DpConfig, noise_seed: u64) -> Self {
         Self {
             global: ParamBlock::from(init_params),
             config,
-            noise_rng: SeededRng::new(noise_seed),
+            client_noise: RoundStreams::new(StreamDomain::DpClientNoise, noise_seed),
+            central_noise: RoundStreams::new(StreamDomain::DpCentralNoise, noise_seed),
             accountant: None,
         }
     }
@@ -67,8 +121,8 @@ impl DpFedAvg {
         self.accountant.as_ref().map(|a| a.epsilon(delta))
     }
 
-    /// The underlying accountant, once the first round has fixed the sampling
-    /// rate.
+    /// The underlying accountant, once the first round has fixed the nominal
+    /// sampling rate.
     pub fn accountant(&self) -> Option<&RdpAccountant> {
         self.accountant.as_ref()
     }
@@ -82,17 +136,71 @@ impl DpFedAvg {
             ));
         }
     }
+
+    /// The server half of one round: privatise `updates` against the current
+    /// global model, apply the DP-FedAvg estimator and record the round's
+    /// actual participation in the accountant.
+    ///
+    /// Public so the order-independence contract is testable: the result is
+    /// a function of the *set* of updates — processing is canonically ordered
+    /// by client id and every noise draw is keyed by `(round, client)`, so
+    /// any permutation of `updates` produces a bitwise-identical model.
+    pub fn apply_updates(
+        &mut self,
+        round: usize,
+        num_clients: usize,
+        updates: &[LocalUpdate],
+    ) -> RoundReport {
+        if updates.is_empty() {
+            return RoundReport::default();
+        }
+        let mut ordered: Vec<&LocalUpdate> = updates.iter().collect();
+        ordered.sort_by_key(|update| update.client);
+
+        // Clip (and locally noise) every client's delta against the
+        // dispatched global model, each from its own (round, client) stream.
+        let round_noise = self.client_noise.round(round);
+        let deltas: Vec<Vec<f32>> = ordered
+            .iter()
+            .map(|update| {
+                let mut delta = difference(&update.params, &self.global);
+                let mut rng = round_noise.stream(update.client);
+                privatize_client_delta(&mut delta, &self.config, &mut rng);
+                delta
+            })
+            .collect();
+
+        // Unweighted mean of bounded deltas (the DP-FedAvg estimator), then
+        // the central perturbation — calibrated to the returned count — if
+        // configured.
+        let mut aggregate = average(&deltas);
+        let mut central_rng = self.central_noise.round(round).server();
+        privatize_aggregate(&mut aggregate, &self.config, deltas.len(), &mut central_rng);
+        add_scaled(self.global.make_mut(), &aggregate, 1.0);
+
+        if let Some(accountant) = self.accountant.as_mut() {
+            accountant.step_with_rate(ordered.len() as f64 / num_clients.max(1) as f64);
+        }
+        RoundReport::from_ordered(&ordered)
+    }
 }
 
 impl FederatedAlgorithm for DpFedAvg {
     fn name(&self) -> String {
+        // The noise seed is part of the name: round-derived noise makes the
+        // trajectory a function of the seed, so a resume under a different
+        // seed would silently splice two noise sequences — the name check
+        // rejects it (same convention as SecureAggFedAvg's mask seed).
         format!(
-            "dp-fedavg(C={}, z={}, {})",
-            self.config.clip_norm, self.config.noise_multiplier, self.config.placement
+            "dp-fedavg(C={}, z={}, {}, seed={})",
+            self.config.clip_norm,
+            self.config.noise_multiplier,
+            self.config.placement,
+            self.client_noise.base_seed()
         )
     }
 
-    fn run_round(&mut self, _round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+    fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
         self.ensure_accountant(ctx.clients_per_round(), ctx.num_clients());
 
         let selected = ctx.select_clients();
@@ -102,36 +210,7 @@ impl FederatedAlgorithm for DpFedAvg {
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs);
-        if updates.is_empty() {
-            return RoundReport::default();
-        }
-
-        // Clip (and locally noise) every client's delta against the dispatched
-        // global model.
-        let deltas: Vec<Vec<f32>> = updates
-            .iter()
-            .map(|update| {
-                let mut delta = difference(&update.params, &self.global);
-                privatize_client_delta(&mut delta, &self.config, &mut self.noise_rng);
-                delta
-            })
-            .collect();
-
-        // Unweighted mean of bounded deltas (the DP-FedAvg estimator), then the
-        // central perturbation if configured.
-        let mut aggregate = average(&deltas);
-        privatize_aggregate(
-            &mut aggregate,
-            &self.config,
-            deltas.len(),
-            &mut self.noise_rng,
-        );
-        add_scaled(self.global.make_mut(), &aggregate, 1.0);
-
-        if let Some(accountant) = self.accountant.as_mut() {
-            accountant.step();
-        }
-        RoundReport::from_updates(&updates)
+        self.apply_updates(round, ctx.num_clients(), &updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
@@ -142,6 +221,22 @@ impl FederatedAlgorithm for DpFedAvg {
         // Allocation-free deployment read for the per-round evaluation path.
         out.clear();
         out.extend_from_slice(&self.global);
+    }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        let mut state = AlgorithmState::single_model(self.global.clone());
+        if let Some(accountant) = &self.accountant {
+            state = state.with_record(ACCOUNTANT_RECORD, accountant_record(accountant));
+        }
+        Ok(state)
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let global = state.expect_single_model(self.global.len())?.clone();
+        let accountant = restore_accountant(state, self.config.noise_multiplier)?;
+        self.global = global;
+        self.accountant = accountant;
+        Ok(())
     }
 }
 
@@ -176,10 +271,17 @@ impl Default for DpFedCrossConfig {
 /// every uploaded model is replaced by `dispatched + privatize(trained −
 /// dispatched)` before collaborative-model selection and cross-aggregation,
 /// exactly where DP-FedAvg privatises its client deltas.
+///
+/// **Resumable**, like [`DpFedAvg`]: noise derives from [`RoundStreams`]
+/// keyed by `(round, middleware slot)`, uploads are processed in canonical
+/// slot order, and the accountant's spent budget travels in the checkpoint.
+/// Central noise and the accountant are calibrated to the number of uploads
+/// that actually **returned** (dropout shrinks both), not the configured `K`.
 pub struct DpFedCross {
     config: DpFedCrossConfig,
     middleware: Vec<ParamBlock>,
-    noise_rng: SeededRng,
+    client_noise: RoundStreams,
+    central_noise: RoundStreams,
     accountant: Option<RdpAccountant>,
 }
 
@@ -196,7 +298,8 @@ impl DpFedCross {
         Self {
             config,
             middleware: vec![shared; k],
-            noise_rng: SeededRng::new(noise_seed),
+            client_noise: RoundStreams::new(StreamDomain::DpClientNoise, noise_seed),
+            central_noise: RoundStreams::new(StreamDomain::DpCentralNoise, noise_seed),
             accountant: None,
         }
     }
@@ -211,6 +314,12 @@ impl DpFedCross {
         self.accountant.as_ref().map(|a| a.epsilon(delta))
     }
 
+    /// The underlying accountant, once the first round has fixed the nominal
+    /// sampling rate.
+    pub fn accountant(&self) -> Option<&RdpAccountant> {
+        self.accountant.as_ref()
+    }
+
     fn ensure_accountant(&mut self, clients_per_round: usize, total_clients: usize) {
         if self.accountant.is_none() {
             let q = clients_per_round as f32 / total_clients.max(1) as f32;
@@ -220,60 +329,61 @@ impl DpFedCross {
             ));
         }
     }
-}
 
-impl FederatedAlgorithm for DpFedCross {
-    fn name(&self) -> String {
-        format!(
-            "dp-fedcross(alpha={}, C={}, z={}, {})",
-            self.config.alpha,
-            self.config.dp.clip_norm,
-            self.config.dp.noise_multiplier,
-            self.config.dp.placement
-        )
-    }
-
-    fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
-        let k = self.middleware.len();
-        assert_eq!(
-            ctx.clients_per_round(),
-            k,
-            "DP-FedCross requires clients_per_round to equal the number of middleware models"
-        );
-        self.ensure_accountant(k, ctx.num_clients());
-
-        let mut selected = ctx.select_clients();
-        ctx.rng_mut().shuffle(&mut selected);
-        let jobs: Vec<(usize, ParamBlock)> = selected
-            .iter()
-            .zip(self.middleware.iter())
-            .map(|(&client, model)| (client, model.clone()))
-            .collect();
-        let updates = ctx.local_train_batch(&jobs);
-        drop(jobs);
+    /// The server half of one round: map every upload back to the middleware
+    /// slot it was dispatched from (`selected[slot]` is the client trained on
+    /// slot `slot`), privatise it, cross-aggregate, and record the round's
+    /// actual participation in the accountant.
+    ///
+    /// Public so the order-independence contract is testable: uploads are
+    /// processed in canonical slot order and every noise draw is keyed by
+    /// `(round, slot)`, so any permutation of `updates` produces bitwise
+    /// identical middleware.
+    pub fn apply_updates(
+        &mut self,
+        round: usize,
+        num_clients: usize,
+        selected: &[usize],
+        updates: &[LocalUpdate],
+    ) -> RoundReport {
         if updates.is_empty() {
             return RoundReport::default();
         }
+        // Canonical order: sort returned uploads by middleware slot. Missing
+        // slots (dropped clients) simply skip the round.
+        let mut ordered: Vec<(usize, &LocalUpdate)> = updates
+            .iter()
+            .map(|update| {
+                let slot = selected
+                    .iter()
+                    .position(|&client| client == update.client)
+                    .expect("every update comes from a selected client");
+                (slot, update)
+            })
+            .collect();
+        ordered.sort_by_key(|(slot, _)| *slot);
 
         // Privatise each uploaded middleware model against the version that
-        // was dispatched to its client. Uploads are mapped back to their
-        // middleware slot by client id so the scheme also tolerates client
-        // dropout (missing slots skip the round).
-        let mut returned_slots = Vec::with_capacity(updates.len());
-        let mut uploaded = Vec::with_capacity(updates.len());
-        for update in &updates {
-            let slot = selected
-                .iter()
-                .position(|&client| client == update.client)
-                .expect("every update comes from a selected client");
+        // was dispatched to its client, each from its own (round, slot)
+        // stream.
+        let participants = ordered.len();
+        let round_client_noise = self.client_noise.round(round);
+        let round_central_noise = self.central_noise.round(round);
+        let mut returned_slots = Vec::with_capacity(participants);
+        let mut uploaded = Vec::with_capacity(participants);
+        for &(slot, update) in &ordered {
             let dispatched = &self.middleware[slot];
             let mut delta = difference(&update.params, dispatched);
-            privatize_client_delta(&mut delta, &self.config.dp, &mut self.noise_rng);
-            // Central placement: each middleware stream receives noise of
-            // std z·C/K, so the released global model (the average of the
-            // K middleware models) carries the same perturbation magnitude
-            // as central DP-FedAvg over K clients.
-            privatize_aggregate(&mut delta, &self.config.dp, k, &mut self.noise_rng);
+            let mut rng = round_client_noise.stream(slot);
+            privatize_client_delta(&mut delta, &self.config.dp, &mut rng);
+            // Central placement: each *returned* middleware stream receives
+            // noise of std z·C/participants, so the released global model
+            // (the average of the updated middleware models) carries the
+            // same perturbation magnitude as central DP-FedAvg over the same
+            // participants. Calibrating to the configured K when clients
+            // dropped out would under-noise the release.
+            let mut rng = round_central_noise.stream(slot);
+            privatize_aggregate(&mut delta, &self.config.dp, participants, &mut rng);
             // Reconstruct dispatched + delta in the delta buffer itself
             // (addition commutes), avoiding a full-model clone per upload.
             add_scaled(&mut delta, dispatched.as_slice(), 1.0);
@@ -297,9 +407,48 @@ impl FederatedAlgorithm for DpFedCross {
         }
 
         if let Some(accountant) = self.accountant.as_mut() {
-            accountant.step();
+            accountant.step_with_rate(participants as f64 / num_clients.max(1) as f64);
         }
-        RoundReport::from_updates(&updates)
+        let ordered_updates: Vec<&LocalUpdate> =
+            ordered.iter().map(|&(_, update)| update).collect();
+        RoundReport::from_ordered(&ordered_updates)
+    }
+}
+
+impl FederatedAlgorithm for DpFedCross {
+    fn name(&self) -> String {
+        // Seed in the name for the same reason as DpFedAvg: a resume under a
+        // different noise seed cannot be bitwise faithful and must be
+        // rejected by the name check.
+        format!(
+            "dp-fedcross(alpha={}, C={}, z={}, {}, seed={})",
+            self.config.alpha,
+            self.config.dp.clip_norm,
+            self.config.dp.noise_multiplier,
+            self.config.dp.placement,
+            self.client_noise.base_seed()
+        )
+    }
+
+    fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+        let k = self.middleware.len();
+        assert_eq!(
+            ctx.clients_per_round(),
+            k,
+            "DP-FedCross requires clients_per_round to equal the number of middleware models"
+        );
+        self.ensure_accountant(k, ctx.num_clients());
+
+        let mut selected = ctx.select_clients();
+        ctx.rng_mut().shuffle(&mut selected);
+        let jobs: Vec<(usize, ParamBlock)> = selected
+            .iter()
+            .zip(self.middleware.iter())
+            .map(|(&client, model)| (client, model.clone()))
+            .collect();
+        let updates = ctx.local_train_batch(&jobs);
+        drop(jobs);
+        self.apply_updates(round, ctx.num_clients(), &selected, &updates)
     }
 
     fn global_params(&self) -> Vec<f32> {
@@ -312,6 +461,24 @@ impl FederatedAlgorithm for DpFedCross {
         out.resize(self.middleware[0].len(), 0.0);
         global_model_into(out, &self.middleware);
     }
+
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        let mut state = AlgorithmState::multi_model(self.middleware.clone());
+        if let Some(accountant) = &self.accountant {
+            state = state.with_record(ACCOUNTANT_RECORD, accountant_record(accountant));
+        }
+        Ok(state)
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        let models = state
+            .expect_models(self.middleware.len(), self.middleware[0].len())?
+            .to_vec();
+        let accountant = restore_accountant(state, self.config.dp.noise_multiplier)?;
+        self.middleware = models;
+        self.accountant = accountant;
+        Ok(())
+    }
 }
 
 /// FedAvg over pairwise-masked uploads (secure-aggregation simulation).
@@ -320,35 +487,45 @@ impl FederatedAlgorithm for DpFedCross {
 /// the server averages the masked uploads and obtains exactly the plain
 /// FedAvg average without ever observing an individual client's delta.
 ///
-/// Resumable: the per-round [`PairwiseMasker`] is derived from
-/// `mask_seed + round` (an absolute round index, never a consumed stream),
-/// so the global model is the entire cross-round state.
+/// Resumable: the per-round [`PairwiseMasker`] seed is derived through
+/// [`RoundStreams`] from `(SecureAggMask, mask_seed, round)` — an absolute
+/// round index, never a consumed stream — so the global model is the entire
+/// cross-round state. The earlier `mask_seed + round` arithmetic is gone: it
+/// let runs with adjacent seeds replay each other's mask streams (seed 5 at
+/// round 3 aliased seed 6 at round 2); the fork derivation mixes the seed
+/// through a SplitMix64-style finaliser instead. Checkpoints written under
+/// the additive derivation carry the old algorithm name and are **rejected
+/// by design** — resuming them would splice two different mask sequences.
 pub struct SecureAggFedAvg {
     global: ParamBlock,
     mask_scale: f32,
-    mask_seed: u64,
+    mask_streams: RoundStreams,
 }
 
 impl SecureAggFedAvg {
     /// Creates the secure-aggregation FedAvg variant. `mask_scale` sets the
-    /// magnitude of the pairwise masks relative to the parameters.
+    /// magnitude of the pairwise masks relative to the parameters;
+    /// `mask_seed` roots the round-derived mask-seed stream.
     pub fn new(init_params: Vec<f32>, mask_scale: f32, mask_seed: u64) -> Self {
         Self {
             global: ParamBlock::from(init_params),
             mask_scale,
-            mask_seed,
+            mask_streams: RoundStreams::new(StreamDomain::SecureAggMask, mask_seed),
         }
     }
 }
 
 impl FederatedAlgorithm for SecureAggFedAvg {
     fn name(&self) -> String {
-        // mask_seed is part of the name: the per-round masks cancel only in
-        // exact sequential summation, so a resume under a different mask
-        // seed would differ in the low bits — the name check rejects it.
+        // mask_seed and the derivation scheme are part of the name: the
+        // per-round masks cancel only in exact sequential summation, so a
+        // resume under a different seed — or under the pre-fork additive
+        // derivation this name deliberately no longer matches — would differ
+        // in the low bits. The name check rejects both.
         format!(
-            "secureagg-fedavg(scale={}, seed={})",
-            self.mask_scale, self.mask_seed
+            "secureagg-fedavg(scale={}, seed={}, masks=fork)",
+            self.mask_scale,
+            self.mask_streams.base_seed()
         )
     }
 
@@ -369,7 +546,8 @@ impl FederatedAlgorithm for SecureAggFedAvg {
             .iter()
             .map(|update| difference(&update.params, &self.global))
             .collect();
-        let masker = PairwiseMasker::new(self.mask_seed.wrapping_add(round as u64), self.mask_scale);
+        let masker =
+            PairwiseMasker::new(self.mask_streams.round(round).seed(), self.mask_scale);
         let masked = masker.mask_all(&deltas);
 
         // Server side: only the masked uploads are visible; their sum is exact.
@@ -403,6 +581,7 @@ impl FederatedAlgorithm for SecureAggFedAvg {
 mod tests {
     use super::*;
     use crate::mechanism::NoisePlacement;
+    use fedcross_tensor::SeededRng;
     use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
     use fedcross_data::Heterogeneity;
     use fedcross_flsim::{LocalTrainConfig, Simulation, SimulationConfig};
@@ -461,9 +640,11 @@ mod tests {
             64,
         )
         .accuracy;
+        // Modest means noise norm below signal norm: the averaged delta has
+        // L2 norm up to C, the central noise vector has norm ≈ z·C/K·√d.
         let config = DpConfig {
             clip_norm: 5.0,
-            noise_multiplier: 0.1,
+            noise_multiplier: 0.05,
             placement: NoisePlacement::Central,
         };
         let mut algo = DpFedAvg::new(template.params_flat(), config, 11);

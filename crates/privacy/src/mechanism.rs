@@ -11,6 +11,17 @@
 //! * **Local DP** (LDP-FL, Sun et al.): every *client* perturbs its own
 //!   clipped delta with noise calibrated to `C · z` before uploading, so the
 //!   server never observes an exact update.
+//!
+//! The mechanisms take the RNG they draw from as a parameter and consume
+//! nothing else; callers on the resume plane must hand them a **round-derived**
+//! stream (`fedcross_flsim::streams::RoundStreams` keyed by the absolute
+//! round and the client/slot identity, as [`DpFedAvg`] and [`DpFedCross`]
+//! do), never a long-lived RNG shared across rounds or across clients — a
+//! shared stream makes the injected noise depend on upload arrival order and
+//! is unrecoverable after a restart.
+//!
+//! [`DpFedAvg`]: crate::algorithms::DpFedAvg
+//! [`DpFedCross`]: crate::algorithms::DpFedCross
 
 use crate::clipping::clip_to_norm;
 use fedcross_tensor::SeededRng;

@@ -1,20 +1,32 @@
 //! Resume-plane integration tests: a run checkpointed at round `R` and
 //! resumed after a (simulated) server restart must be **bitwise identical**
 //! to the uninterrupted run — same global parameters, same history records at
-//! the same absolute rounds, same communication totals. Covers FedCross and
-//! the stateful baselines (SCAFFOLD's control variates, FedGen's teacher,
-//! CluSamp's update directions) under both full availability and random
-//! client dropout, plus checkpoint validation and on-disk corruption safety.
+//! the same absolute rounds, same communication totals. Covers all nine
+//! shipped algorithms — FedCross, the five baselines (SCAFFOLD's control
+//! variates, FedGen's teacher, CluSamp's update directions), secure
+//! aggregation, the DP variants (round-derived noise + accountant spent
+//! budget) and compressed uploads (round-derived dithering, `UploadStats`
+//! counters, error-feedback residual tables) — under both full availability
+//! and random client dropout, plus checkpoint validation, on-disk corruption
+//! safety, and the noise plane's order-independence contract (permuting
+//! upload arrival order must not change a round's result).
 
 use fedcross::{build_algorithm, AlgorithmSpec};
+use fedcross_compress::{CompressedFedAvg, Compressor, TopK, UniformQuantizer};
 use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
 use fedcross_data::Heterogeneity;
+use fedcross_flsim::checkpoint::StateError;
+use fedcross_flsim::engine::{RoundContext, RoundReport};
 use fedcross_flsim::{
-    AvailabilityModel, Checkpoint, FederatedAlgorithm, LocalTrainConfig, ResumeError, Simulation,
-    SimulationConfig,
+    AlgorithmState, AvailabilityModel, Checkpoint, FederatedAlgorithm, LocalTrainConfig,
+    LocalUpdate, ResumeError, Simulation, SimulationConfig,
 };
 use fedcross_nn::models::{cnn, CnnConfig};
+use fedcross_nn::params::ParamBlock;
 use fedcross_nn::Model;
+use fedcross_privacy::algorithms::{DpFedAvg, DpFedCross, DpFedCrossConfig, SecureAggFedAvg};
+use fedcross_privacy::mechanism::{DpConfig, NoisePlacement};
+use fedcross_tensor::stats::std_dev_of;
 use fedcross_tensor::SeededRng;
 use std::path::PathBuf;
 
@@ -62,29 +74,33 @@ fn temp_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("fedcross-resume-plane-{tag}.json"))
 }
 
-/// Runs `spec` uninterrupted, then as checkpoint-at-R + restart + resume
-/// (through an actual JSON file round trip), and asserts the two trajectories
-/// are indistinguishable bit for bit.
-fn assert_restart_is_a_non_event(
-    spec: AlgorithmSpec,
+/// Runs the algorithm uninterrupted, then as checkpoint-at-R + restart +
+/// resume (through an actual JSON file round trip), and asserts the two
+/// trajectories are indistinguishable bit for bit. `build` receives
+/// `(initial parameters, federation size)`; `check` receives the
+/// uninterrupted and resumed algorithm for method-specific state assertions
+/// (spent ε, upload counters, ...).
+fn assert_restart_is_a_non_event_for<A: FederatedAlgorithm>(
+    build: impl Fn(Vec<f32>, usize) -> A,
     availability: AvailabilityModel,
     tag: &str,
+    check: impl Fn(&A, &A),
 ) {
     let (data, template) = setup(5);
     let config = sim_config(6, 2);
     let checkpoint_round = 3;
     let sim = Simulation::new(config, &data, template.clone_model())
         .with_availability(availability);
-    let build = || build_algorithm(spec, template.params_flat(), data.num_clients(), 3);
+    let build = || build(template.params_flat(), data.num_clients());
 
     let mut whole = build();
-    let uninterrupted = sim.run(whole.as_mut());
+    let uninterrupted = sim.run(&mut whole);
 
     // Phase 1 + checkpoint + (simulated) process death.
     let mut first = build();
-    let partial = sim.run_segment(first.as_mut(), 0, checkpoint_round);
+    let partial = sim.run_segment(&mut first, 0, checkpoint_round);
     let path = temp_path(tag);
-    sim.checkpoint(first.as_ref(), &partial)
+    sim.checkpoint(&first, &partial)
         .expect("snapshot supported")
         .save(&path)
         .expect("checkpoint saves");
@@ -94,11 +110,11 @@ fn assert_restart_is_a_non_event(
     let restored = Checkpoint::load(&path).expect("checkpoint loads");
     let mut fresh = build();
     let resumed = sim
-        .resume(&restored, fresh.as_mut())
+        .resume(&restored, &mut fresh)
         .expect("checkpoint matches the resuming simulation");
     let _ = std::fs::remove_file(&path);
 
-    let label = spec.label();
+    let label = whole.name();
     assert!(
         bitwise_eq(&whole.global_params(), &fresh.global_params()),
         "{label} ({tag}): resumed global params differ from the uninterrupted run"
@@ -117,6 +133,45 @@ fn assert_restart_is_a_non_event(
     // one, with no duplicate at the resume boundary.
     let rounds: Vec<usize> = resumed.history.records().iter().map(|r| r.round).collect();
     assert_eq!(rounds, vec![0, 2, 4, 5], "{label} ({tag}): eval cadence shifted");
+    check(&whole, &fresh);
+}
+
+/// Adapter so registry-built `Box<dyn FederatedAlgorithm>` methods run
+/// through the same generic harness as the concrete privacy/compress types.
+struct Boxed(Box<dyn FederatedAlgorithm>);
+
+impl FederatedAlgorithm for Boxed {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn run_round(&mut self, round: usize, ctx: &mut RoundContext<'_>) -> RoundReport {
+        self.0.run_round(round, ctx)
+    }
+    fn global_params(&self) -> Vec<f32> {
+        self.0.global_params()
+    }
+    fn global_params_into(&self, out: &mut Vec<f32>) {
+        self.0.global_params_into(out);
+    }
+    fn snapshot_state(&self) -> Result<AlgorithmState, StateError> {
+        self.0.snapshot_state()
+    }
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), StateError> {
+        self.0.restore_state(state)
+    }
+}
+
+fn assert_restart_is_a_non_event(
+    spec: AlgorithmSpec,
+    availability: AvailabilityModel,
+    tag: &str,
+) {
+    assert_restart_is_a_non_event_for(
+        |init, num_clients| Boxed(build_algorithm(spec, init, num_clients, 3)),
+        availability,
+        tag,
+        |_, _| {},
+    );
 }
 
 #[test]
@@ -183,6 +238,364 @@ fn remaining_baselines_resume_bitwise_too() {
         assert_restart_is_a_non_event(spec, AvailabilityModel::AlwaysOn, tag);
     }
 }
+
+// ---------------------------------------------------------------------------
+// The round-derived noise plane: DP, compression and secure aggregation
+// resume bitwise — including the accountant's spent ε, the upload counters
+// and the error-feedback residual memory.
+// ---------------------------------------------------------------------------
+
+fn central_dp(noise_multiplier: f32) -> DpConfig {
+    DpConfig {
+        clip_norm: 2.0,
+        noise_multiplier,
+        placement: NoisePlacement::Central,
+    }
+}
+
+fn check_epsilon_survives(whole: &DpFedAvg, resumed: &DpFedAvg) {
+    let (a, b) = (whole.epsilon(1e-5).unwrap(), resumed.epsilon(1e-5).unwrap());
+    assert_eq!(a.to_bits(), b.to_bits(), "spent epsilon diverged: {a} vs {b}");
+    assert_eq!(
+        whole.accountant().unwrap().rounds(),
+        resumed.accountant().unwrap().rounds()
+    );
+}
+
+#[test]
+fn dp_fedavg_restart_is_a_non_event_when_always_on() {
+    assert_restart_is_a_non_event_for(
+        |init, _| DpFedAvg::new(init, central_dp(0.4), 101),
+        AvailabilityModel::AlwaysOn,
+        "dp-fedavg-on",
+        check_epsilon_survives,
+    );
+}
+
+#[test]
+fn dp_fedavg_restart_is_a_non_event_under_random_dropout() {
+    // Local placement under dropout: the per-client noise streams (keyed by
+    // client id) must reproduce even when the set of responders varies.
+    let local = DpConfig {
+        clip_norm: 2.0,
+        noise_multiplier: 0.2,
+        placement: NoisePlacement::Local,
+    };
+    assert_restart_is_a_non_event_for(
+        |init, _| DpFedAvg::new(init, local, 103),
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+        "dp-fedavg-drop",
+        check_epsilon_survives,
+    );
+}
+
+#[test]
+fn dp_fedcross_restart_is_a_non_event_when_always_on() {
+    assert_restart_is_a_non_event_for(
+        |init, _| {
+            DpFedCross::new(
+                DpFedCrossConfig {
+                    dp: central_dp(0.3),
+                    ..Default::default()
+                },
+                init,
+                3,
+                105,
+            )
+        },
+        AvailabilityModel::AlwaysOn,
+        "dp-fedcross-on",
+        |whole, resumed| {
+            let (a, b) = (whole.epsilon(1e-5).unwrap(), resumed.epsilon(1e-5).unwrap());
+            assert_eq!(a.to_bits(), b.to_bits(), "spent epsilon diverged");
+        },
+    );
+}
+
+#[test]
+fn dp_fedcross_restart_is_a_non_event_under_random_dropout() {
+    assert_restart_is_a_non_event_for(
+        |init, _| {
+            DpFedCross::new(
+                DpFedCrossConfig {
+                    dp: central_dp(0.3),
+                    ..Default::default()
+                },
+                init,
+                3,
+                107,
+            )
+        },
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+        "dp-fedcross-drop",
+        |whole, resumed| {
+            let (a, b) = (whole.epsilon(1e-5).unwrap(), resumed.epsilon(1e-5).unwrap());
+            assert_eq!(a.to_bits(), b.to_bits(), "spent epsilon diverged");
+        },
+    );
+}
+
+#[test]
+fn compressed_fedavg_restart_is_a_non_event_without_error_feedback() {
+    // Stochastic (dithered) quantization exercises the round-derived
+    // compression streams; the upload counters must survive resume exactly.
+    for availability in [
+        AvailabilityModel::AlwaysOn,
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+    ] {
+        assert_restart_is_a_non_event_for(
+            |init, _| {
+                CompressedFedAvg::new(init, Box::new(UniformQuantizer::new(4, true)), false, 109)
+            },
+            availability,
+            "compressed-quant",
+            |whole, resumed| {
+                assert_eq!(whole.upload_stats(), resumed.upload_stats());
+                assert!(whole.upload_stats().uploads > 0);
+            },
+        );
+    }
+}
+
+#[test]
+fn compressed_fedavg_restart_is_a_non_event_with_error_feedback() {
+    // Top-k with error feedback: the per-client residual memory is part of
+    // the cross-round state and must restore exactly.
+    for availability in [
+        AvailabilityModel::AlwaysOn,
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+    ] {
+        assert_restart_is_a_non_event_for(
+            |init, _| CompressedFedAvg::new(init, Box::new(TopK::new(0.25)), true, 111),
+            availability,
+            "compressed-topk-ef",
+            |whole, resumed| {
+                assert_eq!(whole.upload_stats(), resumed.upload_stats());
+            },
+        );
+    }
+}
+
+#[test]
+fn secure_agg_restart_is_a_non_event() {
+    for (availability, tag) in [
+        (AvailabilityModel::AlwaysOn, "secureagg-on"),
+        (AvailabilityModel::RandomDropout { prob: 0.3 }, "secureagg-drop"),
+    ] {
+        assert_restart_is_a_non_event_for(
+            |init, _| SecureAggFedAvg::new(init, 25.0, 113),
+            availability,
+            tag,
+            |_, _| {},
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order independence: permuting upload arrival order must produce a bitwise
+// identical round (noise keyed by client/slot, canonical aggregation order).
+// ---------------------------------------------------------------------------
+
+fn fake_update(client: usize, dim: usize) -> LocalUpdate {
+    let params: Vec<f32> = (0..dim)
+        .map(|i| ((client * 31 + i * 7) % 13) as f32 * 0.05 - 0.3)
+        .collect();
+    LocalUpdate {
+        client,
+        params: ParamBlock::from(params),
+        num_samples: 10 + client,
+        train_loss: 0.5 + client as f32 * 0.125,
+        steps: 4,
+    }
+}
+
+fn assert_reports_match(a: &RoundReport, b: &RoundReport) {
+    assert_eq!(a.participants, b.participants);
+    assert_eq!(a.total_samples, b.total_samples);
+    assert_eq!(a.mean_train_loss.to_bits(), b.mean_train_loss.to_bits());
+}
+
+#[test]
+fn dp_fedavg_round_is_independent_of_upload_order() {
+    let dim = 48;
+    let init = vec![0.1f32; dim];
+    for placement in [NoisePlacement::Central, NoisePlacement::Local] {
+        let dp = DpConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 0.8,
+            placement,
+        };
+        let updates: Vec<LocalUpdate> =
+            [4usize, 0, 7, 2].iter().map(|&c| fake_update(c, dim)).collect();
+        let mut permuted = updates.clone();
+        permuted.reverse();
+        permuted.swap(0, 2);
+
+        let mut a = DpFedAvg::new(init.clone(), dp, 9);
+        let mut b = DpFedAvg::new(init.clone(), dp, 9);
+        let report_a = a.apply_updates(5, 10, &updates);
+        let report_b = b.apply_updates(5, 10, &permuted);
+        assert!(
+            bitwise_eq(&a.global_params(), &b.global_params()),
+            "{placement}: permuted upload order changed the DP-FedAvg round"
+        );
+        assert_reports_match(&report_a, &report_b);
+        // And the noise genuinely fired (the round is not a no-op).
+        assert!(!bitwise_eq(&a.global_params(), &init));
+    }
+}
+
+#[test]
+fn dp_fedcross_round_is_independent_of_upload_order() {
+    let dim = 48;
+    let init = vec![0.1f32; dim];
+    let config = DpFedCrossConfig {
+        dp: DpConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 0.8,
+            placement: NoisePlacement::Central,
+        },
+        ..Default::default()
+    };
+    let selected = vec![5usize, 2, 7];
+    // Full round and a dropout round (slot 1's client never responded).
+    for returned in [vec![5usize, 2, 7], vec![7usize, 5]] {
+        let updates: Vec<LocalUpdate> =
+            returned.iter().map(|&c| fake_update(c, dim)).collect();
+        let mut permuted = updates.clone();
+        permuted.reverse();
+
+        let mut a = DpFedCross::new(config, init.clone(), 3, 9);
+        let mut b = DpFedCross::new(config, init.clone(), 3, 9);
+        let report_a = a.apply_updates(5, 10, &selected, &updates);
+        let report_b = b.apply_updates(5, 10, &selected, &permuted);
+        for (slot, (ma, mb)) in a.middleware().iter().zip(b.middleware()).enumerate() {
+            assert!(
+                bitwise_eq(ma, mb),
+                "middleware slot {slot} diverged under permuted upload order"
+            );
+        }
+        assert_reports_match(&report_a, &report_b);
+    }
+}
+
+#[test]
+fn compressed_fedavg_round_is_independent_of_upload_order() {
+    let dim = 48;
+    let init = vec![0.1f32; dim];
+    type MakeCompressor = fn() -> Box<dyn Compressor>;
+    let schemes: Vec<(MakeCompressor, bool)> = vec![
+        (|| Box::new(UniformQuantizer::new(4, true)), false), // dithered rng path
+        (|| Box::new(TopK::new(0.25)), true),                 // residual-memory path
+    ];
+    for (make_compressor, error_feedback) in schemes {
+        let updates: Vec<LocalUpdate> =
+            [4usize, 0, 7, 2].iter().map(|&c| fake_update(c, dim)).collect();
+        let mut permuted = updates.clone();
+        permuted.rotate_left(2);
+
+        let mut a = CompressedFedAvg::new(init.clone(), make_compressor(), error_feedback, 9);
+        let mut b = CompressedFedAvg::new(init.clone(), make_compressor(), error_feedback, 9);
+        let report_a = a.apply_updates(5, &updates);
+        let report_b = b.apply_updates(5, &permuted);
+        assert!(
+            bitwise_eq(&a.global_params(), &b.global_params()),
+            "permuted upload order changed the compressed round (EF={error_feedback})"
+        );
+        assert_eq!(a.upload_stats(), b.upload_stats());
+        assert_reports_match(&report_a, &report_b);
+        // The residual memories end identical too: a second, deterministic
+        // round from both instances produces the same model.
+        let next: Vec<LocalUpdate> =
+            [2usize, 7].iter().map(|&c| fake_update(c, dim)).collect();
+        let _ = a.apply_updates(6, &next);
+        let _ = b.apply_updates(6, &next);
+        assert!(bitwise_eq(&a.global_params(), &b.global_params()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calibration fixes: central noise scales with *returned* uploads, and the
+// accountant follows the actual participation rate under dropout.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dp_fedcross_central_noise_calibrates_to_returned_uploads() {
+    // One returned upload with a zero delta: the updated middleware model is
+    // pure central noise. Its std must be z·C / 1 (returned count), not
+    // z·C / K — the old behaviour divided by the configured K even when
+    // clients dropped out, under-noising the release by K×.
+    let dim = 4096;
+    let config = DpFedCrossConfig {
+        dp: DpConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 1.0,
+            placement: NoisePlacement::Central,
+        },
+        ..Default::default()
+    };
+    let mut algo = DpFedCross::new(config, vec![0.0f32; dim], 4, 21);
+    let selected = vec![0usize, 1, 2, 3];
+    let update = LocalUpdate {
+        client: 2,
+        params: ParamBlock::from(vec![0.0f32; dim]),
+        num_samples: 10,
+        train_loss: 1.0,
+        steps: 1,
+    };
+    let report = algo.apply_updates(0, 8, &selected, &[update]);
+    assert_eq!(report.participants, 1);
+    let noise_std = std_dev_of(&algo.middleware()[2]);
+    assert!(
+        (noise_std - 1.0).abs() < 0.05,
+        "single-upload central noise std should be z·C = 1.0, got {noise_std} \
+         (0.25 would mean it was calibrated to the configured K again)"
+    );
+    // The untouched slots skipped the round entirely.
+    for slot in [0usize, 1, 3] {
+        assert!(algo.middleware()[slot].iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn accountant_follows_actual_participation_under_dropout() {
+    // Same schedule with and without dropout: dropout rounds sample fewer
+    // clients, so the spent epsilon must be strictly smaller than both the
+    // full-participation run and the frozen-rate projection that ignores
+    // dropout (the old `ensure_accountant` froze q at the first round).
+    let (data, template) = setup(6);
+    let config = sim_config(6, 2);
+    let run = |availability: AvailabilityModel| {
+        let mut algo = DpFedAvg::new(template.params_flat(), central_dp(0.8), 115);
+        let result = Simulation::new(config, &data, template.clone_model())
+            .with_availability(availability)
+            .run(&mut algo);
+        let accountant = algo.accountant().unwrap().clone();
+        (accountant, result.comm.client_contacts)
+    };
+    let (full, full_contacts) = run(AvailabilityModel::AlwaysOn);
+    let (dropped, dropped_contacts) = run(AvailabilityModel::RandomDropout { prob: 0.4 });
+    assert_eq!(full_contacts, 18, "6 rounds x 3 clients");
+    assert!(
+        dropped_contacts < full_contacts,
+        "this seed must actually drop clients for the test to be meaningful"
+    );
+    let eps_full = full.epsilon(1e-5);
+    let eps_dropped = dropped.epsilon(1e-5);
+    let eps_frozen_projection = dropped.epsilon_after(dropped.rounds(), 1e-5);
+    assert!(
+        eps_dropped < eps_full,
+        "dropout must spend less budget ({eps_dropped} vs {eps_full})"
+    );
+    assert!(
+        eps_dropped < eps_frozen_projection,
+        "spent budget must track actual rates, not the frozen nominal q"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint validation and corruption safety.
+// ---------------------------------------------------------------------------
 
 #[test]
 fn resume_aligns_eval_cadence_even_from_an_off_cadence_checkpoint() {
@@ -309,6 +722,58 @@ fn a_middleware_count_mismatch_is_rejected_loudly() {
         err.to_string().contains("middleware count mismatch"),
         "unexpected error: {err}"
     );
+}
+
+#[test]
+fn a_checkpoint_resumed_under_a_different_noise_seed_is_rejected() {
+    // Round-derived noise makes the trajectory a function of the seed, so
+    // the DP and compressed algorithm names encode it — a resume with a
+    // different noise/dither seed must fail the name check instead of
+    // silently splicing two noise sequences.
+    let (data, template) = setup(11);
+    let config = sim_config(4, 2);
+    let sim = Simulation::new(config, &data, template.clone_model());
+
+    let mut dp = DpFedAvg::new(template.params_flat(), central_dp(0.4), 101);
+    let partial = sim.run_segment(&mut dp, 0, 2);
+    let checkpoint = sim.checkpoint(&dp, &partial).expect("snapshot supported");
+    let mut other_seed = DpFedAvg::new(template.params_flat(), central_dp(0.4), 102);
+    assert!(matches!(
+        sim.resume(&checkpoint, &mut other_seed),
+        Err(ResumeError::AlgorithmMismatch { .. })
+    ));
+
+    let make = |seed| {
+        CompressedFedAvg::new(
+            template.params_flat(),
+            Box::new(UniformQuantizer::new(4, true)),
+            false,
+            seed,
+        )
+    };
+    let mut compressed = make(109);
+    let partial = sim.run_segment(&mut compressed, 0, 2);
+    let checkpoint = sim.checkpoint(&compressed, &partial).expect("snapshot supported");
+    let mut other_seed = make(110);
+    assert!(matches!(
+        sim.resume(&checkpoint, &mut other_seed),
+        Err(ResumeError::AlgorithmMismatch { .. })
+    ));
+}
+
+#[test]
+fn a_compressed_checkpoint_without_its_residual_table_is_rejected() {
+    // An EF-enabled CompressedFedAvg must refuse a state whose residual
+    // table is missing (a hand-edited or cross-built checkpoint) instead of
+    // silently resuming with an empty memory.
+    let init = vec![0.0f32; 8];
+    let mut with_ef = CompressedFedAvg::new(init.clone(), Box::new(TopK::new(0.5)), true, 1);
+    let without_ef = CompressedFedAvg::new(init, Box::new(TopK::new(0.5)), false, 1);
+    let state = without_ef.snapshot_state().expect("snapshot supported");
+    let err = with_ef
+        .restore_state(&state)
+        .expect_err("missing residual table must fail");
+    assert!(err.to_string().contains("ef_residuals"), "unexpected error: {err}");
 }
 
 #[test]
