@@ -21,6 +21,9 @@ fn category(spec: &AlgorithmSpec) -> &'static str {
         AlgorithmSpec::FedGen => "Knowledge Distillation",
         AlgorithmSpec::CluSamp => "Client Grouping",
         AlgorithmSpec::FedCross { .. } => "Multi-Model Guided",
+        AlgorithmSpec::RobustFedAvg { .. } | AlgorithmSpec::RobustFedCross { .. } => {
+            "Byzantine-Robust"
+        }
     }
 }
 

@@ -26,6 +26,11 @@
 //! Two optional training accelerators from Section III-D are provided in
 //! [`acceleration`]: propeller models and dynamic α.
 //!
+//! Beyond the paper, [`robust`] adds Byzantine-robust variants
+//! ([`robust::RobustFedAvg`], [`robust::RobustFedCross`]) built on the
+//! [`aggregation::RobustRule`] family (coordinate-wise median, trimmed mean,
+//! Krum / multi-Krum, norm bounding); see docs/ROBUSTNESS.md.
+//!
 //! ## Baselines
 //!
 //! [`baselines`] implements FedAvg, FedProx, SCAFFOLD, FedGen (simplified
@@ -75,9 +80,12 @@ pub mod algorithm;
 pub mod analysis;
 pub mod baselines;
 pub mod registry;
+pub mod robust;
 pub mod selection;
 
 pub use acceleration::Acceleration;
+pub use aggregation::RobustRule;
 pub use algorithm::{FedCross, FedCrossConfig};
 pub use registry::{build_algorithm, AlgorithmSpec};
+pub use robust::{RobustFedAvg, RobustFedCross, RobustFedCrossConfig};
 pub use selection::{SelectionStrategy, SimilarityMeasure};

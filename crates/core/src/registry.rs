@@ -12,9 +12,11 @@
 //! relies on the refusing defaults (see docs/CHECKPOINTING.md).
 
 use crate::acceleration::Acceleration;
+use crate::aggregation::RobustRule;
 use crate::algorithm::{FedCross, FedCrossConfig};
 use crate::baselines::{CluSamp, FedAvg, FedGen, FedProx, Scaffold};
 use crate::baselines::fedgen::FedGenConfig;
+use crate::robust::{RobustFedAvg, RobustFedCross, RobustFedCrossConfig};
 use crate::selection::SelectionStrategy;
 use fedcross_flsim::FederatedAlgorithm;
 
@@ -42,6 +44,21 @@ pub enum AlgorithmSpec {
         strategy: SelectionStrategy,
         /// Optional training acceleration.
         acceleration: Acceleration,
+    },
+    /// FedAvg with a Byzantine-robust aggregation rule
+    /// ([`crate::robust::RobustFedAvg`]). Not part of the paper lineup —
+    /// the robustness plane's baseline.
+    RobustFedAvg {
+        /// The robust aggregation rule replacing the weighted average.
+        rule: RobustRule,
+    },
+    /// FedCross with robust per-middleware sanitization before
+    /// cross-aggregation ([`crate::robust::RobustFedCross`]).
+    RobustFedCross {
+        /// Cross-aggregation weight α.
+        alpha: f32,
+        /// The robust rule applied to per-middleware deltas.
+        rule: RobustRule,
     },
 }
 
@@ -79,6 +96,8 @@ impl AlgorithmSpec {
             AlgorithmSpec::FedGen => "FedGen",
             AlgorithmSpec::CluSamp => "CluSamp",
             AlgorithmSpec::FedCross { .. } => "FedCross",
+            AlgorithmSpec::RobustFedAvg { .. } => "Robust-FedAvg",
+            AlgorithmSpec::RobustFedCross { .. } => "Robust-FedCross",
         }
     }
 }
@@ -115,6 +134,16 @@ pub fn build_algorithm(
             init_params,
             clients_per_round,
         )),
+        AlgorithmSpec::RobustFedAvg { rule } => Box::new(RobustFedAvg::new(rule, init_params)),
+        AlgorithmSpec::RobustFedCross { alpha, rule } => Box::new(RobustFedCross::new(
+            RobustFedCrossConfig {
+                alpha,
+                rule,
+                ..Default::default()
+            },
+            init_params,
+            clients_per_round,
+        )),
     }
 }
 
@@ -141,6 +170,41 @@ mod tests {
             assert!(!algo.name().is_empty());
             assert_eq!(algo.global_params(), init);
         }
+    }
+
+    #[test]
+    fn robust_specs_build_named_algorithms_outside_the_paper_lineup() {
+        let init = vec![0.0f32; 8];
+        let specs = [
+            AlgorithmSpec::RobustFedAvg {
+                rule: RobustRule::Median,
+            },
+            AlgorithmSpec::RobustFedCross {
+                alpha: 0.9,
+                rule: RobustRule::TrimmedMean { trim: 0.25 },
+            },
+        ];
+        for spec in specs {
+            let algo = build_algorithm(spec, init.clone(), 10, 4);
+            assert!(algo.name().starts_with("robust-"), "{}", algo.name());
+            assert_eq!(algo.global_params(), init);
+            // Every robust spec implements the resume plane.
+            assert!(algo.snapshot_state().is_ok());
+            // But none joins the paper's six-method table.
+            assert!(!AlgorithmSpec::paper_lineup().contains(&spec));
+        }
+        assert_eq!(
+            AlgorithmSpec::RobustFedAvg { rule: RobustRule::Median }.label(),
+            "Robust-FedAvg"
+        );
+        assert_eq!(
+            AlgorithmSpec::RobustFedCross {
+                alpha: 0.9,
+                rule: RobustRule::Median
+            }
+            .label(),
+            "Robust-FedCross"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! the paper's experimental apparatus that is common to FedAvg, FedProx,
 //! SCAFFOLD, FedGen, CluSamp and FedCross.
 
+use crate::adversary::{AdversaryModel, Attack};
 use crate::availability::AvailabilityModel;
 use crate::checkpoint::{AlgorithmState, Checkpoint, StateError, CHECKPOINT_VERSION};
 use crate::client::{GradCorrection, LocalTrainConfig, LocalUpdate};
@@ -119,6 +120,7 @@ pub struct RoundContext<'a> {
     rng: SeededRng,
     comm: &'a mut CommTracker,
     availability: AvailabilityModel,
+    adversary: Option<AdversaryModel>,
     round: usize,
     dropped: Vec<usize>,
     plane: WorkerPlane<'a>,
@@ -144,6 +146,7 @@ impl<'a> RoundContext<'a> {
             rng,
             comm,
             availability: AvailabilityModel::AlwaysOn,
+            adversary: None,
             round: 0,
             dropped: Vec::new(),
             plane: WorkerPlane::Owned(ClientWorkerPool::new()),
@@ -160,6 +163,18 @@ impl<'a> RoundContext<'a> {
     pub fn with_availability(mut self, availability: AvailabilityModel, round: usize) -> Self {
         availability.validate();
         self.availability = availability;
+        self.round = round;
+        self
+    }
+
+    /// Attaches an adversary model for this round: compromised clients train
+    /// on poisoned data or tamper with their uploads (see
+    /// [`crate::adversary`]). Orthogonal to [`RoundContext::with_availability`]
+    /// — a compromised client that drops out never gets to attack. Validated
+    /// eagerly, like the availability model.
+    pub fn with_adversaries(mut self, adversary: AdversaryModel, round: usize) -> Self {
+        adversary.validate();
+        self.adversary = Some(adversary);
         self.round = round;
         self
     }
@@ -330,20 +345,54 @@ impl<'a> RoundContext<'a> {
         // stochastic layer state, which is bitwise identical to the
         // historical clone-per-round preparation — then train in parallel,
         // the paper's "parallel for" block (Algorithm 1, line 6).
+        // Resolve the compromised-client mask once per round (it is a pure
+        // function of the adversary seed, but there is no reason to rederive
+        // it inside the parallel closure). Honest runs skip all of this.
+        let adversary = self.adversary;
+        let compromised: Vec<bool> = match adversary {
+            Some(adv) => adv.compromised(self.data.num_clients()),
+            None => Vec::new(),
+        };
+
         let data = self.data;
         let template = self.template;
         let workers = self.plane.pool().ensure(prepared.len(), template);
         let work: Vec<_> = prepared.into_iter().zip(workers.iter_mut()).collect();
         work.into_par_iter()
             .map(|((job, mut rng), worker)| {
-                worker.train(
-                    job.client,
-                    &job.params,
-                    data.client(job.client),
-                    &local,
-                    &mut rng,
-                    job.correction.as_ref(),
-                )
+                let attacker =
+                    adversary.filter(|_| compromised.get(job.client).copied().unwrap_or(false));
+                // Data poisoning happens before training (the client trains
+                // honestly — on flipped labels); everything else trains on the
+                // honest shard and tampers with the upload afterwards. The
+                // corrupted upload is a pure function of (round, client,
+                // dispatched params), so upload order and restarts cannot
+                // change it.
+                let mut update = match attacker {
+                    Some(adv) if adv.attack == Attack::LabelFlip => {
+                        let poisoned = adv.flip_labels(data.client(job.client));
+                        worker.train(
+                            job.client,
+                            &job.params,
+                            &poisoned,
+                            &local,
+                            &mut rng,
+                            job.correction.as_ref(),
+                        )
+                    }
+                    _ => worker.train(
+                        job.client,
+                        &job.params,
+                        data.client(job.client),
+                        &local,
+                        &mut rng,
+                        job.correction.as_ref(),
+                    ),
+                };
+                if let Some(adv) = attacker {
+                    adv.corrupt_upload(round, &job.params, &mut update);
+                }
+                update
             })
             .collect()
     }
@@ -584,6 +633,7 @@ pub struct Simulation<'a> {
     data: &'a FederatedDataset,
     template: Box<dyn Model>,
     availability: AvailabilityModel,
+    adversary: Option<AdversaryModel>,
 }
 
 impl<'a> Simulation<'a> {
@@ -597,6 +647,7 @@ impl<'a> Simulation<'a> {
             data,
             template,
             availability: AvailabilityModel::AlwaysOn,
+            adversary: None,
         }
     }
 
@@ -610,6 +661,20 @@ impl<'a> Simulation<'a> {
     pub fn with_availability(mut self, availability: AvailabilityModel) -> Self {
         availability.validate();
         self.availability = availability;
+        self
+    }
+
+    /// Simulates a compromised federation: the configured fraction of clients
+    /// mounts the configured [`Attack`](crate::adversary::Attack) every round
+    /// (default: every client is honest). Orthogonal to
+    /// [`Simulation::with_availability`].
+    ///
+    /// # Panics
+    /// Panics on an invalid model (fraction outside `[0, 1)`, non-finite
+    /// attack parameter) — validated eagerly, like the availability model.
+    pub fn with_adversaries(mut self, adversary: AdversaryModel) -> Self {
+        adversary.validate();
+        self.adversary = Some(adversary);
         self
     }
 
@@ -731,6 +796,9 @@ impl<'a> Simulation<'a> {
                 )
                 .with_availability(self.availability, round)
                 .with_worker_pool(&mut plane);
+                if let Some(adversary) = self.adversary {
+                    ctx = ctx.with_adversaries(adversary, round);
+                }
                 algorithm.run_round(round, &mut ctx)
             };
             comm.end_round();
@@ -766,7 +834,9 @@ impl<'a> Simulation<'a> {
     /// Fingerprint of everything that shapes this simulation's trajectory:
     /// the master seed, per-round schedule (`clients_per_round`,
     /// `eval_every`, `eval_batch_size`), the local training
-    /// hyper-parameters, the availability model, the template's parameter
+    /// hyper-parameters, the availability model, the adversary model (a
+    /// checkpoint from a compromised run must not resume into a clean one or
+    /// vice versa), the template's parameter
     /// count and the federation's shape (client count, per-client shard
     /// sizes, class count, test-set size). Deliberately **excludes** the
     /// total round count, so a checkpointed run may be resumed with a larger
@@ -808,6 +878,29 @@ impl<'a> Simulation<'a> {
             AvailabilityModel::PeriodicStraggler { period } => {
                 mix(3);
                 mix(period as u64);
+            }
+        }
+        match self.adversary {
+            None => mix(4),
+            Some(adv) => {
+                mix(5);
+                mix(adv.seed);
+                mix(adv.fraction.to_bits() as u64);
+                match adv.attack {
+                    Attack::LabelFlip => mix(6),
+                    Attack::SignFlip { scale } => {
+                        mix(7);
+                        mix(scale.to_bits() as u64);
+                    }
+                    Attack::ScaledUpdate { factor } => {
+                        mix(8);
+                        mix(factor.to_bits() as u64);
+                    }
+                    Attack::Colluding { magnitude } => {
+                        mix(9);
+                        mix(magnitude.to_bits() as u64);
+                    }
+                }
             }
         }
         mix(self.template.param_count() as u64);

@@ -14,6 +14,9 @@
 //!   (Figure 4 / RQ1),
 //! * [`availability`] — client dropout / straggler models for robustness
 //!   experiments,
+//! * [`adversary`] — Byzantine / poisoning client behaviour (label flipping,
+//!   scaled and sign-flipped updates, collusion), orthogonal to availability
+//!   and drawn from [`streams`] so adversarial runs stay bitwise resumable,
 //! * [`checkpoint`] — the resume plane: atomic JSON checkpoints of the
 //!   complete training state ([`checkpoint::AlgorithmState`]), restored by
 //!   [`engine::Simulation::resume`] for bitwise-identical continuation,
@@ -73,6 +76,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod availability;
 pub mod checkpoint;
 pub mod client;
@@ -85,6 +89,7 @@ pub mod landscape;
 pub mod streams;
 pub mod worker;
 
+pub use adversary::{AdversaryModel, Attack};
 pub use availability::AvailabilityModel;
 pub use checkpoint::{AlgorithmState, Checkpoint, StateError, CHECKPOINT_VERSION};
 pub use client::{LocalTrainConfig, LocalUpdate};

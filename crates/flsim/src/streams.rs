@@ -47,6 +47,12 @@ pub enum StreamDomain {
     CompressionDither,
     /// Secure-aggregation pairwise mask seeds.
     SecureAggMask,
+    /// Static adversary membership: which clients are compromised for the
+    /// whole run (queried at round 0, keyed by the base seed only).
+    AdversaryMembership,
+    /// Per-round adversarial corruption draws (e.g. the colluding attack's
+    /// shared target direction).
+    AdversaryDraw,
 }
 
 impl StreamDomain {
@@ -57,6 +63,8 @@ impl StreamDomain {
             StreamDomain::DpCentralNoise => 0x4450_4345_4E54_5241,   // "DPCENTRA"
             StreamDomain::CompressionDither => 0x434F_4D50_4449_5448, // "COMPDITH"
             StreamDomain::SecureAggMask => 0x5345_4341_474D_4153,    // "SECAGMAS"
+            StreamDomain::AdversaryMembership => 0x4144_564D_454D_4252, // "ADVMEMBR"
+            StreamDomain::AdversaryDraw => 0x4144_5644_5241_5753,    // "ADVDRAWS"
         }
     }
 }
@@ -198,6 +206,8 @@ mod tests {
             StreamDomain::DpCentralNoise,
             StreamDomain::CompressionDither,
             StreamDomain::SecureAggMask,
+            StreamDomain::AdversaryMembership,
+            StreamDomain::AdversaryDraw,
         ] {
             let mut seeds = Vec::new();
             for base in 0..6u64 {

@@ -11,15 +11,15 @@
 //! safety, and the noise plane's order-independence contract (permuting
 //! upload arrival order must not change a round's result).
 
-use fedcross::{build_algorithm, AlgorithmSpec};
+use fedcross::{build_algorithm, AlgorithmSpec, RobustRule};
 use fedcross_compress::{CompressedFedAvg, Compressor, TopK, UniformQuantizer};
 use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
 use fedcross_data::Heterogeneity;
 use fedcross_flsim::checkpoint::StateError;
 use fedcross_flsim::engine::{RoundContext, RoundReport};
 use fedcross_flsim::{
-    AlgorithmState, AvailabilityModel, Checkpoint, FederatedAlgorithm, LocalTrainConfig,
-    LocalUpdate, ResumeError, Simulation, SimulationConfig,
+    AdversaryModel, AlgorithmState, Attack, AvailabilityModel, Checkpoint, FederatedAlgorithm,
+    LocalTrainConfig, LocalUpdate, ResumeError, Simulation, SimulationConfig,
 };
 use fedcross_nn::models::{cnn, CnnConfig};
 use fedcross_nn::params::ParamBlock;
@@ -86,11 +86,28 @@ fn assert_restart_is_a_non_event_for<A: FederatedAlgorithm>(
     tag: &str,
     check: impl Fn(&A, &A),
 ) {
+    assert_restart_is_a_non_event_under(build, availability, None, tag, check);
+}
+
+/// Like [`assert_restart_is_a_non_event_for`] but with an optional adversary
+/// model, so Byzantine-robust runs prove the same bitwise resume contract
+/// while under attack (the adversary's membership and draw streams are
+/// round-derived, not stateful, so a restart must not shift them).
+fn assert_restart_is_a_non_event_under<A: FederatedAlgorithm>(
+    build: impl Fn(Vec<f32>, usize) -> A,
+    availability: AvailabilityModel,
+    adversary: Option<AdversaryModel>,
+    tag: &str,
+    check: impl Fn(&A, &A),
+) {
     let (data, template) = setup(5);
     let config = sim_config(6, 2);
     let checkpoint_round = 3;
-    let sim = Simulation::new(config, &data, template.clone_model())
+    let mut sim = Simulation::new(config, &data, template.clone_model())
         .with_availability(availability);
+    if let Some(adversary) = adversary {
+        sim = sim.with_adversaries(adversary);
+    }
     let build = || build(template.params_flat(), data.num_clients());
 
     let mut whole = build();
@@ -385,6 +402,87 @@ fn secure_agg_restart_is_a_non_event() {
         assert_restart_is_a_non_event_for(
             |init, _| SecureAggFedAvg::new(init, 25.0, 113),
             availability,
+            tag,
+            |_, _| {},
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness plane: adversarial runs must resume bitwise-identically too.
+// The adversary's compromised set and colluding targets are derived from
+// round-keyed streams, so a mid-run restart cannot shift who attacks or how.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn robust_fedavg_restart_is_a_non_event_under_attack_and_dropout() {
+    for (rule, attack, tag) in [
+        (
+            RobustRule::Median,
+            Attack::ScaledUpdate { factor: 25.0 },
+            "robust-fedavg-median-scaled",
+        ),
+        (
+            RobustRule::TrimmedMean { trim: 0.25 },
+            Attack::SignFlip { scale: 4.0 },
+            "robust-fedavg-trimmed-signflip",
+        ),
+        (
+            RobustRule::Krum { f: 1, m: 1 },
+            Attack::Colluding { magnitude: 8.0 },
+            "robust-fedavg-krum-colluding",
+        ),
+    ] {
+        assert_restart_is_a_non_event_under(
+            |init, num_clients| {
+                Boxed(build_algorithm(
+                    AlgorithmSpec::RobustFedAvg { rule },
+                    init,
+                    num_clients,
+                    3,
+                ))
+            },
+            AvailabilityModel::RandomDropout { prob: 0.3 },
+            Some(AdversaryModel {
+                attack,
+                fraction: 0.34,
+                seed: 41,
+            }),
+            tag,
+            |_, _| {},
+        );
+    }
+}
+
+#[test]
+fn robust_fedcross_restart_is_a_non_event_under_attack_and_dropout() {
+    for (rule, attack, tag) in [
+        (
+            RobustRule::TrimmedMean { trim: 0.34 },
+            Attack::ScaledUpdate { factor: 25.0 },
+            "robust-fedcross-trimmed-scaled",
+        ),
+        (
+            RobustRule::NormBound { max_norm: 0.5 },
+            Attack::LabelFlip,
+            "robust-fedcross-normbound-labelflip",
+        ),
+    ] {
+        assert_restart_is_a_non_event_under(
+            |init, num_clients| {
+                Boxed(build_algorithm(
+                    AlgorithmSpec::RobustFedCross { alpha: 0.9, rule },
+                    init,
+                    num_clients,
+                    3,
+                ))
+            },
+            AvailabilityModel::RandomDropout { prob: 0.3 },
+            Some(AdversaryModel {
+                attack,
+                fraction: 0.34,
+                seed: 41,
+            }),
             tag,
             |_, _| {},
         );

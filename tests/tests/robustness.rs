@@ -2,12 +2,12 @@
 //! per-client fairness analysis, exercised through the same engine the paper
 //! experiments use.
 
-use fedcross::{build_algorithm, AlgorithmSpec, FedCross, FedCrossConfig};
+use fedcross::{build_algorithm, AlgorithmSpec, FedCross, FedCrossConfig, RobustRule};
 use fedcross_data::federated::{FederatedDataset, SynthCifar10Config};
 use fedcross_data::Heterogeneity;
 use fedcross_flsim::{
-    per_client_fairness, AvailabilityModel, Checkpoint, LocalTrainConfig, Simulation,
-    SimulationConfig,
+    per_client_fairness, AdversaryModel, Attack, AvailabilityModel, Checkpoint, LocalTrainConfig,
+    Simulation, SimulationConfig,
 };
 use fedcross_nn::models::{cnn, CnnConfig};
 use fedcross_nn::Model;
@@ -255,4 +255,59 @@ fn fedcross_training_lifts_every_quantile_of_the_per_client_distribution() {
         init_report.worst_decile_mean
     );
     assert!(trained_report.jain_index > 0.0 && trained_report.jain_index <= 1.0 + 1e-6);
+}
+
+#[test]
+fn trimmed_mean_robust_fedcross_survives_thirty_percent_byzantine_clients() {
+    // The robustness plane's end-to-end pin (docs/ROBUSTNESS.md): with 30%
+    // of the federation sending scaled-update Byzantine uploads, plain
+    // FedAvg's weighted average is dragged far off the honest consensus and
+    // collapses, while trimmed-mean RobustFedCross stays within 90% of the
+    // clean run's final accuracy. Trim 0.34 on K = 9 uploads drops the 3
+    // most extreme values per end per coordinate — at least as many as the
+    // worst-case per-round Byzantine count — while still *averaging* the 3
+    // middle values (a single surviving order statistic, e.g. trim 0.45,
+    // tracks the most extreme honest value whenever the attackers crowd one
+    // side and overshoots late in training).
+    let (data, template) = setup(4, 10, 20);
+    let adversary = AdversaryModel {
+        attack: Attack::ScaledUpdate { factor: 25.0 },
+        fraction: 0.3,
+        seed: 11,
+    };
+    let k = 9;
+    let config = sim_config(8, k);
+
+    let run = |spec: AlgorithmSpec, attacked: bool| {
+        let mut algorithm =
+            build_algorithm(spec, template.params_flat(), data.num_clients(), k);
+        let mut sim = Simulation::new(config, &data, template.clone_model());
+        if attacked {
+            sim = sim.with_adversaries(adversary);
+        }
+        sim.run(algorithm.as_mut()).history.final_accuracy()
+    };
+
+    let robust_spec = AlgorithmSpec::RobustFedCross {
+        alpha: 0.9,
+        rule: RobustRule::TrimmedMean { trim: 0.34 },
+    };
+    let clean = run(AlgorithmSpec::FedAvg, false);
+    let fedavg_attacked = run(AlgorithmSpec::FedAvg, true);
+    let robust_attacked = run(robust_spec, true);
+
+    assert!(
+        clean > 0.2,
+        "clean FedAvg run must actually learn (final accuracy {clean})"
+    );
+    assert!(
+        fedavg_attacked < 0.9 * clean,
+        "FedAvg should collapse under 30% scaled-update Byzantine clients \
+         (attacked {fedavg_attacked} vs clean {clean})"
+    );
+    assert!(
+        robust_attacked >= 0.9 * clean,
+        "trimmed-mean RobustFedCross should recover >=90% of the clean final \
+         accuracy under attack (attacked {robust_attacked} vs clean {clean})"
+    );
 }
