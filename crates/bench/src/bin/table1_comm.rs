@@ -24,6 +24,9 @@ fn category(spec: &AlgorithmSpec) -> &'static str {
         AlgorithmSpec::RobustFedAvg { .. } | AlgorithmSpec::RobustFedCross { .. } => {
             "Byzantine-Robust"
         }
+        AlgorithmSpec::BufferedFedAvg { .. } | AlgorithmSpec::BufferedFedCross { .. } => {
+            "Staleness-Aware Buffered"
+        }
     }
 }
 

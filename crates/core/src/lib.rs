@@ -29,7 +29,10 @@
 //! Beyond the paper, [`robust`] adds Byzantine-robust variants
 //! ([`robust::RobustFedAvg`], [`robust::RobustFedCross`]) built on the
 //! [`aggregation::RobustRule`] family (coordinate-wise median, trimmed mean,
-//! Krum / multi-Krum, norm bounding); see docs/ROBUSTNESS.md.
+//! Krum / multi-Krum, norm bounding); see docs/ROBUSTNESS.md. [`buffered`]
+//! adds FedBuff-style staleness-aware variants ([`buffered::BufferedFedAvg`],
+//! [`buffered::BufferedFedCross`]) for asynchronous buffered rounds; see
+//! docs/FAULTS.md.
 //!
 //! ## Baselines
 //!
@@ -79,6 +82,7 @@ pub mod aggregation;
 pub mod algorithm;
 pub mod analysis;
 pub mod baselines;
+pub mod buffered;
 pub mod registry;
 pub mod robust;
 pub mod selection;
@@ -86,6 +90,7 @@ pub mod selection;
 pub use acceleration::Acceleration;
 pub use aggregation::RobustRule;
 pub use algorithm::{FedCross, FedCrossConfig};
+pub use buffered::{BufferedFedAvg, BufferedFedCross, BufferedFedCrossConfig, BufferedUpload};
 pub use registry::{build_algorithm, AlgorithmSpec};
 pub use robust::{RobustFedAvg, RobustFedCross, RobustFedCrossConfig};
 pub use selection::{SelectionStrategy, SimilarityMeasure};

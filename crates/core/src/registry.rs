@@ -16,6 +16,7 @@ use crate::aggregation::RobustRule;
 use crate::algorithm::{FedCross, FedCrossConfig};
 use crate::baselines::{CluSamp, FedAvg, FedGen, FedProx, Scaffold};
 use crate::baselines::fedgen::FedGenConfig;
+use crate::buffered::{BufferedFedAvg, BufferedFedCross, BufferedFedCrossConfig};
 use crate::robust::{RobustFedAvg, RobustFedCross, RobustFedCrossConfig};
 use crate::selection::SelectionStrategy;
 use fedcross_flsim::FederatedAlgorithm;
@@ -60,6 +61,21 @@ pub enum AlgorithmSpec {
         /// The robust rule applied to per-middleware deltas.
         rule: RobustRule,
     },
+    /// FedBuff-style staleness-aware FedAvg for buffered rounds
+    /// ([`crate::buffered::BufferedFedAvg`]). Not part of the paper lineup —
+    /// the fault plane's single-model baseline.
+    BufferedFedAvg {
+        /// Staleness-weight exponent of `1/(1+s)^α`.
+        staleness_alpha: f32,
+    },
+    /// FedCross over a staleness-weighted buffer
+    /// ([`crate::buffered::BufferedFedCross`]).
+    BufferedFedCross {
+        /// Cross-aggregation weight α.
+        alpha: f32,
+        /// Staleness-weight exponent of `1/(1+s)^α`.
+        staleness_alpha: f32,
+    },
 }
 
 impl AlgorithmSpec {
@@ -98,6 +114,8 @@ impl AlgorithmSpec {
             AlgorithmSpec::FedCross { .. } => "FedCross",
             AlgorithmSpec::RobustFedAvg { .. } => "Robust-FedAvg",
             AlgorithmSpec::RobustFedCross { .. } => "Robust-FedCross",
+            AlgorithmSpec::BufferedFedAvg { .. } => "Buffered-FedAvg",
+            AlgorithmSpec::BufferedFedCross { .. } => "Buffered-FedCross",
         }
     }
 }
@@ -143,6 +161,24 @@ pub fn build_algorithm(
             },
             init_params,
             clients_per_round,
+        )),
+        AlgorithmSpec::BufferedFedAvg { staleness_alpha } => Box::new(BufferedFedAvg::new(
+            staleness_alpha,
+            init_params,
+            total_clients,
+        )),
+        AlgorithmSpec::BufferedFedCross {
+            alpha,
+            staleness_alpha,
+        } => Box::new(BufferedFedCross::new(
+            BufferedFedCrossConfig {
+                alpha,
+                staleness_alpha,
+                ..Default::default()
+            },
+            init_params,
+            clients_per_round,
+            total_clients,
         )),
     }
 }
@@ -204,6 +240,34 @@ mod tests {
             }
             .label(),
             "Robust-FedCross"
+        );
+    }
+
+    #[test]
+    fn buffered_specs_build_named_algorithms_outside_the_paper_lineup() {
+        let init = vec![0.0f32; 8];
+        let specs = [
+            AlgorithmSpec::BufferedFedAvg {
+                staleness_alpha: 0.5,
+            },
+            AlgorithmSpec::BufferedFedCross {
+                alpha: 0.9,
+                staleness_alpha: 0.5,
+            },
+        ];
+        for spec in specs {
+            let algo = build_algorithm(spec, init.clone(), 10, 4);
+            assert!(algo.name().starts_with("buffered-"), "{}", algo.name());
+            assert_eq!(algo.global_params(), init);
+            assert!(algo.snapshot_state().is_ok());
+            assert!(!AlgorithmSpec::paper_lineup().contains(&spec));
+        }
+        assert_eq!(
+            AlgorithmSpec::BufferedFedAvg {
+                staleness_alpha: 0.5
+            }
+            .label(),
+            "Buffered-FedAvg"
         );
     }
 

@@ -1,0 +1,231 @@
+//! Device-speed and straggler modelling.
+//!
+//! Production federations run on wildly heterogeneous hardware: a fraction of
+//! the population is persistently slow ("stragglers"), and every device's
+//! round time additionally jitters with network conditions. A [`DeviceModel`]
+//! captures both as a **pure function** of `(seed, round, client)`:
+//!
+//! * each client's base speed is assigned once, from the
+//!   [`StreamDomain::DeviceSpeed`] stream at round 0 — the straggler *set* is
+//!   fixed for the whole run, like adversary membership,
+//! * each round's upload latency adds log-normal jitter from the
+//!   [`StreamDomain::LatencyDraw`] stream at the current round.
+//!
+//! Because neither query consumes shared RNG state, slow-device runs stay
+//! bitwise resumable (round `R`'s latencies are identical after a restart)
+//! and independent of upload arrival order — the two properties the round
+//! policies in [`crate::faults`] build on.
+//!
+//! ## Latency units
+//!
+//! One latency unit is one *round budget on fast hardware*: a fast,
+//! jitter-free client has latency exactly 1.0. A deadline budget of `2.0`
+//! therefore means "wait twice as long as a nominal device needs", and under
+//! buffered rounds an upload with latency `l` arrives `ceil(l) - 1` rounds
+//! late (latency ≤ 1 arrives within its own training round).
+
+use crate::streams::{RoundStreams, StreamDomain};
+use serde::{Deserialize, Serialize};
+
+/// Per-client device speeds plus per-round latency jitter.
+///
+/// Attach with `Simulation::with_devices`; combine with a
+/// `RoundPolicy::Deadline` to drop uploads that miss the round budget, or
+/// with `RoundPolicy::Buffered` to turn latency into staleness. Under the
+/// default synchronous policy the server blocks on the slowest device, so the
+/// model changes nothing (latency is accounting, not behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Fraction of the federation on slow hardware, in `[0, 1]`.
+    pub straggler_fraction: f32,
+    /// Latency multiplier of a straggler relative to a fast device (≥ 1).
+    pub slowdown: f32,
+    /// Log-normal jitter scale σ (0 disables jitter): each round's latency is
+    /// multiplied by `exp(σ·z)` with `z ~ N(0, 1)`.
+    pub jitter: f32,
+    /// Base seed of the device streams, independent of training randomness.
+    pub seed: u64,
+}
+
+impl DeviceModel {
+    /// A homogeneous fleet: every device is fast, no jitter. Latency is
+    /// exactly 1.0 for every `(round, client)`.
+    pub fn uniform(seed: u64) -> Self {
+        Self {
+            straggler_fraction: 0.0,
+            slowdown: 1.0,
+            jitter: 0.0,
+            seed,
+        }
+    }
+
+    /// A two-tier fleet: `straggler_fraction` of clients are `slowdown`×
+    /// slower, no jitter.
+    pub fn two_tier(straggler_fraction: f32, slowdown: f32, seed: u64) -> Self {
+        Self {
+            straggler_fraction,
+            slowdown,
+            jitter: 0.0,
+            seed,
+        }
+    }
+
+    /// Panics on a malformed model: `straggler_fraction` outside `[0, 1]`,
+    /// `slowdown` below 1 or non-finite, negative or non-finite `jitter`.
+    pub fn validate(&self) {
+        assert!(
+            self.straggler_fraction.is_finite() && (0.0..=1.0).contains(&self.straggler_fraction),
+            "straggler fraction must lie in [0, 1], got {}",
+            self.straggler_fraction
+        );
+        assert!(
+            self.slowdown.is_finite() && self.slowdown >= 1.0,
+            "slowdown must be a finite multiplier >= 1, got {}",
+            self.slowdown
+        );
+        assert!(
+            self.jitter.is_finite() && self.jitter >= 0.0,
+            "jitter must be finite and non-negative, got {}",
+            self.jitter
+        );
+    }
+
+    /// Short human-readable description for tables and reports.
+    pub fn label(&self) -> String {
+        format!(
+            "{:.0}% stragglers @{}x",
+            self.straggler_fraction * 100.0,
+            self.slowdown
+        )
+    }
+
+    /// Whether `client` runs on slow hardware — a pure function of the model
+    /// seed, drawn from the [`StreamDomain::DeviceSpeed`] stream at round 0.
+    pub fn is_straggler(&self, client: usize) -> bool {
+        let mut rng = RoundStreams::new(StreamDomain::DeviceSpeed, self.seed)
+            .round(0)
+            .stream(client);
+        rng.uniform() < self.straggler_fraction
+    }
+
+    /// The client's base speed: 1.0 for fast devices, `1 / slowdown` for
+    /// stragglers.
+    pub fn speed(&self, client: usize) -> f32 {
+        if self.is_straggler(client) {
+            1.0 / self.slowdown
+        } else {
+            1.0
+        }
+    }
+
+    /// The client's upload latency in this round (see the module docs for
+    /// units): `jitter_factor / speed`, a pure function of
+    /// `(seed, round, client)` — never of arrival order or prior rounds.
+    pub fn latency(&self, round: usize, client: usize) -> f32 {
+        let mut rng = RoundStreams::new(StreamDomain::LatencyDraw, self.seed)
+            .round(round)
+            .stream(client);
+        let z = rng.normal();
+        let factor = if self.jitter > 0.0 {
+            (self.jitter * z).exp()
+        } else {
+            1.0
+        };
+        factor / self.speed(client)
+    }
+
+    /// How many whole rounds after its training round an upload with this
+    /// latency arrives: `ceil(latency) - 1`, so latency ≤ 1 lands within its
+    /// own round. Used by the buffered round policy to turn device speed into
+    /// staleness.
+    pub fn delay_rounds(&self, round: usize, client: usize) -> usize {
+        (self.latency(round, client).ceil().max(1.0) as usize).saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fleet_has_unit_latency() {
+        let model = DeviceModel::uniform(7);
+        model.validate();
+        for round in 0..4 {
+            for client in 0..8 {
+                assert!(!model.is_straggler(client));
+                assert_eq!(model.latency(round, client).to_bits(), 1.0f32.to_bits());
+                assert_eq!(model.delay_rounds(round, client), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_set_is_seed_stable_and_round_free() {
+        let model = DeviceModel::two_tier(0.4, 8.0, 11);
+        let first: Vec<bool> = (0..32).map(|c| model.is_straggler(c)).collect();
+        // Re-querying (any number of rounds later, after a restart, ...)
+        // yields the identical set.
+        let second: Vec<bool> = (0..32).map(|c| model.is_straggler(c)).collect();
+        assert_eq!(first, second);
+        // The fraction is approximately respected over a population.
+        let count = first.iter().filter(|&&s| s).count();
+        assert!((5..=22).contains(&count), "got {count} stragglers of 32");
+        // A different seed draws a different set.
+        let other = DeviceModel::two_tier(0.4, 8.0, 12);
+        let theirs: Vec<bool> = (0..32).map(|c| other.is_straggler(c)).collect();
+        assert_ne!(first, theirs);
+    }
+
+    #[test]
+    fn latency_is_a_pure_function_of_round_and_client() {
+        let model = DeviceModel {
+            straggler_fraction: 0.3,
+            slowdown: 4.0,
+            jitter: 0.2,
+            seed: 5,
+        };
+        model.validate();
+        for round in [0usize, 3, 17] {
+            for client in 0..6 {
+                let a = model.latency(round, client);
+                let b = model.latency(round, client);
+                assert_eq!(a.to_bits(), b.to_bits());
+                assert!(a > 0.0 && a.is_finite());
+            }
+        }
+        // Adjacent rounds jitter differently.
+        assert_ne!(
+            model.latency(3, 0).to_bits(),
+            model.latency(4, 0).to_bits()
+        );
+    }
+
+    #[test]
+    fn stragglers_are_slower() {
+        let model = DeviceModel::two_tier(0.5, 6.0, 3);
+        let straggler = (0..64).find(|&c| model.is_straggler(c)).unwrap();
+        let fast = (0..64).find(|&c| !model.is_straggler(c)).unwrap();
+        assert_eq!(model.latency(0, straggler), 6.0);
+        assert_eq!(model.latency(0, fast), 1.0);
+        assert_eq!(model.delay_rounds(0, straggler), 5);
+        assert_eq!(model.delay_rounds(0, fast), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_fraction_is_rejected() {
+        DeviceModel::two_tier(1.5, 2.0, 0).validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unit_slowdown_is_rejected() {
+        DeviceModel::two_tier(0.2, 0.5, 0).validate();
+    }
+
+    #[test]
+    fn label_is_human_readable() {
+        assert_eq!(DeviceModel::two_tier(0.3, 4.0, 0).label(), "30% stragglers @4x");
+    }
+}

@@ -14,7 +14,9 @@ use crate::availability::AvailabilityModel;
 use crate::checkpoint::{AlgorithmState, Checkpoint, StateError, CHECKPOINT_VERSION};
 use crate::client::{GradCorrection, LocalTrainConfig, LocalUpdate};
 use crate::comm::CommTracker;
+use crate::device::DeviceModel;
 use crate::eval::EvalWorker;
+use crate::faults::{FaultPlan, FaultTally, RoundPolicy};
 use crate::history::{RoundRecord, TrainingHistory};
 use crate::worker::ClientWorkerPool;
 use fedcross_data::FederatedDataset;
@@ -121,9 +123,28 @@ pub struct RoundContext<'a> {
     comm: &'a mut CommTracker,
     availability: AvailabilityModel,
     adversary: Option<AdversaryModel>,
+    policy: RoundPolicy,
+    faults: Option<FaultPlan>,
+    devices: Option<DeviceModel>,
+    tally: FaultTally,
     round: usize,
     dropped: Vec<usize>,
     plane: WorkerPlane<'a>,
+}
+
+/// What the transport does to one surviving upload under a buffered round
+/// policy, derived per `(round, client)` by [`RoundContext::upload_outcomes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadOutcome {
+    /// Client the outcome belongs to.
+    pub client: usize,
+    /// Rounds after the training round at which the upload arrives at the
+    /// server (0 = within its own round). Stalled uploads and slow devices
+    /// both contribute.
+    pub delay: usize,
+    /// Copies the transport delivers (2 for a duplicated upload). The server
+    /// must dedupe by client id.
+    pub copies: usize,
 }
 
 impl<'a> RoundContext<'a> {
@@ -147,6 +168,10 @@ impl<'a> RoundContext<'a> {
             comm,
             availability: AvailabilityModel::AlwaysOn,
             adversary: None,
+            policy: RoundPolicy::Synchronous,
+            faults: None,
+            devices: None,
+            tally: FaultTally::default(),
             round: 0,
             dropped: Vec::new(),
             plane: WorkerPlane::Owned(ClientWorkerPool::new()),
@@ -177,6 +202,46 @@ impl<'a> RoundContext<'a> {
         self.adversary = Some(adversary);
         self.round = round;
         self
+    }
+
+    /// Attaches the fault-tolerance service plane for this round: a
+    /// round-closing `policy`, an optional [`FaultPlan`] and an optional
+    /// [`DeviceModel`]. With the defaults
+    /// (`RoundPolicy::Synchronous`, no faults, no devices) the round is
+    /// bitwise identical to a context without this call — the service plane
+    /// draws nothing and filters nothing.
+    ///
+    /// All three are validated eagerly, like the availability model.
+    pub fn with_service_plane(
+        mut self,
+        policy: RoundPolicy,
+        faults: Option<FaultPlan>,
+        devices: Option<DeviceModel>,
+        round: usize,
+    ) -> Self {
+        policy.validate();
+        if let Some(plan) = &faults {
+            plan.validate();
+        }
+        if let Some(model) = &devices {
+            model.validate();
+        }
+        self.policy = policy;
+        self.faults = faults;
+        self.devices = devices;
+        self.round = round;
+        self
+    }
+
+    /// The round-closing policy this round runs under (the `Buffered*`
+    /// algorithms read their buffer goal and staleness bound from here).
+    pub fn round_policy(&self) -> RoundPolicy {
+        self.policy
+    }
+
+    /// Fault accounting accumulated by this round's service plane.
+    pub fn fault_tally(&self) -> FaultTally {
+        self.tally
     }
 
     /// Attaches a persistent [`ClientWorkerPool`] that outlives this context,
@@ -358,7 +423,8 @@ impl<'a> RoundContext<'a> {
         let template = self.template;
         let workers = self.plane.pool().ensure(prepared.len(), template);
         let work: Vec<_> = prepared.into_iter().zip(workers.iter_mut()).collect();
-        work.into_par_iter()
+        let updates = work
+            .into_par_iter()
             .map(|((job, mut rng), worker)| {
                 let attacker =
                     adversary.filter(|_| compromised.get(job.client).copied().unwrap_or(false));
@@ -393,6 +459,160 @@ impl<'a> RoundContext<'a> {
                     adv.corrupt_upload(round, &job.params, &mut update);
                 }
                 update
+            })
+            .collect::<Vec<LocalUpdate>>();
+        self.apply_service_plane(updates)
+    }
+
+    /// Whether the fault-tolerance service plane has anything to do. With the
+    /// default synchronous policy and no fault plan the plane must be
+    /// completely inert — not a single extra draw or filter — so historical
+    /// trajectories stay bitwise identical.
+    fn service_plane_active(&self) -> bool {
+        self.policy != RoundPolicy::Synchronous
+            || self
+                .faults
+                .map(|f| f.has_client_faults() || f.server_fail_prob > 0.0)
+                .unwrap_or(false)
+    }
+
+    /// The transport/server delivery step between client training and the
+    /// algorithm's aggregation. Filters the round's updates down to what the
+    /// server actually gets to aggregate:
+    ///
+    /// * crashed uploads never arrive (any policy),
+    /// * a round whose server-apply retries are exhausted loses its whole
+    ///   upload set (any policy),
+    /// * under `Synchronous`, stalled uploads miss the round barrier and are
+    ///   lost; duplicates are deduped silently (the synchronous server
+    ///   processes each client's upload once),
+    /// * under `Deadline`, uploads slower than the budget are additionally
+    ///   discarded, except the fastest ones rescued by `min_quorum`,
+    /// * under `Buffered`, stalled and slow uploads are **kept** — the
+    ///   buffered algorithms fetch their delays via
+    ///   [`RoundContext::upload_outcomes`] and buffer them across rounds.
+    ///
+    /// The surviving updates keep their original job order, so slot-mapping
+    /// algorithms (FedCross) are unaffected by the filtering.
+    fn apply_service_plane(&mut self, updates: Vec<LocalUpdate>) -> Vec<LocalUpdate> {
+        if !self.service_plane_active() {
+            return updates;
+        }
+        let round = self.round;
+
+        // Transient server-apply failure: one fate per round. Exhausted
+        // retries abandon the round's upload set — algorithms already
+        // tolerate empty rounds via their carry-over paths.
+        if let Some(plan) = self.faults {
+            match plan.server_apply_attempts(round) {
+                Some(attempts) => self.tally.apply_retries += attempts - 1,
+                None => {
+                    self.tally.rounds_lost += 1;
+                    return Vec::new();
+                }
+            }
+        }
+
+        // Partition by per-upload transport fate, preserving job order.
+        // `kept` are deliverable now; `late` missed a deadline budget but can
+        // still be rescued by the quorum rule (stalled uploads cannot — their
+        // bytes genuinely are not there yet).
+        let buffered = matches!(self.policy, RoundPolicy::Buffered { .. });
+        let mut kept: Vec<(usize, LocalUpdate)> = Vec::with_capacity(updates.len());
+        let mut late: Vec<(f32, usize, LocalUpdate)> = Vec::new();
+        for (index, update) in updates.into_iter().enumerate() {
+            let fate = self
+                .faults
+                .map(|plan| plan.fate(round, update.client))
+                .unwrap_or_default();
+            if fate.crashed {
+                self.tally.crashed += 1;
+                continue;
+            }
+            if fate.duplicated {
+                self.tally.duplicated += 1;
+            }
+            if fate.stall.is_some() {
+                self.tally.stalled += 1;
+                if !buffered {
+                    continue;
+                }
+            }
+            match self.policy {
+                RoundPolicy::Deadline { budget, .. } => {
+                    let latency = self
+                        .devices
+                        .map(|d| d.latency(round, update.client))
+                        .unwrap_or(0.0);
+                    if latency <= budget {
+                        kept.push((index, update));
+                    } else {
+                        late.push((latency, index, update));
+                    }
+                }
+                RoundPolicy::Synchronous | RoundPolicy::Buffered { .. } => {
+                    kept.push((index, update));
+                }
+            }
+        }
+
+        // Quorum extension: when the deadline left fewer uploads than the
+        // server insists on, wait for the fastest stragglers (deterministic
+        // order: latency, then client id as the tie-break).
+        if let RoundPolicy::Deadline { min_quorum, .. } = self.policy {
+            if kept.len() < min_quorum && !late.is_empty() {
+                late.sort_by(|a, b| {
+                    a.0.total_cmp(&b.0).then_with(|| a.2.client.cmp(&b.2.client))
+                });
+                let rescue = (min_quorum - kept.len()).min(late.len());
+                for (_, index, update) in late.drain(..rescue) {
+                    self.tally.quorum_rescued += 1;
+                    kept.push((index, update));
+                }
+                // Restore the original job order after the rescue.
+                kept.sort_by_key(|(index, _)| *index);
+            }
+            self.tally.missed_deadline += late.len();
+        }
+
+        kept.into_iter().map(|(_, update)| update).collect()
+    }
+
+    /// The transport outcome (arrival delay, delivered copies) of every
+    /// update in `updates`, aligned by index. A pure function of
+    /// `(round, client)` through the fault plan and device model, so the
+    /// buffered algorithms that consume it stay bitwise resumable.
+    ///
+    /// Under the synchronous and deadline policies every surviving update was
+    /// already delivered on time and deduped, so the outcome is always
+    /// `{delay: 0, copies: 1}`; under `Buffered`, stalls and device latency
+    /// turn into arrival delays and duplicates into `copies: 2`.
+    pub fn upload_outcomes(&self, updates: &[LocalUpdate]) -> Vec<UploadOutcome> {
+        let round = self.round;
+        let buffered = matches!(self.policy, RoundPolicy::Buffered { .. });
+        updates
+            .iter()
+            .map(|update| {
+                if !buffered {
+                    return UploadOutcome {
+                        client: update.client,
+                        delay: 0,
+                        copies: 1,
+                    };
+                }
+                let fate = self
+                    .faults
+                    .map(|plan| plan.fate(round, update.client))
+                    .unwrap_or_default();
+                let device_delay = self
+                    .devices
+                    .map(|d| d.delay_rounds(round, update.client))
+                    .unwrap_or(0);
+                UploadOutcome {
+                    client: update.client,
+                    delay: fate.stall.unwrap_or(0) + device_delay,
+                    copies: 1 + usize::from(fate.duplicated),
+                }
             })
             .collect()
     }
@@ -514,6 +734,11 @@ pub struct SimulationResult {
     /// partial [`Simulation::run_segment`] run). This is the round a
     /// checkpoint taken from this result resumes from.
     pub rounds_completed: usize,
+    /// Fault accounting for the rounds this result actually executed (all
+    /// zeros without a fault plan / non-synchronous policy). Diagnostic only:
+    /// the tally is not checkpointed, so a resumed run's tally covers the
+    /// resumed segment, not the whole trajectory.
+    pub faults: FaultTally,
 }
 
 /// Why a [`Simulation::resume`] refused a checkpoint. Every variant is a
@@ -634,6 +859,9 @@ pub struct Simulation<'a> {
     template: Box<dyn Model>,
     availability: AvailabilityModel,
     adversary: Option<AdversaryModel>,
+    policy: RoundPolicy,
+    faults: Option<FaultPlan>,
+    devices: Option<DeviceModel>,
 }
 
 impl<'a> Simulation<'a> {
@@ -648,6 +876,9 @@ impl<'a> Simulation<'a> {
             template,
             availability: AvailabilityModel::AlwaysOn,
             adversary: None,
+            policy: RoundPolicy::Synchronous,
+            faults: None,
+            devices: None,
         }
     }
 
@@ -675,6 +906,46 @@ impl<'a> Simulation<'a> {
     pub fn with_adversaries(mut self, adversary: AdversaryModel) -> Self {
         adversary.validate();
         self.adversary = Some(adversary);
+        self
+    }
+
+    /// Chooses how rounds close (default: [`RoundPolicy::Synchronous`], the
+    /// bitwise-pinned historical behaviour). See [`RoundPolicy`] for the
+    /// deadline and buffered semantics.
+    ///
+    /// # Panics
+    /// Panics on an invalid policy (non-positive deadline budget, zero
+    /// buffered goal) — validated eagerly, like the availability model.
+    pub fn with_round_policy(mut self, policy: RoundPolicy) -> Self {
+        policy.validate();
+        self.policy = policy;
+        self
+    }
+
+    /// Injects transport/server faults according to `faults` (default: a
+    /// perfectly reliable transport). Composes with availability (a dropped
+    /// client never trains, so it cannot crash mid-round) and adversaries (a
+    /// corrupted upload stalls and duplicates like any other).
+    ///
+    /// # Panics
+    /// Panics on an invalid plan (probability outside `[0, 1)`) — validated
+    /// eagerly.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        faults.validate();
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Simulates heterogeneous device speeds according to `devices` (default:
+    /// a homogeneous fleet). Only observable under a deadline or buffered
+    /// round policy — the synchronous server blocks on the slowest device.
+    ///
+    /// # Panics
+    /// Panics on an invalid model (fraction outside `[0, 1]`, slowdown below
+    /// 1) — validated eagerly.
+    pub fn with_devices(mut self, devices: DeviceModel) -> Self {
+        devices.validate();
+        self.devices = Some(devices);
         self
     }
 
@@ -783,6 +1054,7 @@ impl<'a> Simulation<'a> {
         let mut plane = ClientWorkerPool::new();
         let mut eval_worker = EvalWorker::new(self.template.as_ref());
         let mut global_buf: Vec<f32> = Vec::new();
+        let mut faults_total = FaultTally::default();
 
         for round in start_round..end_round {
             let report = {
@@ -795,11 +1067,14 @@ impl<'a> Simulation<'a> {
                     &mut comm,
                 )
                 .with_availability(self.availability, round)
+                .with_service_plane(self.policy, self.faults, self.devices, round)
                 .with_worker_pool(&mut plane);
                 if let Some(adversary) = self.adversary {
                     ctx = ctx.with_adversaries(adversary, round);
                 }
-                algorithm.run_round(round, &mut ctx)
+                let report = algorithm.run_round(round, &mut ctx);
+                faults_total.absorb(&ctx.fault_tally());
+                report
             };
             comm.end_round();
 
@@ -828,6 +1103,7 @@ impl<'a> Simulation<'a> {
             comm,
             model_params: self.template.param_count(),
             rounds_completed: end_round,
+            faults: faults_total,
         }
     }
 
@@ -836,7 +1112,9 @@ impl<'a> Simulation<'a> {
     /// `eval_every`, `eval_batch_size`), the local training
     /// hyper-parameters, the availability model, the adversary model (a
     /// checkpoint from a compromised run must not resume into a clean one or
-    /// vice versa), the template's parameter
+    /// vice versa), the round policy, fault plan and device model (a
+    /// checkpoint from a faulty or deadline run must not resume under
+    /// different fault/deadline settings), the template's parameter
     /// count and the federation's shape (client count, per-client shard
     /// sizes, class count, test-set size). Deliberately **excludes** the
     /// total round count, so a checkpointed run may be resumed with a larger
@@ -901,6 +1179,45 @@ impl<'a> Simulation<'a> {
                         mix(magnitude.to_bits() as u64);
                     }
                 }
+            }
+        }
+        match self.policy {
+            RoundPolicy::Synchronous => mix(10),
+            RoundPolicy::Deadline { budget, min_quorum } => {
+                mix(11);
+                mix(budget.to_bits() as u64);
+                mix(min_quorum as u64);
+            }
+            RoundPolicy::Buffered {
+                goal_k,
+                max_staleness,
+            } => {
+                mix(12);
+                mix(goal_k as u64);
+                mix(max_staleness as u64);
+            }
+        }
+        match self.faults {
+            None => mix(13),
+            Some(plan) => {
+                mix(14);
+                mix(plan.seed);
+                mix(plan.crash_prob.to_bits() as u64);
+                mix(plan.stall_prob.to_bits() as u64);
+                mix(plan.max_stall as u64);
+                mix(plan.duplicate_prob.to_bits() as u64);
+                mix(plan.server_fail_prob.to_bits() as u64);
+                mix(plan.max_retries as u64);
+            }
+        }
+        match self.devices {
+            None => mix(15),
+            Some(model) => {
+                mix(16);
+                mix(model.seed);
+                mix(model.straggler_fraction.to_bits() as u64);
+                mix(model.slowdown.to_bits() as u64);
+                mix(model.jitter.to_bits() as u64);
             }
         }
         mix(self.template.param_count() as u64);

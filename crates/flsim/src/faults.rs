@@ -1,0 +1,434 @@
+//! Fault injection and round-closing policies.
+//!
+//! Real FL transport fails in structured ways that the availability model's
+//! "client never responds" cannot express. A [`FaultPlan`] injects the four
+//! classic failure modes of an open federated system:
+//!
+//! * **mid-round crash** — the client trains but never uploads (compute and
+//!   dispatch bandwidth are spent, the update is lost),
+//! * **stalled upload** — the upload leaves the client but arrives `s ≥ 1`
+//!   rounds later; synchronous and deadline rounds have closed by then and
+//!   lose it, buffered rounds integrate it with staleness `s`,
+//! * **duplicated upload** — the transport delivers the same upload twice;
+//!   the server must dedupe by client id,
+//! * **transient server-apply failure** — applying the round's uploads fails
+//!   and is retried with bounded backoff; a round that exhausts its retries
+//!   loses its upload set (algorithms already tolerate empty rounds via the
+//!   carry-over path).
+//!
+//! Every draw comes from the [`StreamDomain::FaultDraw`] stream keyed by
+//! `(seed, round, client)` — a pure function, so faulty runs resume bitwise
+//! and fault fates never depend on upload arrival order. The plan composes
+//! with [`crate::availability::AvailabilityModel`] (a dropped client never
+//! trains, so it cannot crash mid-round) and
+//! [`crate::adversary::AdversaryModel`] (a compromised client's corrupted
+//! upload crashes, stalls and duplicates like any other).
+//!
+//! [`RoundPolicy`] decides how a round closes over whatever the fault plane
+//! and device latencies let through; see its variants for the semantics.
+
+use crate::streams::{RoundStreams, StreamDomain};
+use serde::{Deserialize, Serialize};
+
+/// How the server closes a communication round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum RoundPolicy {
+    /// The classic closed loop: the server blocks until every surviving
+    /// upload of the round has arrived (device latency is irrelevant). This
+    /// is the engine's historical behaviour and the bitwise-pinned default.
+    #[default]
+    Synchronous,
+    /// The round closes after `budget` latency units (see
+    /// [`crate::device::DeviceModel`] for units): uploads that arrive later
+    /// are discarded and their slots carry over. If fewer than `min_quorum`
+    /// uploads made the deadline, the deadline is extended to the fastest
+    /// `min_quorum` non-crashed, non-stalled uploads — the server would
+    /// rather run late than aggregate nothing.
+    Deadline {
+        /// Round budget in latency units (a fast jitter-free device needs 1.0).
+        budget: f32,
+        /// Minimum uploads the round must close with (when that many exist).
+        min_quorum: usize,
+    },
+    /// FedBuff-style semi-asynchronous rounds: uploads arrive `delay` rounds
+    /// after training (device latency plus stalls), the server buffers them
+    /// and aggregates once `goal_k` updates are buffered, weighting each by
+    /// its staleness. Entries staler than `max_staleness` are discarded.
+    /// Meaningful with the `Buffered*` algorithms, which read these
+    /// parameters from the context; other algorithms see stalled uploads
+    /// delivered on time.
+    Buffered {
+        /// Buffer size that triggers an aggregation.
+        goal_k: usize,
+        /// Oldest staleness (in rounds) still worth aggregating.
+        max_staleness: usize,
+    },
+}
+
+impl RoundPolicy {
+    /// Panics on a malformed policy: non-finite or non-positive deadline
+    /// budget, zero buffered goal.
+    pub fn validate(&self) {
+        match *self {
+            RoundPolicy::Synchronous => {}
+            RoundPolicy::Deadline { budget, .. } => {
+                assert!(
+                    budget.is_finite() && budget > 0.0,
+                    "deadline budget must be a positive finite latency, got {budget}"
+                );
+            }
+            RoundPolicy::Buffered { goal_k, .. } => {
+                assert!(goal_k >= 1, "buffered goal_k must be at least 1");
+            }
+        }
+    }
+
+    /// Short human-readable description for tables and reports.
+    pub fn label(&self) -> String {
+        match *self {
+            RoundPolicy::Synchronous => "sync".to_string(),
+            RoundPolicy::Deadline { budget, min_quorum } => {
+                format!("deadline({budget}, q={min_quorum})")
+            }
+            RoundPolicy::Buffered {
+                goal_k,
+                max_staleness,
+            } => format!("buffered(k={goal_k}, s<={max_staleness})"),
+        }
+    }
+}
+
+/// The transport fate of one upload, drawn per `(round, client)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UploadFate {
+    /// The client crashed after training: the upload never leaves the device.
+    pub crashed: bool,
+    /// The upload stalls and arrives this many rounds late (`Some(s)`, s ≥ 1).
+    pub stall: Option<usize>,
+    /// The transport delivers the upload twice.
+    pub duplicated: bool,
+}
+
+/// A deterministic fault-injection plan (see the module docs for the fault
+/// taxonomy). All fields are probabilities per upload per round except the
+/// stall and retry bounds; all draws derive from `seed` through the
+/// [`StreamDomain::FaultDraw`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that a trained client crashes before uploading.
+    pub crash_prob: f32,
+    /// Probability that an upload stalls in transit.
+    pub stall_prob: f32,
+    /// Stalled uploads arrive `1..=max_stall` rounds late (uniform).
+    pub max_stall: usize,
+    /// Probability that an upload is delivered twice.
+    pub duplicate_prob: f32,
+    /// Probability that one server-apply attempt fails transiently.
+    pub server_fail_prob: f32,
+    /// Retries (with backoff) after a failed apply before the round's upload
+    /// set is abandoned: up to `1 + max_retries` attempts total.
+    pub max_retries: usize,
+    /// Base seed of the fault streams, independent of training randomness.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            crash_prob: 0.0,
+            stall_prob: 0.0,
+            max_stall: 1,
+            duplicate_prob: 0.0,
+            server_fail_prob: 0.0,
+            max_retries: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that only crashes clients mid-round with probability `prob`.
+    pub fn crashes(prob: f32, seed: u64) -> Self {
+        Self {
+            crash_prob: prob,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Panics on a malformed plan: any probability outside `[0, 1)` or
+    /// non-finite, or a stall bound of zero alongside a positive stall
+    /// probability.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("crash_prob", self.crash_prob),
+            ("stall_prob", self.stall_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("server_fail_prob", self.server_fail_prob),
+        ] {
+            assert!(
+                p.is_finite() && (0.0..1.0).contains(&p),
+                "{name} must lie in [0, 1), got {p}"
+            );
+        }
+        assert!(
+            self.stall_prob == 0.0 || self.max_stall >= 1,
+            "max_stall must be at least 1 when stalls are enabled"
+        );
+    }
+
+    /// Short human-readable description for tables and reports.
+    pub fn label(&self) -> String {
+        format!(
+            "faults(crash={:.0}%, stall={:.0}%, dup={:.0}%, apply-fail={:.0}%)",
+            self.crash_prob * 100.0,
+            self.stall_prob * 100.0,
+            self.duplicate_prob * 100.0,
+            self.server_fail_prob * 100.0
+        )
+    }
+
+    /// Whether any client-side fault can ever fire.
+    pub fn has_client_faults(&self) -> bool {
+        self.crash_prob > 0.0 || self.stall_prob > 0.0 || self.duplicate_prob > 0.0
+    }
+
+    /// The transport fate of `client`'s upload in `round` — a pure function
+    /// of `(seed, round, client)`, identical after restarts and independent
+    /// of every other client's fate. The three draws are consumed in a fixed
+    /// order (crash, stall, duplicate) so the fate is stable under plan
+    /// extensions that append draws.
+    pub fn fate(&self, round: usize, client: usize) -> UploadFate {
+        let mut rng = RoundStreams::new(StreamDomain::FaultDraw, self.seed)
+            .round(round)
+            .stream(client);
+        let crashed = rng.uniform() < self.crash_prob;
+        let stalled = rng.uniform() < self.stall_prob;
+        let stall_rounds = 1 + rng.below(self.max_stall.max(1));
+        let duplicated = rng.uniform() < self.duplicate_prob;
+        UploadFate {
+            crashed,
+            // A crashed upload never reaches the transport, so crash wins.
+            stall: (!crashed && stalled).then_some(stall_rounds),
+            duplicated: !crashed && duplicated,
+        }
+    }
+
+    /// Simulates the round's server-apply retry loop: `Some(attempts)` when
+    /// an attempt succeeds within the retry budget (`attempts ≥ 1`), `None`
+    /// when all `1 + max_retries` attempts fail and the round's upload set is
+    /// abandoned. Drawn from the round's server stream — one fate per round,
+    /// shared by however many uploads it carries.
+    pub fn server_apply_attempts(&self, round: usize) -> Option<usize> {
+        if self.server_fail_prob == 0.0 {
+            return Some(1);
+        }
+        let mut rng = RoundStreams::new(StreamDomain::FaultDraw, self.seed)
+            .round(round)
+            .server();
+        (1..=(1 + self.max_retries)).find(|_| rng.uniform() >= self.server_fail_prob)
+    }
+}
+
+/// Per-run fault accounting, accumulated by the engine while a fault plan,
+/// device model or non-synchronous round policy is active. Diagnostic only:
+/// the tally is **not** checkpointed, so a resumed run counts only the
+/// rounds it actually executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Uploads lost to mid-round crashes.
+    pub crashed: usize,
+    /// Uploads that stalled in transit (lost under sync/deadline rounds,
+    /// delivered late under buffered rounds).
+    pub stalled: usize,
+    /// Uploads the transport duplicated (the engine/server deduped them).
+    pub duplicated: usize,
+    /// Uploads that missed a deadline round's budget and were discarded.
+    pub missed_deadline: usize,
+    /// Uploads rescued past the deadline by the `min_quorum` extension.
+    pub quorum_rescued: usize,
+    /// Extra server-apply attempts spent on transient failures (retries, not
+    /// first attempts).
+    pub apply_retries: usize,
+    /// Rounds whose upload set was abandoned after exhausting apply retries.
+    pub rounds_lost: usize,
+}
+
+impl FaultTally {
+    /// Adds another tally's counts into this one (used by the simulation to
+    /// fold per-round tallies into the run total).
+    pub fn absorb(&mut self, other: &FaultTally) {
+        self.crashed += other.crashed;
+        self.stalled += other.stalled;
+        self.duplicated += other.duplicated;
+        self.missed_deadline += other.missed_deadline;
+        self.quorum_rescued += other.quorum_rescued;
+        self.apply_retries += other.apply_retries;
+        self.rounds_lost += other.rounds_lost;
+    }
+
+    /// Total uploads that never reached an aggregation under a synchronous
+    /// or deadline policy.
+    pub fn lost_uploads(&self) -> usize {
+        self.crashed + self.stalled + self.missed_deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fates_are_pure_functions_of_their_coordinates() {
+        let plan = FaultPlan {
+            crash_prob: 0.2,
+            stall_prob: 0.3,
+            max_stall: 3,
+            duplicate_prob: 0.15,
+            server_fail_prob: 0.2,
+            max_retries: 2,
+            seed: 99,
+        };
+        plan.validate();
+        for round in [0usize, 5, 12] {
+            for client in 0..8 {
+                assert_eq!(plan.fate(round, client), plan.fate(round, client));
+            }
+            assert_eq!(
+                plan.server_apply_attempts(round),
+                plan.server_apply_attempts(round)
+            );
+        }
+        // The same client fares differently across rounds (statistically:
+        // over 64 rounds at these probabilities at least one fate differs).
+        let fates: Vec<UploadFate> = (0..64).map(|r| plan.fate(r, 0)).collect();
+        assert!(fates.iter().any(|f| f != &fates[0]));
+    }
+
+    #[test]
+    fn crash_suppresses_transport_faults() {
+        let plan = FaultPlan {
+            crash_prob: 0.999,
+            stall_prob: 0.999,
+            duplicate_prob: 0.999,
+            max_stall: 2,
+            ..FaultPlan::default()
+        };
+        for round in 0..16 {
+            let fate = plan.fate(round, 1);
+            if fate.crashed {
+                assert_eq!(fate.stall, None);
+                assert!(!fate.duplicated);
+            }
+        }
+    }
+
+    #[test]
+    fn stall_durations_respect_the_bound() {
+        let plan = FaultPlan {
+            stall_prob: 0.9,
+            max_stall: 4,
+            ..FaultPlan::default()
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..200 {
+            if let Some(s) = plan.fate(round, 0).stall {
+                assert!((1..=4).contains(&s));
+                seen.insert(s);
+            }
+        }
+        assert!(seen.len() >= 3, "stall durations should spread: {seen:?}");
+    }
+
+    #[test]
+    fn server_retries_are_bounded_and_quiet_when_disabled() {
+        let plan = FaultPlan::default();
+        assert_eq!(plan.server_apply_attempts(0), Some(1));
+
+        let flaky = FaultPlan {
+            server_fail_prob: 0.6,
+            max_retries: 2,
+            ..FaultPlan::default()
+        };
+        let mut lost = 0;
+        for round in 0..200 {
+            match flaky.server_apply_attempts(round) {
+                Some(attempts) => assert!((1..=3).contains(&attempts)),
+                None => lost += 1,
+            }
+        }
+        // P(lose) = 0.6^3 = 21.6%; over 200 rounds both outcomes occur.
+        assert!(lost > 0 && lost < 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_probability_is_rejected() {
+        FaultPlan {
+            crash_prob: 1.0,
+            ..FaultPlan::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn round_policy_validates_and_labels() {
+        RoundPolicy::Synchronous.validate();
+        RoundPolicy::Deadline {
+            budget: 2.0,
+            min_quorum: 2,
+        }
+        .validate();
+        RoundPolicy::Buffered {
+            goal_k: 4,
+            max_staleness: 3,
+        }
+        .validate();
+        assert_eq!(RoundPolicy::default(), RoundPolicy::Synchronous);
+        assert_eq!(RoundPolicy::Synchronous.label(), "sync");
+        assert!(RoundPolicy::Deadline { budget: 2.0, min_quorum: 2 }
+            .label()
+            .contains("deadline"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_deadline_budget_is_rejected() {
+        RoundPolicy::Deadline {
+            budget: 0.0,
+            min_quorum: 1,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_buffered_goal_is_rejected() {
+        RoundPolicy::Buffered {
+            goal_k: 0,
+            max_staleness: 1,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn tally_absorbs_counts() {
+        let mut total = FaultTally::default();
+        total.absorb(&FaultTally {
+            crashed: 1,
+            stalled: 2,
+            duplicated: 3,
+            missed_deadline: 4,
+            quorum_rescued: 5,
+            apply_retries: 6,
+            rounds_lost: 7,
+        });
+        total.absorb(&FaultTally {
+            crashed: 1,
+            ..FaultTally::default()
+        });
+        assert_eq!(total.crashed, 2);
+        assert_eq!(total.lost_uploads(), 2 + 2 + 4);
+        assert_eq!(total.rounds_lost, 7);
+    }
+}

@@ -17,6 +17,12 @@
 //! * [`adversary`] — Byzantine / poisoning client behaviour (label flipping,
 //!   scaled and sign-flipped updates, collusion), orthogonal to availability
 //!   and drawn from [`streams`] so adversarial runs stay bitwise resumable,
+//! * [`device`] — device-speed heterogeneity: per-client speed tiers and
+//!   per-round latency jitter, the straggler substrate of the deadline and
+//!   buffered round policies,
+//! * [`faults`] — transport/server fault injection (mid-round crashes,
+//!   stalled and duplicated uploads, transient apply failures) plus the
+//!   [`faults::RoundPolicy`] family that decides how rounds close,
 //! * [`checkpoint`] — the resume plane: atomic JSON checkpoints of the
 //!   complete training state ([`checkpoint::AlgorithmState`]), restored by
 //!   [`engine::Simulation::resume`] for bitwise-identical continuation,
@@ -81,7 +87,9 @@ pub mod availability;
 pub mod checkpoint;
 pub mod client;
 pub mod comm;
+pub mod device;
 pub mod engine;
+pub mod faults;
 pub mod eval;
 pub mod fairness;
 pub mod history;
@@ -94,9 +102,12 @@ pub use availability::AvailabilityModel;
 pub use checkpoint::{AlgorithmState, Checkpoint, StateError, CHECKPOINT_VERSION};
 pub use client::{LocalTrainConfig, LocalUpdate};
 pub use comm::{CommOverheadClass, CommTracker};
+pub use device::DeviceModel;
 pub use engine::{
     FederatedAlgorithm, ResumeError, RoundContext, RoundReport, Simulation, SimulationConfig,
+    UploadOutcome,
 };
+pub use faults::{FaultPlan, FaultTally, RoundPolicy, UploadFate};
 pub use eval::EvalWorker;
 pub use fairness::{per_client_fairness, FairnessReport};
 pub use history::{RoundRecord, TrainingHistory};

@@ -53,6 +53,14 @@ pub enum StreamDomain {
     /// Per-round adversarial corruption draws (e.g. the colluding attack's
     /// shared target direction).
     AdversaryDraw,
+    /// Static device-speed assignment: how fast each client's hardware is for
+    /// the whole run (queried at round 0, keyed by the device model's seed).
+    DeviceSpeed,
+    /// Per-round upload-latency jitter draws for the device/straggler model.
+    LatencyDraw,
+    /// Per-round fault-injection draws (mid-round crashes, stalled and
+    /// duplicated uploads, transient server-apply failures).
+    FaultDraw,
 }
 
 impl StreamDomain {
@@ -65,6 +73,9 @@ impl StreamDomain {
             StreamDomain::SecureAggMask => 0x5345_4341_474D_4153,    // "SECAGMAS"
             StreamDomain::AdversaryMembership => 0x4144_564D_454D_4252, // "ADVMEMBR"
             StreamDomain::AdversaryDraw => 0x4144_5644_5241_5753,    // "ADVDRAWS"
+            StreamDomain::DeviceSpeed => 0x4445_5653_5045_4544,      // "DEVSPEED"
+            StreamDomain::LatencyDraw => 0x4C41_5444_5241_5753,      // "LATDRAWS"
+            StreamDomain::FaultDraw => 0x464C_5444_5241_5753,        // "FLTDRAWS"
         }
     }
 }
@@ -208,6 +219,9 @@ mod tests {
             StreamDomain::SecureAggMask,
             StreamDomain::AdversaryMembership,
             StreamDomain::AdversaryDraw,
+            StreamDomain::DeviceSpeed,
+            StreamDomain::LatencyDraw,
+            StreamDomain::FaultDraw,
         ] {
             let mut seeds = Vec::new();
             for base in 0..6u64 {

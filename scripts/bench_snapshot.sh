@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Snapshot the round-pipeline, client-training, round-plane and
-# robust-aggregation criterion benches into a machine-readable JSON file
-# (default: BENCH_PR6.json at the repo root).
+# Snapshot the round-pipeline, client-training, round-plane,
+# robust-aggregation and buffered-aggregation criterion benches into a
+# machine-readable JSON file (default: BENCH_PR7.json at the repo root).
 #
 # The workspace's criterion shim appends one JSON line per benchmark to the
 # file named by FEDCROSS_BENCH_JSON; this script runs the `aggregation`,
-# `fl_round`, `client_training`, `round_plane` and `robust_aggregation`
-# benches with that hook enabled and wraps the lines into a JSON document.
+# `fl_round`, `client_training`, `round_plane`, `robust_aggregation` and
+# `buffered_aggregation` benches with that hook enabled and wraps the lines
+# into a JSON document.
 # Note that since PR 3 the
 # `fl_round/one_round/*` benchmarks measure *steady-state* rounds on the
 # persistent worker plane (warm cached models), which is the cost a
@@ -15,7 +16,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 lines="$(mktemp)"
 trap 'rm -f "$lines"' EXIT
 
@@ -24,6 +25,7 @@ FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench fl_round
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench client_training
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench round_plane
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench robust_aggregation
+FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench buffered_aggregation
 
 {
     printf '{\n'

@@ -18,8 +18,9 @@ use fedcross_data::Heterogeneity;
 use fedcross_flsim::checkpoint::StateError;
 use fedcross_flsim::engine::{RoundContext, RoundReport};
 use fedcross_flsim::{
-    AdversaryModel, AlgorithmState, Attack, AvailabilityModel, Checkpoint, FederatedAlgorithm,
-    LocalTrainConfig, LocalUpdate, ResumeError, Simulation, SimulationConfig,
+    AdversaryModel, AlgorithmState, Attack, AvailabilityModel, Checkpoint, DeviceModel,
+    FaultPlan, FederatedAlgorithm, LocalTrainConfig, LocalUpdate, ResumeError, RoundPolicy,
+    Simulation, SimulationConfig,
 };
 use fedcross_nn::models::{cnn, CnnConfig};
 use fedcross_nn::params::ParamBlock;
@@ -100,13 +101,48 @@ fn assert_restart_is_a_non_event_under<A: FederatedAlgorithm>(
     tag: &str,
     check: impl Fn(&A, &A),
 ) {
+    assert_restart_is_a_non_event_in_plane(
+        build,
+        availability,
+        adversary,
+        RoundPolicy::Synchronous,
+        None,
+        None,
+        tag,
+        check,
+    );
+}
+
+/// The fully general harness: availability × adversary × round policy ×
+/// fault plan × device model. The fault plane (PR 7) derives every crash,
+/// stall, duplicate and latency from round-keyed streams, so even a run that
+/// is simultaneously under attack, dropping clients and injecting faults
+/// must treat a restart as a non-event.
+#[allow(clippy::too_many_arguments)]
+fn assert_restart_is_a_non_event_in_plane<A: FederatedAlgorithm>(
+    build: impl Fn(Vec<f32>, usize) -> A,
+    availability: AvailabilityModel,
+    adversary: Option<AdversaryModel>,
+    policy: RoundPolicy,
+    faults: Option<FaultPlan>,
+    devices: Option<DeviceModel>,
+    tag: &str,
+    check: impl Fn(&A, &A),
+) {
     let (data, template) = setup(5);
     let config = sim_config(6, 2);
     let checkpoint_round = 3;
     let mut sim = Simulation::new(config, &data, template.clone_model())
-        .with_availability(availability);
+        .with_availability(availability)
+        .with_round_policy(policy);
     if let Some(adversary) = adversary {
         sim = sim.with_adversaries(adversary);
+    }
+    if let Some(faults) = faults {
+        sim = sim.with_faults(faults);
+    }
+    if let Some(devices) = devices {
+        sim = sim.with_devices(devices);
     }
     let build = || build(template.params_flat(), data.num_clients());
 
@@ -487,6 +523,232 @@ fn robust_fedcross_restart_is_a_non_event_under_attack_and_dropout() {
             |_, _| {},
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plane: adversary × fault × dropout × straggler compositions must
+// resume bitwise too. Fates and latencies are drawn from round-keyed streams
+// (FaultDraw / DeviceSpeed / LatencyDraw), so a restart cannot shift who
+// crashes, stalls, duplicates or misses a deadline.
+// ---------------------------------------------------------------------------
+
+fn noisy_transport() -> FaultPlan {
+    FaultPlan {
+        crash_prob: 0.15,
+        stall_prob: 0.2,
+        max_stall: 2,
+        duplicate_prob: 0.2,
+        server_fail_prob: 0.1,
+        max_retries: 2,
+        seed: 19,
+    }
+}
+
+#[test]
+fn fedcross_restart_is_a_non_event_under_faults_attack_and_dropout() {
+    assert_restart_is_a_non_event_in_plane(
+        |init, num_clients| {
+            Boxed(build_algorithm(
+                AlgorithmSpec::fedcross_default(),
+                init,
+                num_clients,
+                3,
+            ))
+        },
+        AvailabilityModel::RandomDropout { prob: 0.3 },
+        Some(AdversaryModel {
+            attack: Attack::ScaledUpdate { factor: 25.0 },
+            fraction: 0.34,
+            seed: 41,
+        }),
+        RoundPolicy::Synchronous,
+        Some(noisy_transport()),
+        None,
+        "fedcross-faults-attack-drop",
+        |_, _| {},
+    );
+}
+
+#[test]
+fn fedcross_deadline_restart_is_a_non_event_under_stragglers_and_faults() {
+    assert_restart_is_a_non_event_in_plane(
+        |init, num_clients| {
+            Boxed(build_algorithm(
+                AlgorithmSpec::fedcross_default(),
+                init,
+                num_clients,
+                3,
+            ))
+        },
+        AvailabilityModel::RandomDropout { prob: 0.2 },
+        None,
+        RoundPolicy::Deadline {
+            budget: 2.0,
+            min_quorum: 1,
+        },
+        Some(noisy_transport()),
+        Some(DeviceModel {
+            straggler_fraction: 0.4,
+            slowdown: 8.0,
+            jitter: 0.2,
+            seed: 13,
+        }),
+        "fedcross-deadline-stragglers",
+        |_, _| {},
+    );
+}
+
+#[test]
+fn robust_fedavg_deadline_restart_is_a_non_event_under_attack() {
+    assert_restart_is_a_non_event_in_plane(
+        |init, num_clients| {
+            Boxed(build_algorithm(
+                AlgorithmSpec::RobustFedAvg {
+                    rule: RobustRule::TrimmedMean { trim: 0.25 },
+                },
+                init,
+                num_clients,
+                3,
+            ))
+        },
+        AvailabilityModel::AlwaysOn,
+        Some(AdversaryModel {
+            attack: Attack::SignFlip { scale: 4.0 },
+            fraction: 0.34,
+            seed: 41,
+        }),
+        RoundPolicy::Deadline {
+            budget: 2.0,
+            min_quorum: 2,
+        },
+        Some(noisy_transport()),
+        Some(DeviceModel::two_tier(0.4, 4.0, 23)),
+        "robust-fedavg-deadline-attack",
+        |_, _| {},
+    );
+}
+
+#[test]
+fn buffered_algorithms_restart_is_a_non_event_mid_buffer() {
+    use fedcross::buffered::{BufferedFedAvg, BufferedFedCross, BufferedFedCrossConfig};
+    let policy = RoundPolicy::Buffered {
+        goal_k: 2,
+        max_staleness: 3,
+    };
+    let devices = DeviceModel::two_tier(0.5, 3.0, 17);
+    let faults = FaultPlan {
+        stall_prob: 0.3,
+        max_stall: 2,
+        duplicate_prob: 0.2,
+        ..Default::default()
+    };
+    assert_restart_is_a_non_event_in_plane(
+        |init, num_clients| BufferedFedAvg::new(0.5, init, num_clients),
+        AvailabilityModel::RandomDropout { prob: 0.2 },
+        None,
+        policy,
+        Some(faults),
+        Some(devices),
+        "buffered-fedavg-mid-buffer",
+        |whole, resumed| {
+            // The pending stores themselves end identical, entry for entry.
+            assert_eq!(whole.inflight(), resumed.inflight());
+            assert_eq!(whole.buffer(), resumed.buffer());
+        },
+    );
+    assert_restart_is_a_non_event_in_plane(
+        |init, num_clients| {
+            BufferedFedCross::new(BufferedFedCrossConfig::default(), init, 3, num_clients)
+        },
+        AvailabilityModel::AlwaysOn,
+        None,
+        policy,
+        Some(faults),
+        Some(devices),
+        "buffered-fedcross-mid-buffer",
+        |whole, resumed| {
+            assert_eq!(whole.inflight(), resumed.inflight());
+            assert_eq!(whole.buffer(), resumed.buffer());
+        },
+    );
+}
+
+#[test]
+fn a_checkpoint_resumed_under_a_different_round_policy_or_fault_plan_is_rejected() {
+    // The config fingerprint covers RoundPolicy, FaultPlan and DeviceModel:
+    // any of them changing between checkpoint and resume changes the
+    // trajectory, so the resume must refuse instead of silently splicing.
+    let (data, template) = setup(7);
+    let config = sim_config(6, 2);
+    let sim = Simulation::new(config, &data, template.clone_model());
+    let build =
+        || build_algorithm(AlgorithmSpec::FedAvg, template.params_flat(), data.num_clients(), 3);
+
+    let mut algo = build();
+    let partial = sim.run_segment(algo.as_mut(), 0, 2);
+    let checkpoint = sim.checkpoint(algo.as_ref(), &partial).expect("snapshot supported");
+
+    let variants: Vec<(&str, Simulation<'_>)> = vec![
+        (
+            "deadline policy",
+            Simulation::new(config, &data, template.clone_model()).with_round_policy(
+                RoundPolicy::Deadline {
+                    budget: 2.0,
+                    min_quorum: 1,
+                },
+            ),
+        ),
+        (
+            "buffered policy",
+            Simulation::new(config, &data, template.clone_model()).with_round_policy(
+                RoundPolicy::Buffered {
+                    goal_k: 2,
+                    max_staleness: 3,
+                },
+            ),
+        ),
+        (
+            "fault plan",
+            Simulation::new(config, &data, template.clone_model())
+                .with_faults(noisy_transport()),
+        ),
+        (
+            "device model",
+            Simulation::new(config, &data, template.clone_model())
+                .with_devices(DeviceModel::two_tier(0.4, 8.0, 13)),
+        ),
+    ];
+    for (what, other_sim) in variants {
+        let mut fresh = build();
+        assert!(
+            matches!(
+                other_sim.resume(&checkpoint, fresh.as_mut()),
+                Err(ResumeError::ConfigMismatch { .. })
+            ),
+            "resuming under a different {what} must be rejected"
+        );
+    }
+
+    // Same fault plan but a different fault seed is a different trajectory.
+    let faulty_sim =
+        Simulation::new(config, &data, template.clone_model()).with_faults(noisy_transport());
+    let mut algo = build();
+    let partial = faulty_sim.run_segment(algo.as_mut(), 0, 2);
+    let checkpoint = faulty_sim
+        .checkpoint(algo.as_ref(), &partial)
+        .expect("snapshot supported");
+    let mut reseeded = noisy_transport();
+    reseeded.seed = 20;
+    let other_seed_sim =
+        Simulation::new(config, &data, template.clone_model()).with_faults(reseeded);
+    let mut fresh = build();
+    assert!(matches!(
+        other_seed_sim.resume(&checkpoint, fresh.as_mut()),
+        Err(ResumeError::ConfigMismatch { .. })
+    ));
+    // And the matching plan still resumes fine.
+    let mut fresh = build();
+    assert!(faulty_sim.resume(&checkpoint, fresh.as_mut()).is_ok());
 }
 
 // ---------------------------------------------------------------------------
