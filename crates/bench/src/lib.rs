@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod determinism;
 pub mod report;
 
 use fedcross::{build_algorithm, AlgorithmSpec, SelectionStrategy};

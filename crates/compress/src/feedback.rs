@@ -6,7 +6,7 @@
 //! to its next delta. The memory lives on the client, so it costs no extra
 //! communication.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::codec::{CompressedUpdate, Compressor};
 use fedcross_nn::params::{add_into, sub_into};
@@ -15,7 +15,9 @@ use fedcross_tensor::SeededRng;
 /// Error-feedback residual memory, keyed by client index.
 #[derive(Debug, Clone, Default)]
 pub struct ErrorFeedback {
-    residuals: HashMap<usize, Vec<f32>>,
+    // BTreeMap, not HashMap: snapshot_residuals iterates this map, and D001
+    // requires every iterated map on a trajectory path to have a fixed order.
+    residuals: BTreeMap<usize, Vec<f32>>,
 }
 
 impl ErrorFeedback {
@@ -74,15 +76,13 @@ impl ErrorFeedback {
 
     /// The complete residual memory as a `(client id, residual)` table sorted
     /// by client id — the deterministic shape a checkpoint's client table
-    /// requires (the backing `HashMap`'s iteration order is not stable).
+    /// requires (`BTreeMap` iteration is already in key order, so no sort is
+    /// needed).
     pub fn snapshot_residuals(&self) -> Vec<(usize, Vec<f32>)> {
-        let mut table: Vec<(usize, Vec<f32>)> = self
-            .residuals
+        self.residuals
             .iter()
             .map(|(&client, residual)| (client, residual.clone()))
-            .collect();
-        table.sort_by_key(|(client, _)| *client);
-        table
+            .collect()
     }
 
     /// Replaces the residual memory with a checkpointed table (validation —

@@ -6,7 +6,7 @@ use crate::aggregation::{
 };
 use crate::selection::{mean_pairwise_similarity, SelectionStrategy, SimilarityMeasure};
 use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
-use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
+use fedcross_flsim::engine::{canonicalize_updates, FederatedAlgorithm, RoundContext, RoundReport};
 use fedcross_nn::params::ParamBlock;
 use rayon::prelude::*;
 
@@ -146,8 +146,13 @@ impl FederatedAlgorithm for FedCross {
             .zip(self.middleware.iter())
             .map(|(&client, model)| (client, model.clone()))
             .collect();
-        let updates = ctx.local_train_batch(&jobs);
+        let mut updates = ctx.local_train_batch(&jobs);
         drop(jobs); // release the dispatch references before fusing in place
+        // Loss reporting, partner selection and slot mapping all consume the
+        // uploads positionally, so put them in dispatch order first — a
+        // bitwise no-op on an unshuffled round, and what makes FedCross
+        // invariant to upload arrival order under the sanitizer's shuffle.
+        canonicalize_updates(&mut updates, &selected);
         let report = RoundReport::from_updates(&updates);
 
         // Map every upload back to the middleware slot whose model it trained,

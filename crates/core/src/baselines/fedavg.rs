@@ -1,7 +1,7 @@
 //! FedAvg (McMahan et al. 2017): the classic one-to-multi baseline.
 
 use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
-use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport};
+use fedcross_flsim::engine::{canonicalize_updates, FederatedAlgorithm, RoundContext, RoundReport};
 use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
 /// Federated Averaging: dispatch the single global model to `K` selected
@@ -41,8 +41,11 @@ impl FederatedAlgorithm for FedAvg {
             .iter()
             .map(|&client| (client, self.global.clone()))
             .collect();
-        let updates = ctx.local_train_batch(&jobs);
+        let mut updates = ctx.local_train_batch(&jobs);
         drop(jobs);
+        // Aggregate in dispatch order regardless of upload arrival order
+        // (bitwise no-op on an unshuffled round).
+        canonicalize_updates(&mut updates, &selected);
         if updates.is_empty() {
             // Every selected client dropped out this round (possible under an
             // availability model); the global model simply carries over.

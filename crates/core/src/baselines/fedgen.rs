@@ -17,7 +17,9 @@
 //!    paper's "Medium" communication-overhead classification in Table I.
 
 use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
-use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
+use fedcross_flsim::engine::{
+    canonicalize_updates, FederatedAlgorithm, RoundContext, RoundReport, TrainJob,
+};
 use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
 /// Configuration of the simplified FedGen baseline.
@@ -101,7 +103,10 @@ impl FederatedAlgorithm for FedGen {
                 }
             })
             .collect();
-        let updates = ctx.local_train_jobs(jobs);
+        let mut updates = ctx.local_train_jobs(jobs);
+        // Aggregate in dispatch order regardless of upload arrival order
+        // (bitwise no-op on an unshuffled round).
+        canonicalize_updates(&mut updates, &selected);
         if updates.is_empty() {
             // Every selected client dropped out this round (possible under an
             // availability model); the global model simply carries over.

@@ -1,7 +1,9 @@
 //! FedProx (Li et al. 2020): FedAvg with a proximal term on the local loss.
 
 use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
-use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
+use fedcross_flsim::engine::{
+    canonicalize_updates, FederatedAlgorithm, RoundContext, RoundReport, TrainJob,
+};
 use fedcross_nn::params::{weighted_average_into, ParamBlock};
 
 /// FedProx: each client minimises `f_i(w) + (μ/2)·||w - w_global||²`, which
@@ -54,7 +56,10 @@ impl FederatedAlgorithm for FedProx {
                 }
             })
             .collect();
-        let updates = ctx.local_train_jobs(jobs);
+        let mut updates = ctx.local_train_jobs(jobs);
+        // Aggregate in dispatch order regardless of upload arrival order
+        // (bitwise no-op on an unshuffled round).
+        canonicalize_updates(&mut updates, &selected);
         if updates.is_empty() {
             // Every selected client dropped out this round (possible under an
             // availability model); the global model simply carries over.

@@ -2,9 +2,11 @@
 //! server and client control variates.
 
 use fedcross_flsim::checkpoint::{AlgorithmState, StateError};
-use fedcross_flsim::engine::{FederatedAlgorithm, RoundContext, RoundReport, TrainJob};
+use fedcross_flsim::engine::{
+    canonicalize_updates, FederatedAlgorithm, RoundContext, RoundReport, TrainJob,
+};
 use fedcross_nn::params::{add_scaled, average, average_into, difference, ParamBlock};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// SCAFFOLD corrects the "client drift" of local SGD by adding `c - c_i` to
@@ -15,7 +17,9 @@ use std::sync::Arc;
 pub struct Scaffold {
     global: ParamBlock,
     server_control: Vec<f32>,
-    client_controls: HashMap<usize, Vec<f32>>,
+    // BTreeMap, not HashMap: snapshot_state iterates this table, and D001
+    // requires every iterated map on a trajectory path to have a fixed order.
+    client_controls: BTreeMap<usize, Vec<f32>>,
     total_clients: usize,
 }
 
@@ -29,7 +33,7 @@ impl Scaffold {
         Self {
             global: ParamBlock::from(init_params),
             server_control: vec![0.0; dim],
-            client_controls: HashMap::new(),
+            client_controls: BTreeMap::new(),
             total_clients,
         }
     }
@@ -78,7 +82,11 @@ impl FederatedAlgorithm for Scaffold {
                 }
             })
             .collect();
-        let updates = ctx.local_train_jobs(jobs);
+        let mut updates = ctx.local_train_jobs(jobs);
+        // Aggregate (and update control variates) in dispatch order
+        // regardless of upload arrival order (bitwise no-op on an unshuffled
+        // round).
+        canonicalize_updates(&mut updates, &selected);
 
         // Client control-variate update (option II of the paper):
         // c_i⁺ = c_i - c + (x - y_i) / (K·η_l), then Δc_i = c_i⁺ - c_i.
@@ -125,7 +133,8 @@ impl FederatedAlgorithm for Scaffold {
         // A lossy restart would zero every control variate and silently
         // change the drift correction of all future rounds, so both the
         // server control and the full per-client table are part of the state
-        // (the table is sorted by client id for a deterministic file).
+        // (BTreeMap iteration yields the table sorted by client id, so the
+        // snapshot file is deterministic).
         Ok(AlgorithmState::single_model(self.global.clone())
             .with_aux("server_control", self.server_control.clone())
             .with_client_table(

@@ -102,6 +102,31 @@ impl AlgorithmSpec {
         ]
     }
 
+    /// Every registered algorithm family with representative
+    /// hyper-parameters: the paper's six methods plus one spec per
+    /// extension plane (robust, buffered). This is the sweep surface for
+    /// registry-driven invariant tests — snapshot/restore round-trips and
+    /// the schedule-invariance sanitizer run over exactly this list, so a
+    /// new algorithm added here is covered automatically.
+    pub fn registered() -> Vec<AlgorithmSpec> {
+        let mut specs = Self::paper_lineup();
+        specs.push(AlgorithmSpec::RobustFedAvg {
+            rule: RobustRule::Median,
+        });
+        specs.push(AlgorithmSpec::RobustFedCross {
+            alpha: 0.9,
+            rule: RobustRule::TrimmedMean { trim: 0.25 },
+        });
+        specs.push(AlgorithmSpec::BufferedFedAvg {
+            staleness_alpha: 0.5,
+        });
+        specs.push(AlgorithmSpec::BufferedFedCross {
+            alpha: 0.9,
+            staleness_alpha: 0.5,
+        });
+        specs
+    }
+
     /// A short display label ("FedAvg", "FedCross", ...), matching the paper's
     /// table headers.
     pub fn label(&self) -> &'static str {

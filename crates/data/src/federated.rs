@@ -100,18 +100,18 @@ impl FederatedDataset {
         rng: &mut SeededRng,
     ) -> Self {
         assert!(num_clients > 0 && samples_per_client > 0);
-        let generator = SynthImages::new(image_config, &mut rng.fork(1));
+        let generator = SynthImages::new(image_config, &mut rng.fork(1)); // fork: construction-seed
         let total = num_clients * samples_per_client;
-        let pool = generator.generate(total, &mut rng.fork(2));
+        let pool = generator.generate(total, &mut rng.fork(2)); // fork: construction-seed
         let shards = partition(
             pool.labels(),
             pool.num_classes(),
             num_clients,
             heterogeneity,
-            &mut rng.fork(3),
+            &mut rng.fork(3), // fork: construction-seed
         );
         let clients = shards.iter().map(|s| pool.subset(s)).collect();
-        let test = generator.generate(test_samples.max(1), &mut rng.fork(4));
+        let test = generator.generate(test_samples.max(1), &mut rng.fork(4)); // fork: construction-seed
         Self::from_parts(format!("{name}[{}]", heterogeneity.label()), clients, test)
     }
 
@@ -154,11 +154,11 @@ impl FederatedDataset {
     pub fn synth_femnist(config: &SynthFemnistConfig, rng: &mut SeededRng) -> Self {
         assert!(config.num_clients > 0 && config.samples_per_client > 0);
         assert!(config.classes_per_client >= 1);
-        let generator = SynthImages::new(config.image, &mut rng.fork(1));
+        let generator = SynthImages::new(config.image, &mut rng.fork(1)); // fork: construction-seed
         let num_classes = config.image.num_classes;
         let mut clients = Vec::with_capacity(config.num_clients);
         for client_id in 0..config.num_clients {
-            let mut client_rng = rng.fork(100 + client_id as u64);
+            let mut client_rng = rng.fork(100 + client_id as u64); // fork: construction-seed
             let style = generator.style_pattern(config.style_strength, &mut client_rng);
             let class_subset = client_rng.sample_without_replacement(
                 num_classes,
@@ -172,7 +172,7 @@ impl FederatedDataset {
             ));
         }
         // Test set: unstyled samples from the full class space.
-        let test = generator.generate(config.test_samples.max(1), &mut rng.fork(2));
+        let test = generator.generate(config.test_samples.max(1), &mut rng.fork(2)); // fork: construction-seed
         Self::from_parts("synth-femnist", clients, test)
     }
 
@@ -180,13 +180,13 @@ impl FederatedDataset {
     /// every client is one "role" with its own character transition table.
     pub fn synth_shakespeare(config: &SynthShakespeareConfig, rng: &mut SeededRng) -> Self {
         assert!(config.num_clients > 0 && config.samples_per_client > 0);
-        let corpus = SynthNextChar::new(config.text, &mut rng.fork(1));
+        let corpus = SynthNextChar::new(config.text, &mut rng.fork(1)); // fork: construction-seed
         let mut clients = Vec::with_capacity(config.num_clients);
         for client_id in 0..config.num_clients {
             clients.push(corpus.generate_for_client(
                 config.samples_per_client,
                 client_id as u64,
-                &mut rng.fork(100 + client_id as u64),
+                &mut rng.fork(100 + client_id as u64), // fork: construction-seed
             ));
         }
         // Test set: a mixture over all personas, matching LEAF's held-out users.
@@ -197,7 +197,7 @@ impl FederatedDataset {
                 corpus.generate_for_client(
                     per_client_test,
                     client_id as u64,
-                    &mut rng.fork(10_000 + client_id as u64),
+                    &mut rng.fork(10_000 + client_id as u64), // fork: construction-seed
                 )
             })
             .collect();
@@ -216,7 +216,7 @@ impl FederatedDataset {
             clients.push(corpus.generate_for_client(
                 config.samples_per_client,
                 client_id as u64,
-                &mut rng.fork(100 + client_id as u64),
+                &mut rng.fork(100 + client_id as u64), // fork: construction-seed
             ));
         }
         let per_client_test = (config.test_samples / config.num_clients).max(1);
@@ -225,7 +225,7 @@ impl FederatedDataset {
                 corpus.generate_for_client(
                     per_client_test,
                     client_id as u64,
-                    &mut rng.fork(10_000 + client_id as u64),
+                    &mut rng.fork(10_000 + client_id as u64), // fork: construction-seed
                 )
             })
             .collect();

@@ -130,6 +130,28 @@ pub struct RoundContext<'a> {
     round: usize,
     dropped: Vec<usize>,
     plane: WorkerPlane<'a>,
+    upload_shuffle: Option<u64>,
+    shuffle_calls: u64,
+}
+
+/// Reorders `updates` into dispatch order: the position of each update's
+/// client in `dispatched` (the job list the algorithm submitted).
+///
+/// Today's engine already returns updates in dispatch order, so on an
+/// unshuffled round this is a bitwise no-op — but an algorithm that sorts
+/// with it before aggregating becomes invariant to upload *arrival* order,
+/// which the schedule-invariance sanitizer exercises via
+/// [`RoundContext::with_upload_shuffle`]. Updates whose client does not
+/// appear in `dispatched` (impossible through `local_train_jobs`, possible
+/// in hand-built harnesses) sort last, by client id.
+pub fn canonicalize_updates(updates: &mut [LocalUpdate], dispatched: &[usize]) {
+    let position = |client: usize| -> (usize, usize) {
+        match dispatched.iter().position(|&c| c == client) {
+            Some(p) => (p, 0),
+            None => (dispatched.len(), client),
+        }
+    };
+    updates.sort_by_key(|u| position(u.client));
 }
 
 /// What the transport does to one surviving upload under a buffered round
@@ -175,7 +197,23 @@ impl<'a> RoundContext<'a> {
             round: 0,
             dropped: Vec::new(),
             plane: WorkerPlane::Owned(ClientWorkerPool::new()),
+            upload_shuffle: None,
+            shuffle_calls: 0,
         }
+    }
+
+    /// Permutes the arrival order of every training batch's surviving
+    /// uploads with a deterministic, `seed`-derived shuffle (default: off —
+    /// uploads arrive in dispatch order).
+    ///
+    /// This is the schedule-invariance sanitizer's fault injector: an
+    /// algorithm whose trajectory changes under it depends on upload arrival
+    /// order, which a real deployment does not control. It deliberately does
+    /// **not** enter [`Simulation::config_fingerprint`] — a correct
+    /// algorithm produces the canonical trajectory with or without it.
+    pub fn with_upload_shuffle(mut self, seed: u64) -> Self {
+        self.upload_shuffle = Some(seed);
+        self
     }
 
     /// Attaches a client-availability model for this round (the round number
@@ -400,7 +438,7 @@ impl<'a> RoundContext<'a> {
         let prepared: Vec<(TrainJob, SeededRng)> = jobs
             .into_iter()
             .map(|job| {
-                let rng = self.rng.fork(job.client as u64 + 1);
+                let rng = self.rng.fork(job.client as u64 + 1); // fork: construction-seed
                 (job, rng)
             })
             .collect();
@@ -461,7 +499,28 @@ impl<'a> RoundContext<'a> {
                 update
             })
             .collect::<Vec<LocalUpdate>>();
-        self.apply_service_plane(updates)
+        let mut updates = self.apply_service_plane(updates);
+        self.shuffle_uploads(&mut updates);
+        updates
+    }
+
+    /// Applies the configured upload-arrival permutation (inert by default).
+    /// Each training batch within a round gets its own stream, so two
+    /// batches of the same round are permuted independently.
+    fn shuffle_uploads(&mut self, updates: &mut [LocalUpdate]) {
+        let Some(seed) = self.upload_shuffle else {
+            return;
+        };
+        // Domain-separate the shuffle seed from every other consumer of the
+        // master seed so enabling the sanitizer cannot correlate with any
+        // trajectory stream.
+        const SHUFFLE_DOMAIN: u64 = 0x5AFE_5CED_u64;
+        let call = self.shuffle_calls;
+        self.shuffle_calls += 1;
+        let mut rng = SeededRng::new(seed ^ SHUFFLE_DOMAIN)
+            .fork(self.round as u64) // fork: construction-seed
+            .fork(call); // fork: construction-seed
+        rng.shuffle(updates);
     }
 
     /// Whether the fault-tolerance service plane has anything to do. With the
@@ -862,6 +921,7 @@ pub struct Simulation<'a> {
     policy: RoundPolicy,
     faults: Option<FaultPlan>,
     devices: Option<DeviceModel>,
+    upload_shuffle: Option<u64>,
 }
 
 impl<'a> Simulation<'a> {
@@ -879,7 +939,20 @@ impl<'a> Simulation<'a> {
             policy: RoundPolicy::Synchronous,
             faults: None,
             devices: None,
+            upload_shuffle: None,
         }
+    }
+
+    /// Permutes upload arrival order in every round with a deterministic
+    /// `seed`-derived shuffle (default: off). See
+    /// [`RoundContext::with_upload_shuffle`] — this is the sanitizer's
+    /// arrival-order fault injector, and it is deliberately excluded from
+    /// [`Simulation::config_fingerprint`]: an algorithm that aggregates in
+    /// canonical order produces the bitwise-identical trajectory with or
+    /// without it.
+    pub fn with_upload_shuffle(mut self, seed: u64) -> Self {
+        self.upload_shuffle = Some(seed);
+        self
     }
 
     /// Simulates unreliable clients: selected clients may drop out according
@@ -1063,7 +1136,7 @@ impl<'a> Simulation<'a> {
                     self.template.as_ref(),
                     self.config.local,
                     self.config.clients_per_round,
-                    master.fork(round as u64),
+                    master.fork(round as u64), // fork: construction-seed
                     &mut comm,
                 )
                 .with_availability(self.availability, round)
@@ -1071,6 +1144,9 @@ impl<'a> Simulation<'a> {
                 .with_worker_pool(&mut plane);
                 if let Some(adversary) = self.adversary {
                     ctx = ctx.with_adversaries(adversary, round);
+                }
+                if let Some(seed) = self.upload_shuffle {
+                    ctx = ctx.with_upload_shuffle(seed);
                 }
                 let report = algorithm.run_round(round, &mut ctx);
                 faults_total.absorb(&ctx.fault_tally());

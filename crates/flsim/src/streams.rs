@@ -109,7 +109,7 @@ impl RoundStreams {
     pub fn new(domain: StreamDomain, base_seed: u64) -> Self {
         Self {
             base_seed,
-            domain_root: SeededRng::new(base_seed).fork(domain.tag()),
+            domain_root: SeededRng::new(base_seed).fork(domain.tag()), // fork: construction-seed
         }
     }
 
@@ -121,7 +121,7 @@ impl RoundStreams {
     /// The streams of one **absolute** round.
     pub fn round(&self, round: usize) -> RoundStream {
         RoundStream {
-            root: self.domain_root.fork(round as u64),
+            root: self.domain_root.fork(round as u64), // fork: construction-seed
         }
     }
 }
@@ -141,13 +141,13 @@ impl RoundStream {
     /// The RNG of the consumer identified by `id` (a middleware slot or a
     /// client index) in this round.
     pub fn stream(&self, id: usize) -> SeededRng {
-        self.root.fork(id as u64 + 1)
+        self.root.fork(id as u64 + 1) // fork: construction-seed
     }
 
     /// The RNG of this round's single server-side consumer (e.g. the one
     /// central-DP perturbation of the aggregated delta).
     pub fn server(&self) -> SeededRng {
-        self.root.fork(0)
+        self.root.fork(0) // fork: construction-seed
     }
 
     /// The round's derived seed, for consumers that take a `u64` instead of

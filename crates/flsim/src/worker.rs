@@ -71,7 +71,7 @@ impl ClientWorker {
         correction: Option<&GradCorrection>,
     ) -> LocalUpdate {
         self.model.set_params_flat(params);
-        let mut reseed = rng.fork(RESEED_STREAM);
+        let mut reseed = rng.fork(RESEED_STREAM); // fork: construction-seed
         self.model.reset_stochastic_state(&mut reseed);
         local_train_pooled(
             client,

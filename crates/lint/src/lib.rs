@@ -1,0 +1,778 @@
+//! `fedcross-lint` — static determinism-invariant checker for the FedCross
+//! workspace.
+//!
+//! The reproduction's guarantees (bitwise trajectories, bitwise resume,
+//! permutation-invariant robust rules) rest on conventions that used to be
+//! enforced only by review: no unordered-map iteration in aggregation paths,
+//! no wall-clock or ambient RNG in trajectory-affecting code, audited
+//! `SeededRng::fork` call sites, fixed-order float reductions in kernels.
+//! This crate codifies them as rules D001–D006 over a line-oriented scan of
+//! `crates/*/src` (see `docs/LINTS.md` for the catalogue):
+//!
+//! * **D001** — no `HashMap`/`HashSet` iteration in `core`, `flsim`,
+//!   `privacy`, `compress`.
+//! * **D002** — no `Instant::now` / `SystemTime` / `thread_rng` /
+//!   `rand::random` outside `bench`.
+//! * **D003** — every `.fork(` call site carries a
+//!   `// fork: construction-seed` audit marker.
+//! * **D004** — no `mul_add`/FMA and no `par_iter().sum()`-style unordered
+//!   float reductions in kernel files.
+//! * **D005** — every `unsafe` block is preceded by a `// SAFETY:` comment.
+//! * **D006** — every `pub fn *_into` kernel has an allocating counterpart
+//!   in the same file.
+//!
+//! Exceptions are explicit, counted waivers:
+//! `// lint: allow(D00x) — reason`. A waiver with no reason does not
+//! silence the finding.
+//!
+//! Deliberately zero dependencies and no `syn`: the scanner must build and
+//! run before anything else in the workspace does. The price is that rules
+//! are lexical, per-file approximations (e.g. D001 only tracks unordered-map
+//! bindings declared in the same file) — good enough to catch the mistakes
+//! that actually happen, cheap enough to run on every commit.
+
+pub mod strip;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use strip::{strip, Stripped};
+
+/// The determinism rules checked by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Unordered-map iteration in a determinism-critical crate.
+    D001,
+    /// Wall-clock or ambient RNG outside `bench`.
+    D002,
+    /// `SeededRng::fork` call site without a construction-seed audit marker.
+    D003,
+    /// FMA or unordered parallel float reduction in a kernel file.
+    D004,
+    /// `unsafe` block without a preceding `SAFETY:` comment.
+    D005,
+    /// `pub fn *_into` kernel without an allocating counterpart.
+    D006,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::D004,
+        RuleId::D005,
+        RuleId::D006,
+    ];
+
+    /// The rule's code as it appears in waivers, e.g. `"D001"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+        }
+    }
+
+    /// One-line description of what the rule forbids.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D001 => "HashMap/HashSet iteration in a determinism-critical crate",
+            RuleId::D002 => "wall-clock or ambient RNG outside bench",
+            RuleId::D003 => "SeededRng::fork call without `fork: construction-seed` marker",
+            RuleId::D004 => "FMA or unordered parallel float reduction in a kernel file",
+            RuleId::D005 => "unsafe block without a preceding SAFETY: comment",
+            RuleId::D006 => "pub *_into kernel without an allocating counterpart",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One rule violation (possibly waived) at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Display path of the offending file (relative to the workspace root
+    /// when produced by [`lint_tree`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The waiver reason, if the site carries a valid
+    /// `lint: allow(D00x) — reason` annotation.
+    pub waiver: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{} {}", self.rule, self.file, self.line, self.message)?;
+        if let Some(reason) = &self.waiver {
+            write!(f, " [waived: {reason}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of linting a tree: all findings plus scan statistics.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, waived or not, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that are *not* waived — these fail `--deny-all`.
+    pub fn violations(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.waiver.is_none()).collect()
+    }
+
+    /// Findings silenced by an explicit waiver (still reported, still
+    /// counted — exceptions are visible, not invisible).
+    pub fn waived(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.waiver.is_some()).collect()
+    }
+}
+
+/// Crates whose aggregation/trajectory paths must not iterate unordered
+/// maps (rule D001).
+pub const D001_CRATES: [&str; 4] = ["core", "flsim", "privacy", "compress"];
+
+/// The one crate allowed to read wall clocks and ambient RNG (rule D002).
+pub const TIMING_CRATE: &str = "bench";
+
+/// Kernel files subject to the float-reduction rules D004/D006, beyond the
+/// whole `tensor` crate. Fast-math/SIMD PRs must add their new kernel files
+/// here (see ROADMAP "Open items").
+pub const KERNEL_FILES: [&str; 3] = ["aggregation.rs", "robust.rs", "buffered.rs"];
+
+/// Every file in this crate is a kernel file for D004/D006.
+pub const KERNEL_CRATE: &str = "tensor";
+
+/// How many comment lines above a site are searched for waivers and
+/// audit markers.
+const LOOKBACK_LINES: usize = 3;
+
+fn is_kernel_file(crate_name: &str, file_name: &str) -> bool {
+    crate_name == KERNEL_CRATE || KERNEL_FILES.contains(&file_name)
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `line[pos..pos+len]` is bounded by non-identifier characters.
+fn word_bounded(line: &str, pos: usize, len: usize) -> bool {
+    let before_ok = pos == 0
+        || !line[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(is_ident_char);
+    let after_ok = !line[pos + len..].chars().next().is_some_and(is_ident_char);
+    before_ok && after_ok
+}
+
+/// First word-bounded occurrence of `word` in `line`.
+fn find_word(line: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(p) = line[from..].find(word) {
+        let abs = from + p;
+        if word_bounded(line, abs, word.len()) {
+            return Some(abs);
+        }
+        from = abs + word.len().max(1);
+    }
+    None
+}
+
+fn contains_word(line: &str, word: &str) -> bool {
+    find_word(line, word).is_some()
+}
+
+enum WaiverStatus {
+    None,
+    Waived(String),
+    MissingReason,
+}
+
+/// Looks for `lint: allow(<code>)` in the comment channel on the finding's
+/// line or up to [`LOOKBACK_LINES`] lines above it.
+fn waiver_for(stripped: &Stripped, line_idx: usize, code: &str) -> WaiverStatus {
+    let lo = line_idx.saturating_sub(LOOKBACK_LINES);
+    for idx in (lo..=line_idx).rev() {
+        let comment = &stripped.comments[idx];
+        let mut from = 0;
+        while let Some(p) = comment[from..].find("lint: allow(") {
+            let rest = &comment[from + p + "lint: allow(".len()..];
+            from += p + "lint: allow(".len();
+            let Some(close) = rest.find(')') else { break };
+            if &rest[..close] != code {
+                continue;
+            }
+            let reason = rest[close + 1..]
+                .trim_start_matches([' ', '\t', '\u{2014}', '\u{2013}', '-', ':'])
+                .trim();
+            return if reason.is_empty() {
+                WaiverStatus::MissingReason
+            } else {
+                WaiverStatus::Waived(reason.to_string())
+            };
+        }
+    }
+    WaiverStatus::None
+}
+
+/// Whether the comment channel carries `marker` on the line or up to
+/// [`LOOKBACK_LINES`] lines above it.
+fn has_marker(stripped: &Stripped, line_idx: usize, marker: &str) -> bool {
+    let lo = line_idx.saturating_sub(LOOKBACK_LINES);
+    stripped.comments[lo..=line_idx]
+        .iter()
+        .any(|c| c.contains(marker))
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` somewhere in this file: let
+/// bindings, struct fields and fn parameters with an unordered-map type
+/// ascription, plus `= HashMap::new()`-style initialisations. Per-file by
+/// design — see the module docs for the trade-off.
+fn collect_unordered_bindings(code: &[String]) -> BTreeSet<String> {
+    let mut suspects = BTreeSet::new();
+    for line in code {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(p) = line[from..].find(ty) {
+                let abs = from + p;
+                from = abs + ty.len();
+                if !word_bounded(line, abs, ty.len()) {
+                    continue;
+                }
+                if let Some(name) = binding_name_before(line, abs) {
+                    suspects.insert(name);
+                }
+            }
+        }
+    }
+    suspects
+}
+
+/// Walks left from a `HashMap`/`HashSet` type use to the identifier it is
+/// bound to: handles `name: HashMap<..>`, `name: &HashMap<..>`,
+/// `name = HashMap::new()` and path-qualified `std::collections::HashMap`.
+fn binding_name_before(line: &str, ty_pos: usize) -> Option<String> {
+    let mut t = line[..ty_pos].trim_end();
+    // Strip path qualifiers (`std::collections::`) so we keep walking left.
+    while t.ends_with("::") {
+        t = t[..t.len() - 2].trim_end();
+        let cut = t
+            .rfind(|c: char| !is_ident_char(c))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        t = t[..cut].trim_end();
+    }
+    // Strip reference sigils: `&`, `&mut`, `&'a mut`.
+    loop {
+        let stripped = t
+            .strip_suffix("mut")
+            .map(str::trim_end)
+            .unwrap_or(t);
+        let stripped = stripped.strip_suffix('&').map(str::trim_end).unwrap_or(stripped);
+        if stripped.len() == t.len() {
+            break;
+        }
+        t = stripped;
+    }
+    let sep = t.chars().next_back()?;
+    if sep != ':' && sep != '=' {
+        return None;
+    }
+    let t = t[..t.len() - 1].trim_end();
+    if t.ends_with(':') || t.ends_with('=') || t.ends_with('<') || t.ends_with('>') {
+        // `::HashMap` with no path head, `==`, generic position — not a binding.
+        return None;
+    }
+    let start = t
+        .rfind(|c: char| !is_ident_char(c))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let name = &t[start..];
+    if name.is_empty()
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        || name == "mut"
+        || name == "let"
+    {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// D001: iteration over unordered maps in determinism-critical crates.
+fn rule_d001(crate_name: &str, file: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !D001_CRATES.contains(&crate_name) {
+        return;
+    }
+    let suspects = collect_unordered_bindings(&s.code);
+    if suspects.is_empty() {
+        return;
+    }
+    const METHODS: [&str; 7] = [
+        ".iter()",
+        ".iter_mut()",
+        ".into_iter()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+    ];
+    for (idx, line) in s.code.iter().enumerate() {
+        for name in &suspects {
+            // Method-call iteration: `map.iter()`, `self.map.values()`, ...
+            let mut from = 0;
+            while let Some(p) = line[from..].find(name.as_str()) {
+                let abs = from + p;
+                from = abs + name.len();
+                if !word_bounded(line, abs, name.len()) {
+                    continue;
+                }
+                // The iteration method may be chained on the same line or —
+                // rustfmt style — at the start of the next one.
+                let after = &line[abs + name.len()..];
+                let next_line_head = if after.trim().is_empty() {
+                    s.code.get(idx + 1).map(|l| l.trim_start()).unwrap_or("")
+                } else {
+                    ""
+                };
+                if let Some(m) = METHODS
+                    .iter()
+                    .find(|m| after.starts_with(**m) || next_line_head.starts_with(**m))
+                {
+                    findings.push(Finding {
+                        rule: RuleId::D001,
+                        file: file.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "iteration `{name}{m}` over an unordered map; use BTreeMap or sort first"
+                        ),
+                        waiver: None,
+                    });
+                }
+            }
+            // `for … in map {` / `for … in &map {`
+            if let Some(in_pos) = line.find(" in ") {
+                if contains_word(&line[..in_pos], "for") {
+                    let mut rest = line[in_pos + 4..].trim_start();
+                    rest = rest.strip_prefix("&mut ").unwrap_or(rest);
+                    rest = rest.strip_prefix('&').unwrap_or(rest).trim_start();
+                    // Consume a dotted path (`self.seen`, `ctx.state.map`)
+                    // and compare its final segment.
+                    let end = rest
+                        .find(|c: char| !is_ident_char(c) && c != '.')
+                        .unwrap_or(rest.len());
+                    let head = rest[..end].rsplit('.').next().unwrap_or("");
+                    let tail = rest[end..].trim_start();
+                    // A trailing `.method()` is handled above; flag direct
+                    // consumption of the map itself.
+                    if head == name.as_str() && (tail.starts_with('{') || tail.is_empty()) {
+                        findings.push(Finding {
+                            rule: RuleId::D001,
+                            file: file.to_string(),
+                            line: idx + 1,
+                            message: format!(
+                                "`for … in {name}` iterates an unordered map; use BTreeMap or sort first"
+                            ),
+                            waiver: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// D002: wall clocks and ambient RNG outside `bench`.
+fn rule_d002(crate_name: &str, file: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if crate_name == TIMING_CRATE {
+        return;
+    }
+    const PATTERNS: [&str; 4] = ["Instant::now", "SystemTime", "thread_rng", "rand::random"];
+    for (idx, line) in s.code.iter().enumerate() {
+        for pat in PATTERNS {
+            if contains_word(line, pat) {
+                findings.push(Finding {
+                    rule: RuleId::D002,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{pat}` is nondeterministic; derive randomness/timing from RoundStreams or move to bench"
+                    ),
+                    waiver: None,
+                });
+            }
+        }
+    }
+}
+
+/// D003: `.fork(` call sites must carry the construction-seed audit marker.
+fn rule_d003(file: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    for (idx, line) in s.code.iter().enumerate() {
+        if !line.contains(".fork(") {
+            continue;
+        }
+        if has_marker(s, idx, "fork: construction-seed") {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RuleId::D003,
+            file: file.to_string(),
+            line: idx + 1,
+            message: "`.fork(` call without a `// fork: construction-seed` audit marker"
+                .to_string(),
+        waiver: None,
+        });
+    }
+}
+
+/// D004: FMA and unordered parallel float reductions in kernel files.
+fn rule_d004(crate_name: &str, file_name: &str, file: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !is_kernel_file(crate_name, file_name) {
+        return;
+    }
+    const PAR_SOURCES: [&str; 4] = ["par_iter", "into_par_iter", "par_chunks", "par_bridge"];
+    const REDUCERS: [&str; 2] = [".sum()", ".reduce("];
+    for (idx, line) in s.code.iter().enumerate() {
+        if contains_word(line, "mul_add") {
+            findings.push(Finding {
+                rule: RuleId::D004,
+                file: file.to_string(),
+                line: idx + 1,
+                message: "`mul_add` (FMA) changes rounding vs mul-then-add; not allowed on default kernel paths"
+                    .to_string(),
+                waiver: None,
+            });
+        }
+        if PAR_SOURCES.iter().any(|p| line.contains(p)) {
+            // Unordered reduction: a `.sum()`/`.reduce(` on the parallel
+            // chain, scanned on this line and the next two (forward only —
+            // a sequential `.sum()` above the par line is fine).
+            let window_end = (idx + 2).min(s.code.len() - 1);
+            if s.code[idx..=window_end]
+                .iter()
+                .any(|l| REDUCERS.iter().any(|r| l.contains(r)))
+            {
+                findings.push(Finding {
+                    rule: RuleId::D004,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: "parallel iterator followed by `.sum()`/`.reduce(` — reduction order is schedule-dependent; reduce into indexed slots instead"
+                        .to_string(),
+                    waiver: None,
+                });
+            }
+        }
+    }
+}
+
+/// D005: `unsafe` blocks must be preceded by a `SAFETY:` comment.
+fn rule_d005(file: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    for (idx, line) in s.code.iter().enumerate() {
+        if !contains_word(line, "unsafe") {
+            continue;
+        }
+        if has_marker(s, idx, "SAFETY:") {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RuleId::D005,
+            file: file.to_string(),
+            line: idx + 1,
+            message: "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+            waiver: None,
+        });
+    }
+}
+
+/// D006: every `pub fn *_into` kernel needs an allocating counterpart.
+fn rule_d006(crate_name: &str, file_name: &str, file: &str, s: &Stripped, findings: &mut Vec<Finding>) {
+    if !is_kernel_file(crate_name, file_name) {
+        return;
+    }
+    // All fn names in the file (any visibility — the counterpart may be
+    // private or pub).
+    let mut fn_names: BTreeSet<String> = BTreeSet::new();
+    let mut into_fns: Vec<(usize, String)> = Vec::new();
+    for (idx, line) in s.code.iter().enumerate() {
+        let Some(p) = find_word(line, "fn") else { continue };
+        let rest = line[p + 2..].trim_start();
+        let end = rest
+            .find(|c: char| !is_ident_char(c))
+            .unwrap_or(rest.len());
+        let name = &rest[..end];
+        if name.is_empty() {
+            continue;
+        }
+        fn_names.insert(name.to_string());
+        if name.ends_with("_into") && line.trim_start().starts_with("pub") {
+            into_fns.push((idx, name.to_string()));
+        }
+    }
+    for (idx, name) in into_fns {
+        let base = &name[..name.len() - "_into".len()];
+        if !fn_names.contains(base) {
+            findings.push(Finding {
+                rule: RuleId::D006,
+                file: file.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "`pub fn {name}` has no allocating counterpart `fn {base}` in this file"
+                ),
+                waiver: None,
+            });
+        }
+    }
+}
+
+/// Lints one file's source text.
+///
+/// * `crate_name` — the workspace crate the file belongs to (`"core"`,
+///   `"tensor"`, ...), which scopes D001/D002/D004/D006;
+/// * `file_name` — the bare file name (`"aggregation.rs"`), which scopes the
+///   kernel-file rules;
+/// * `display_path` — the path reported in findings.
+pub fn lint_source(
+    crate_name: &str,
+    file_name: &str,
+    display_path: &str,
+    source: &str,
+) -> Vec<Finding> {
+    let s = strip(source);
+    let mut findings = Vec::new();
+    rule_d001(crate_name, display_path, &s, &mut findings);
+    rule_d002(crate_name, display_path, &s, &mut findings);
+    rule_d003(display_path, &s, &mut findings);
+    rule_d004(crate_name, file_name, display_path, &s, &mut findings);
+    rule_d005(display_path, &s, &mut findings);
+    rule_d006(crate_name, file_name, display_path, &s, &mut findings);
+    for f in &mut findings {
+        match waiver_for(&s, f.line - 1, f.rule.code()) {
+            WaiverStatus::Waived(reason) => f.waiver = Some(reason),
+            WaiverStatus::MissingReason => {
+                f.message.push_str(" [waiver present but missing a reason]");
+            }
+            WaiverStatus::None => {}
+        }
+    }
+    findings.sort_by_key(|a| (a.line, a.rule));
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks `<root>/crates/*/src` and lints every `.rs` file, in sorted order
+/// (the linter's own output is deterministic, naturally).
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut report = Report::default();
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let source = fs::read_to_string(&path)?;
+            let file_name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let display = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            report
+                .findings
+                .extend(lint_source(&crate_name, &file_name, &display, &source));
+            report.files_scanned += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(crate_name: &str, file_name: &str, src: &str) -> Vec<Finding> {
+        lint_source(crate_name, file_name, file_name, src)
+    }
+
+    #[test]
+    fn d001_fires_on_hashmap_iter_in_core() {
+        let src = "let mut m: HashMap<usize, f32> = HashMap::new();\nfor (k, v) in m.iter() { total += v; }\n";
+        let f = lint("core", "x.rs", src);
+        assert!(f.iter().any(|f| f.rule == RuleId::D001), "{f:?}");
+    }
+
+    #[test]
+    fn d001_fires_on_for_in_over_a_set_field() {
+        let src = "pub struct S { seen: HashSet<usize> }\nimpl S { fn f(&self) { for x in &self.seen { use_it(x); } } }\n";
+        let f = lint("flsim", "x.rs", src);
+        assert!(f.iter().any(|f| f.rule == RuleId::D001), "{f:?}");
+    }
+
+    #[test]
+    fn d001_silent_outside_restricted_crates_and_without_iteration() {
+        // Same source in a non-restricted crate: fine.
+        let src = "let mut m: HashMap<usize, f32> = HashMap::new();\nfor (k, v) in m.iter() {}\n";
+        assert!(lint("bench", "x.rs", src).is_empty());
+        // Insert/lookup without iteration: fine even in core.
+        let src = "let mut m: HashMap<usize, f32> = HashMap::new();\nm.insert(1, 2.0); let v = m.get(&1);\n";
+        assert!(lint("core", "x.rs", src).is_empty());
+        // Building an unordered map FROM a vec iteration: the iterated
+        // collection is ordered, fine.
+        let src = "let m: HashMap<usize, f32> = pairs.iter().copied().collect();\nm.len();\n";
+        assert!(lint("core", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_fires_everywhere_but_bench() {
+        let src = "let t0 = Instant::now();\n";
+        assert!(lint("core", "x.rs", src).iter().any(|f| f.rule == RuleId::D002));
+        assert!(lint("bench", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d003_requires_the_audit_marker() {
+        let bad = "let child = rng.fork(7);\n";
+        assert!(lint("core", "x.rs", bad).iter().any(|f| f.rule == RuleId::D003));
+        let good = "// fork: construction-seed\nlet child = rng.fork(7);\n";
+        assert!(lint("core", "x.rs", good).is_empty());
+        let inline = "let child = rng.fork(7); // fork: construction-seed\n";
+        assert!(lint("core", "x.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn d004_scopes_to_kernel_files() {
+        let fma = "let y = a.mul_add(b, c);\n";
+        assert!(lint("tensor", "ops.rs", fma).iter().any(|f| f.rule == RuleId::D004));
+        assert!(lint("core", "aggregation.rs", fma).iter().any(|f| f.rule == RuleId::D004));
+        assert!(lint("core", "selection.rs", fma).is_empty());
+        let par_sum = "let s: f32 = xs.par_iter()\n    .map(|x| x * x)\n    .sum();\n";
+        assert!(lint("core", "robust.rs", par_sum).iter().any(|f| f.rule == RuleId::D004));
+        // Sequential sum before the parallel line is fine (window is
+        // forward-only).
+        let seq_then_par = "let s: f32 = xs.iter().sum();\nys.par_iter_mut().for_each(|y| *y += s);\nlet t = 1;\nlet u = 2;\n";
+        assert!(lint("core", "buffered.rs", seq_then_par).is_empty());
+    }
+
+    #[test]
+    fn d005_requires_safety_comment() {
+        let bad = "let p = unsafe { *ptr };\n";
+        assert!(lint("core", "x.rs", bad).iter().any(|f| f.rule == RuleId::D005));
+        let good = "// SAFETY: ptr is valid for reads, checked above.\nlet p = unsafe { *ptr };\n";
+        assert!(lint("core", "x.rs", good).is_empty());
+        // `#![forbid(unsafe_code)]` is not an unsafe block.
+        assert!(lint("core", "x.rs", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn d006_requires_allocating_counterpart_in_kernel_files() {
+        let bad = "pub fn scale_into(dst: &mut [f32], src: &[f32], k: f32) {}\n";
+        assert!(lint("tensor", "ops.rs", bad).iter().any(|f| f.rule == RuleId::D006));
+        let good = "pub fn scale_into(dst: &mut [f32], src: &[f32], k: f32) {}\npub fn scale(src: &[f32], k: f32) -> Vec<f32> { vec![] }\n";
+        assert!(lint("tensor", "ops.rs", good).is_empty());
+        // Private `*_into` helpers are exempt.
+        let private = "fn helper_into(dst: &mut [f32]) {}\n";
+        assert!(lint("tensor", "ops.rs", private).is_empty());
+        // Non-kernel files are exempt.
+        assert!(lint("core", "selection.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn waivers_silence_with_reason_and_not_without() {
+        let with_reason =
+            "// lint: allow(D002) — bench-only diagnostic behind a feature gate\nlet t0 = Instant::now();\n";
+        let f = lint("core", "x.rs", with_reason);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waiver.is_some());
+        let without_reason = "// lint: allow(D002)\nlet t0 = Instant::now();\n";
+        let f = lint("core", "x.rs", without_reason);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waiver.is_none(), "{f:?}");
+        assert!(f[0].message.contains("missing a reason"));
+        // A waiver for a different rule does not apply.
+        let wrong_rule = "// lint: allow(D001) — unrelated\nlet t0 = Instant::now();\n";
+        let f = lint("core", "x.rs", wrong_rule);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waiver.is_none());
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_do_not_fire() {
+        let src = concat!(
+            "// this mentions Instant::now and thread_rng in prose\n",
+            "let doc = \"HashMap.iter() thread_rng() mul_add unsafe\";\n",
+            "let raw = r#\"Instant::now() SystemTime\"#;\n",
+            "/* block comment: rand::random() .fork( */\n",
+        );
+        assert!(lint("core", "aggregation.rs", src).is_empty());
+    }
+
+    #[test]
+    fn binding_extraction_handles_paths_refs_and_fields() {
+        let code: Vec<String> = [
+            "let a: std::collections::HashMap<u32, u32> = Default::default();",
+            "pub residuals: HashMap<usize, Vec<f32>>,",
+            "fn f(controls: &HashMap<usize, Vec<f32>>) {}",
+            "let b = HashSet::new();",
+            "use std::collections::HashMap;",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let names = collect_unordered_bindings(&code);
+        for expect in ["a", "residuals", "controls", "b"] {
+            assert!(names.contains(expect), "{names:?}");
+        }
+        assert!(!names.contains("collections"));
+    }
+}

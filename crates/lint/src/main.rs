@@ -1,0 +1,100 @@
+//! Command-line front end for the determinism linter.
+//!
+//! ```text
+//! fedcross-lint [--deny-all] [--root PATH] [--quiet]
+//! ```
+//!
+//! Walks `<root>/crates/*/src`, prints every finding (waived ones are
+//! labelled, not hidden) and a summary. Exit status is 0 unless
+//! `--deny-all` is given and un-waived violations remain — that is the CI
+//! gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fedcross_lint::{lint_tree, RuleId};
+
+fn usage() -> ! {
+    eprintln!("usage: fedcross-lint [--deny-all] [--root PATH] [--quiet]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut quiet = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => usage(),
+            },
+            "--help" | "-h" => {
+                println!("fedcross-lint: static determinism-invariant checker (D001-D006)");
+                println!();
+                println!("usage: fedcross-lint [--deny-all] [--root PATH] [--quiet]");
+                println!();
+                for rule in RuleId::ALL {
+                    println!("  {}  {}", rule.code(), rule.summary());
+                }
+                println!();
+                println!("Waiver syntax: // lint: allow(D00x) — reason");
+                println!("See docs/LINTS.md for the full catalogue.");
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+    }
+
+    // Resolve a usable root: accept either the workspace root or a CWD
+    // somewhere inside it (walk up until a `crates/` directory appears).
+    let mut probe = root.clone();
+    let root = loop {
+        if probe.join("crates").is_dir() {
+            break probe;
+        }
+        match probe.parent() {
+            Some(p) => probe = p.to_path_buf(),
+            None => {
+                eprintln!(
+                    "fedcross-lint: no crates/ directory at or above {}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = match lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fedcross-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let violations = report.violations();
+    let waived = report.waived();
+    if !quiet {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "fedcross-lint: {} files scanned, {} violation(s), {} waived",
+            report.files_scanned,
+            violations.len(),
+            waived.len()
+        );
+    }
+    if deny_all && !violations.is_empty() {
+        eprintln!(
+            "fedcross-lint: --deny-all: {} un-waived violation(s)",
+            violations.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

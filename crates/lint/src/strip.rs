@@ -1,0 +1,331 @@
+//! A small brace/string-aware tokenizer that splits Rust source into
+//! per-line *code* and *comment* channels.
+//!
+//! The rule engine only ever pattern-matches against the code channel, so
+//! text inside string literals, char literals, raw strings and comments can
+//! never trip a rule; waiver annotations and audit markers are looked up in
+//! the comment channel. This is deliberately not a full parser — no `syn`,
+//! no external dependencies — just enough lexical state to know, for every
+//! byte, whether it is code, literal content or comment.
+
+/// The per-line code/comment split of one source file.
+#[derive(Debug, Default)]
+pub struct Stripped {
+    /// Line-by-line source with comments removed and the *contents* of
+    /// string/char literals blanked out (the delimiting quotes survive, so
+    /// the code stays brace-balanced for downstream scanning).
+    pub code: Vec<String>,
+    /// Line-by-line comment text (line comments, doc comments and the parts
+    /// of block comments that fall on each line), without the `//` / `/*`
+    /// markers removed — the raw comment bytes.
+    pub comments: Vec<String>,
+}
+
+impl Stripped {
+    /// Number of lines in the file.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"` or `b"…"`.
+    Str,
+    /// Inside `r"…"`, `r#"…"#`, `br##"…"##`, …; payload is the `#` count.
+    RawStr(u32),
+    /// Inside `'…'` or `b'…'`.
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `source` into per-line code and comment channels.
+pub fn strip(source: &str) -> Stripped {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Stripped::default();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    // The last code character emitted, used to tell `r"..."` raw strings from
+    // identifiers that merely end in `r` (e.g. `for r in ...`).
+    let mut prev_code: char = '\n';
+
+    let mut i = 0usize;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            // A newline terminates line comments; every other state carries
+            // over (block comments, raw strings and plain strings may span
+            // lines — the latter via a trailing backslash).
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            out.code.push(std::mem::take(&mut code));
+            out.comments.push(std::mem::take(&mut comment));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push('"');
+                    prev_code = '"';
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident(prev_code) {
+                    // Possible raw-string / byte-string prefix: r" r#" b" br#"
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = (c == 'r' || (c == 'b' && j > i + 1)) || hashes > 0;
+                    if chars.get(j) == Some(&'"') && (is_raw || c == 'b') {
+                        // Emit the prefix and opening quote as code, then
+                        // blank the contents. A bare `b"` is an ordinary
+                        // (escaped) byte string, not a raw one.
+                        for &p in &chars[i..=j] {
+                            code.push(p);
+                        }
+                        let raw = chars[i..j].contains(&'r') || hashes > 0;
+                        state = if raw { State::RawStr(hashes) } else { State::Str };
+                        prev_code = '"';
+                        i = j + 1;
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        // b'…' byte char literal.
+                        code.push('b');
+                        code.push('\'');
+                        state = State::CharLit;
+                        prev_code = '\'';
+                        i += 2;
+                    } else {
+                        code.push(c);
+                        prev_code = c;
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Tell a char literal from a lifetime: `'a` followed by a
+                    // second `'` one or two chars later is a literal (`'a'`,
+                    // `'\n'`); `'a` followed by an identifier tail is a
+                    // lifetime and stays in code.
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let is_literal = match n1 {
+                        Some('\\') => true,
+                        Some(x) if x != '\'' => n2 == Some('\''),
+                        _ => false,
+                    };
+                    code.push('\'');
+                    prev_code = '\'';
+                    if is_literal {
+                        state = State::CharLit;
+                    }
+                    i += 1;
+                } else {
+                    code.push(c);
+                    prev_code = c;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    comment.push_str("*/");
+                    state = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped character (covers \" and \\).
+                    code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    prev_code = '"';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        prev_code = '"';
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    code.push('\'');
+                    prev_code = '\'';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.code.push(code);
+        out.comments.push(comment);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_go_to_the_comment_channel() {
+        let s = strip("let x = 1; // trailing note\n// full line\nlet y = 2;\n");
+        assert_eq!(s.code[0], "let x = 1; ");
+        assert!(s.comments[0].contains("trailing note"));
+        assert_eq!(s.code[1], "");
+        assert!(s.comments[1].contains("full line"));
+        assert_eq!(s.code[2], "let y = 2;");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_survive() {
+        let s = strip("let s = \"HashMap.iter() // not a comment\";\n");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(!s.code[0].contains("//"));
+        assert!(s.comments[0].is_empty());
+        assert_eq!(s.code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_the_string() {
+        let s = strip("let s = \"a\\\"b\"; let t = 1;\n");
+        assert!(s.code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let s = strip("let s = r#\"thread_rng() \"quoted\" more\"#; let u = 2;\n");
+        assert!(!s.code[0].contains("thread_rng"));
+        assert!(s.code[0].contains("let u = 2;"));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_are_blanked() {
+        let s = strip("let a = b\"Instant::now\"; let b2 = br#\"SystemTime\"#;\n");
+        assert!(!s.code[0].contains("Instant"));
+        assert!(!s.code[0].contains("SystemTime"));
+        assert!(s.code[0].contains("let b2 ="));
+    }
+
+    #[test]
+    fn nested_block_comments_resolve() {
+        let s = strip("/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(s.code[0].contains("let x = 1;"));
+        assert!(!s.code[0].contains("outer"));
+        assert!(s.comments[0].contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let s = strip("let a = 1; /* begin\nmul_add inside\nend */ let b = 2;\n");
+        assert!(s.code[0].contains("let a = 1;"));
+        assert_eq!(s.code[1].trim(), "");
+        assert!(s.comments[1].contains("mul_add"));
+        assert!(s.code[2].contains("let b = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = strip("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x'; let d = '\\n';\n");
+        assert!(s.code[0].contains("fn f<'a>(x: &'a str) -> &'a str { x }"));
+        // Char literal contents are blanked.
+        assert!(!s.code[1].contains('x'));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        let s = strip("for r in 0..3 { let var = r\"raw\"; }\n");
+        assert!(s.code[0].contains("for r in 0..3"));
+        assert!(!s.code[0].contains("raw"));
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        let s = strip("let q = '\"'; let z = 9;\n");
+        assert!(s.code[0].contains("let z = 9;"));
+    }
+}

@@ -1,0 +1,57 @@
+// Fixture: tokenizer stress test. Every forbidden pattern below appears only
+// inside string literals, char literals, raw strings or comments — a correct
+// tokenizer produces ZERO findings from this file even when linted as crate
+// "core" with file name "aggregation.rs" (the strictest scope).
+
+/* Block comment mentioning Instant::now() and thread_rng() — not code.
+   /* Nested block comment with mul_add and .fork( — Rust nests these. */
+   Still inside the outer comment: unsafe { *ptr } */
+
+pub fn tricky() -> String {
+    // String literals containing pattern text must be blanked.
+    let a = "HashMap.iter() over the wire";
+    let b = "Instant::now() is mentioned in this log message";
+    let c = "calling rng.fork(7) without a marker — in prose only";
+    let d = "unsafe { transmute } as documentation text";
+    let e = "x.mul_add(y, z) in a help string";
+
+    // Escaped quotes must not terminate the literal early.
+    let f = "she said \"use SystemTime\" and left";
+
+    // Raw strings, with and without hashes.
+    let g = r"rand::random() in a raw string";
+    let h = r#"par_iter().sum() with "inner quotes" kept"#;
+    let i = r##"thread_rng() behind two hashes "#" tricky"##;
+
+    // Byte strings and byte chars.
+    let j = b"SystemTime::now in bytes";
+    let k = br#"HashSet.values() raw bytes"#;
+    let l = b'x';
+
+    // Char literals vs lifetimes: the tokenizer must not treat `'a` as an
+    // unterminated char literal and swallow the rest of the line.
+    let m: &'static str = "static lifetime, not a char";
+    let quote = '"';
+    let newline = '\n';
+    let tick = '\'';
+
+    // An identifier ending in `r` followed by a string is NOT a raw string
+    // prefix.
+    let four = number("4");
+
+    format!("{a}{b}{c}{d}{e}{f}{g}{h}{i}{:?}{:?}{l}{m}{quote}{newline}{tick}{four}", j, k)
+}
+
+fn number(s: &str) -> usize {
+    s.len()
+}
+
+// A for loop whose iterable is an ordered Vec named suggestively — the
+// suspect tracker must not flag names it never saw bound to HashMap/HashSet.
+pub fn ordered(hash_like_names: Vec<usize>) -> usize {
+    let mut total = 0;
+    for v in &hash_like_names {
+        total += v;
+    }
+    total
+}

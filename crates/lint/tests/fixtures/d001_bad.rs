@@ -1,0 +1,37 @@
+// Fixture: D001 — unordered-map iteration in a determinism-critical crate.
+// Linted as crate "core". Not compiled; subdirectories of tests/ are not
+// cargo test targets.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    weights: HashMap<usize, f32>,
+    seen: HashSet<usize>,
+}
+
+impl Tracker {
+    pub fn total(&self) -> f32 {
+        let mut total = 0.0;
+        // BAD: HashMap iteration order is nondeterministic.
+        for (_, w) in self.weights.iter() {
+            total += w;
+        }
+        total
+    }
+
+    pub fn sum_values(&self) -> f32 {
+        // BAD: multi-line chained iteration, rustfmt style.
+        self.weights
+            .values()
+            .sum()
+    }
+
+    pub fn visit(&self) {
+        // BAD: consuming the set directly in a for loop.
+        for client in &self.seen {
+            touch(*client);
+        }
+    }
+}
+
+fn touch(_c: usize) {}

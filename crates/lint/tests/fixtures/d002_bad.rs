@@ -1,0 +1,25 @@
+// Fixture: D002 — wall clock and ambient RNG outside bench.
+// Linted as crate "flsim".
+
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    // BAD: wall-clock read in a trajectory-affecting crate.
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_nanos()
+}
+
+pub fn jitter() -> f64 {
+    // BAD: ambient RNG — irreproducible.
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>() + rand::random::<f64>()
+}
+
+pub fn stamp() -> u64 {
+    // BAD: SystemTime in checkpoint metadata would break bitwise resume.
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn work() {}

@@ -1,0 +1,17 @@
+// Fixture: D003 — SeededRng::fork call sites without the audit marker.
+// Linted as crate "core".
+
+use fedcross_tensor::SeededRng;
+
+pub fn round_rng(master: &SeededRng, round: u64, client: u64) -> SeededRng {
+    // BAD: neither call site below carries the construction-seed audit
+    // marker comment.
+    let round_rng = master.fork(round);
+    round_rng.fork(client + 1)
+}
+
+pub fn audited(master: &SeededRng, round: u64) -> SeededRng {
+    // fork: construction-seed — derived from the master's construction seed
+    // regardless of how much the master has been consumed.
+    master.fork(round)
+}

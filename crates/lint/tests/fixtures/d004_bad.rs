@@ -1,0 +1,21 @@
+// Fixture: D004 — FMA and unordered parallel reductions in a kernel file.
+// Linted as crate "core", file name "aggregation.rs".
+
+use rayon::prelude::*;
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        // BAD: mul_add rounds once where mul-then-add rounds twice; the
+        // default kernel path must match the scalar reference bitwise.
+        acc = x.mul_add(*y, acc);
+    }
+    acc
+}
+
+pub fn norm_sq(xs: &[f32]) -> f32 {
+    // BAD: par_iter().sum() reduces in schedule-dependent order.
+    xs.par_iter()
+        .map(|x| x * x)
+        .sum()
+}

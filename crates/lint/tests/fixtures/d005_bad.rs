@@ -1,0 +1,13 @@
+// Fixture: D005 — unsafe without a SAFETY comment.
+// Linted as crate "tensor".
+
+pub fn read_first(ptr: *const f32) -> f32 {
+    // BAD: no SAFETY comment above the unsafe block.
+    unsafe { *ptr }
+}
+
+pub fn read_second(ptr: *const f32) -> f32 {
+    // SAFETY: caller guarantees ptr points at least two floats into a live
+    // allocation.
+    unsafe { *ptr.add(1) }
+}

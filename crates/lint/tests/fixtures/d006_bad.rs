@@ -1,0 +1,29 @@
+// Fixture: D006 — pub *_into kernel without an allocating counterpart.
+// Linted as crate "tensor".
+
+pub fn axpy_into(dst: &mut [f32], a: f32, xs: &[f32]) {
+    // BAD: there is no `pub fn axpy(...) -> Vec<f32>` in this file.
+    for (d, x) in dst.iter_mut().zip(xs) {
+        *d += a * x;
+    }
+}
+
+pub fn scale_into(dst: &mut [f32], k: f32) {
+    for d in dst.iter_mut() {
+        *d *= k;
+    }
+}
+
+// GOOD: scale_into has its allocating counterpart.
+pub fn scale(xs: &[f32], k: f32) -> Vec<f32> {
+    let mut out = xs.to_vec();
+    scale_into(&mut out, k);
+    out
+}
+
+// GOOD: private helpers are exempt.
+fn accumulate_into(dst: &mut [f32], xs: &[f32]) {
+    for (d, x) in dst.iter_mut().zip(xs) {
+        *d += x;
+    }
+}

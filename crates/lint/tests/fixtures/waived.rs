@@ -1,0 +1,15 @@
+// Fixture: waiver syntax. Linted as crate "core".
+
+use std::time::Instant;
+
+pub fn gated_diagnostic() -> u128 {
+    // lint: allow(D002) — diagnostic timing behind a bench-only feature gate
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn bad_waiver() -> u128 {
+    // lint: allow(D002)
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

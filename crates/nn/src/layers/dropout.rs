@@ -25,7 +25,7 @@ impl Dropout {
         assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
         Self {
             p,
-            rng: rng.fork(0xD0),
+            rng: rng.fork(0xD0), // fork: construction-seed
             mask: None,
         }
     }

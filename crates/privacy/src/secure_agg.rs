@@ -35,7 +35,7 @@ impl PairwiseMasker {
     fn pair_mask(&self, i: usize, j: usize, dim: usize) -> Vec<f32> {
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
         let stream = (lo as u64) << 32 | hi as u64;
-        let mut rng = SeededRng::new(self.round_seed).fork(stream);
+        let mut rng = SeededRng::new(self.round_seed).fork(stream); // fork: construction-seed
         (0..dim)
             .map(|_| rng.normal_with(0.0, self.mask_scale))
             .collect()

@@ -246,6 +246,7 @@ mod tests {
     #[test]
     fn fork_is_deterministic_and_decorrelated() {
         let parent = SeededRng::new(42);
+        // fork: construction-seed — this test pins exactly that contract.
         let mut c1 = parent.fork(0);
         let mut c1_again = parent.fork(0);
         let c2 = parent.fork(1);
@@ -259,17 +260,17 @@ mod tests {
         // the construction seed only, so consuming the parent between forks
         // must not change the children — and equal stream ids always collide.
         let mut parent = SeededRng::new(123);
-        let mut before = parent.fork(5);
+        let mut before = parent.fork(5); // fork: construction-seed
         for _ in 0..100 {
             let _ = parent.uniform();
             let _ = parent.below(10);
         }
-        let mut after = parent.fork(5);
+        let mut after = parent.fork(5); // fork: construction-seed
         for _ in 0..32 {
             assert_eq!(before.uniform().to_bits(), after.uniform().to_bits());
         }
         // A reconstructed parent with the same seed forks identically too.
-        let rebuilt = SeededRng::new(123).fork(5);
+        let rebuilt = SeededRng::new(123).fork(5); // fork: construction-seed
         assert_eq!(rebuilt.seed(), after.seed());
     }
 

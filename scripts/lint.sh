@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run the determinism lint plane locally, exactly as CI's `lint` job does:
+#
+#   1. `fedcross-lint --deny-all` — the static invariant checker (rules
+#      D001-D006, see docs/LINTS.md): unordered-map iteration on trajectory
+#      paths, wall-clock/OS-entropy outside bench, unaudited SeededRng::fork
+#      call sites, FMA / unordered parallel float reductions in kernel
+#      files, uncommented `unsafe`, unpaired `*_into` kernels.
+#   2. The `lint_plane` integration suite — the runtime half: every
+#      registered algorithm's trajectory is bitwise identical at rayon
+#      threads 1/2/4 and under permuted upload arrival order, and its state
+#      round-trips through snapshot/restore bitwise.
+#
+# Pass --static-only to skip the (slower) runtime suite, e.g. as a pre-commit
+# hook. The full schedule sweep is also available as a standalone binary:
+#   cargo run --release -p fedcross-bench --bin determinism_check
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+static_only=0
+for arg in "$@"; do
+    case "$arg" in
+        --static-only) static_only=1 ;;
+        *) echo "usage: scripts/lint.sh [--static-only]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== fedcross-lint --deny-all =="
+cargo run -q -p fedcross-lint --bin fedcross-lint -- --deny-all
+
+if [[ "$static_only" -eq 0 ]]; then
+    echo
+    echo "== lint_plane integration suite =="
+    cargo test -q -p fedcross-tests --test lint_plane
+fi

@@ -14,8 +14,39 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads used by parallel operations.
+/// Process-wide thread-count override (0 = unset). Set by
+/// [`set_num_threads`]; checked before `RAYON_NUM_THREADS` and
+/// `available_parallelism`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for all subsequent parallel operations
+/// (real rayon configures this through `ThreadPoolBuilder`; the shim exposes
+/// a direct setter). Passing 0 clears the override.
+///
+/// The determinism sanitizer sweeps this across {1, 2, 4} to prove that
+/// trajectories do not depend on the schedule. Changing it mid-run is safe
+/// by construction: results land in index-addressed slots regardless of
+/// which worker computes them.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Number of worker threads used by parallel operations: the
+/// [`set_num_threads`] override if set, else `RAYON_NUM_THREADS` from the
+/// environment (matching real rayon's default pool), else the machine's
+/// available parallelism.
 pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -314,6 +345,19 @@ mod tests {
             assert_eq!(inner[0], i * 100);
             assert_eq!(inner[15], i * 100 + 15);
         }
+    }
+
+    #[test]
+    fn thread_override_is_respected_and_results_stay_ordered() {
+        for threads in [1, 2, 4] {
+            crate::set_num_threads(threads);
+            assert_eq!(crate::current_num_threads(), threads);
+            let v: Vec<usize> = (0..101).collect();
+            let out: Vec<usize> = v.into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(out, (1..102).collect::<Vec<_>>());
+        }
+        crate::set_num_threads(0);
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]
