@@ -42,6 +42,14 @@ impl FederatedDataset {
         &self.name
     }
 
+    /// Decomposes the dataset into `(name, clients, test)`, handing ownership
+    /// of the per-client shards to the caller. Used by the eager
+    /// [`crate::source::ClientDataSource`] adapter to wrap each shard in an
+    /// `Arc` without copying it.
+    pub fn into_parts(self) -> (String, Vec<Dataset>, Dataset) {
+        (self.name, self.clients, self.test)
+    }
+
     /// Number of clients.
     pub fn num_clients(&self) -> usize {
         self.clients.len()

@@ -43,9 +43,13 @@
 pub mod dataset;
 pub mod federated;
 pub mod partition;
+pub mod shard;
+pub mod source;
 pub mod stats;
 pub mod synth;
 
 pub use dataset::{Batch, Dataset};
 pub use federated::FederatedDataset;
 pub use partition::Heterogeneity;
+pub use shard::{ShardPlane, ShardPlaneConfig, ShardStats};
+pub use source::{ClientDataSource, EagerSource, SynthTaskSource};

@@ -179,6 +179,44 @@ impl SynthImages {
         )
     }
 
+    /// Generates `n` labelled samples whose classes are drawn from the given
+    /// per-class probability weights.
+    ///
+    /// This is the lazy-shard counterpart of the global-pool Dirichlet
+    /// partition: instead of splitting one pre-generated pool, each client
+    /// draws its labels from its own class distribution, so a shard can be
+    /// synthesised from the client id alone.
+    pub fn generate_weighted(
+        &self,
+        n: usize,
+        class_weights: &[f32],
+        rng: &mut SeededRng,
+    ) -> Dataset {
+        assert_eq!(
+            class_weights.len(),
+            self.config.num_classes,
+            "one weight per class required"
+        );
+        let [c, h, w] = self.sample_dims();
+        let sample_len = c * h * w;
+        let mut features = vec![0f32; n * sample_len];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = rng.weighted_index(class_weights);
+            labels.push(class);
+            let proto = &self.prototypes[class];
+            let dst = &mut features[i * sample_len..(i + 1) * sample_len];
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = proto.data()[j] + rng.normal_with(0.0, self.config.noise_std);
+            }
+        }
+        Dataset::new(
+            Tensor::from_vec(features, &[n, c, h, w]),
+            labels,
+            self.config.num_classes,
+        )
+    }
+
     /// A smooth pattern: coarse random grid, bilinearly upsampled, roughly
     /// unit variance.
     fn smooth_pattern(channels: usize, size: usize, grid: usize, rng: &mut SeededRng) -> Tensor {

@@ -19,11 +19,89 @@ use crate::eval::EvalWorker;
 use crate::faults::{FaultPlan, FaultTally, RoundPolicy};
 use crate::history::{RoundRecord, TrainingHistory};
 use crate::worker::ClientWorkerPool;
-use fedcross_data::FederatedDataset;
+use fedcross_data::{Dataset, FederatedDataset, ShardPlane};
 use fedcross_nn::params::ParamBlock;
 use fedcross_nn::Model;
 use fedcross_tensor::SeededRng;
 use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Population size above which [`RoundContext::select_clients`] switches from
+/// the dense O(n) sampler to the sparse O(k) Floyd sampler. Every historical
+/// fingerprinted config sits far below this threshold, so their selection
+/// draws stay bitwise identical; million-client federations sit far above it
+/// and never allocate population-sized scratch.
+pub const SPARSE_SELECTION_THRESHOLD: usize = 4096;
+
+/// The client-data backend a simulation round reads shards from: either the
+/// historical fully materialised [`FederatedDataset`] or a bounded
+/// [`ShardPlane`] that synthesises shards on demand (see
+/// `fedcross_data::source`). All shard bits are identical between the two for
+/// equivalent federations — the plane only changes *when* a shard exists in
+/// memory, never what it contains.
+#[derive(Clone, Copy)]
+pub enum DataPlane<'a> {
+    /// Every client shard resident for the whole run.
+    Eager(&'a FederatedDataset),
+    /// Bounded LRU cache + prefetch over a lazy client data source.
+    Sharded(&'a ShardPlane),
+}
+
+impl<'a> DataPlane<'a> {
+    /// Total number of clients in the federation.
+    pub fn num_clients(&self) -> usize {
+        match self {
+            DataPlane::Eager(data) => data.num_clients(),
+            DataPlane::Sharded(plane) => plane.num_clients(),
+        }
+    }
+
+    /// Number of classes in the task.
+    pub fn num_classes(&self) -> usize {
+        match self {
+            DataPlane::Eager(data) => data.num_classes(),
+            DataPlane::Sharded(plane) => plane.num_classes(),
+        }
+    }
+
+    /// The held-out global test set (always resident on both backends).
+    pub fn test_set(&self) -> &'a Dataset {
+        match self {
+            DataPlane::Eager(data) => data.test_set(),
+            DataPlane::Sharded(plane) => plane.test_set(),
+        }
+    }
+
+    /// Client `client`'s training shard. Borrowed on the eager backend;
+    /// cache-served (materialising on a miss) on the sharded backend.
+    pub fn shard(&self, client: usize) -> ShardRef<'a> {
+        match self {
+            DataPlane::Eager(data) => ShardRef::Borrowed(data.client(client)),
+            DataPlane::Sharded(plane) => ShardRef::Cached(plane.shard(client)),
+        }
+    }
+}
+
+/// A round's handle on one client shard: a plain borrow from the eager
+/// dataset, or shared ownership of a cache entry (which keeps the shard alive
+/// for the duration of the training job even if the cache evicts it).
+pub enum ShardRef<'a> {
+    /// Borrowed from a resident [`FederatedDataset`].
+    Borrowed(&'a Dataset),
+    /// Checked out of a [`ShardPlane`] cache.
+    Cached(Arc<Dataset>),
+}
+
+impl std::ops::Deref for ShardRef<'_> {
+    type Target = Dataset;
+
+    fn deref(&self) -> &Dataset {
+        match self {
+            ShardRef::Borrowed(data) => data,
+            ShardRef::Cached(data) => data,
+        }
+    }
+}
 
 /// One client-training job: dispatch `params` to `client`, optionally with a
 /// per-parameter gradient correction applied during its local SGD.
@@ -115,7 +193,7 @@ impl WorkerPlane<'_> {
 
 /// Everything an algorithm can touch during one communication round.
 pub struct RoundContext<'a> {
-    data: &'a FederatedDataset,
+    data: DataPlane<'a>,
     template: &'a dyn Model,
     local: LocalTrainConfig,
     clients_per_round: usize,
@@ -170,8 +248,9 @@ pub struct UploadOutcome {
 }
 
 impl<'a> RoundContext<'a> {
-    /// Creates a round context. Normally done by [`Simulation`]; exposed so
-    /// tests and custom harnesses can drive algorithms round by round.
+    /// Creates a round context over a fully materialised dataset. Normally
+    /// done by [`Simulation`]; exposed so tests and custom harnesses can
+    /// drive algorithms round by round.
     pub fn new(
         data: &'a FederatedDataset,
         template: &'a dyn Model,
@@ -180,7 +259,50 @@ impl<'a> RoundContext<'a> {
         rng: SeededRng,
         comm: &'a mut CommTracker,
     ) -> Self {
+        Self::over_plane(
+            DataPlane::Eager(data),
+            template,
+            local,
+            clients_per_round,
+            rng,
+            comm,
+        )
+    }
+
+    /// Creates a round context over a sharded [`ShardPlane`] backend — the
+    /// million-client form of [`RoundContext::new`].
+    pub fn new_sharded(
+        plane: &'a ShardPlane,
+        template: &'a dyn Model,
+        local: LocalTrainConfig,
+        clients_per_round: usize,
+        rng: SeededRng,
+        comm: &'a mut CommTracker,
+    ) -> Self {
+        Self::over_plane(
+            DataPlane::Sharded(plane),
+            template,
+            local,
+            clients_per_round,
+            rng,
+            comm,
+        )
+    }
+
+    fn over_plane(
+        data: DataPlane<'a>,
+        template: &'a dyn Model,
+        local: LocalTrainConfig,
+        clients_per_round: usize,
+        rng: SeededRng,
+        comm: &'a mut CommTracker,
+    ) -> Self {
         assert!(clients_per_round >= 1, "need at least one client per round");
+        assert!(
+            clients_per_round <= data.num_clients(),
+            "clients_per_round ({clients_per_round}) exceeds the federation's {} clients",
+            data.num_clients()
+        );
         Self {
             data,
             template,
@@ -306,13 +428,32 @@ impl<'a> RoundContext<'a> {
     }
 
     /// Number of clients that participate per round (the paper's `K`).
+    /// Validated against the population size at construction, so no silent
+    /// per-call clamping happens here.
     pub fn clients_per_round(&self) -> usize {
-        self.clients_per_round.min(self.num_clients())
+        self.clients_per_round
     }
 
     /// The federated dataset (client training shards + global test set).
+    ///
+    /// # Panics
+    /// Panics on a sharded context: whole-federation slice access is exactly
+    /// what the sharded plane exists to avoid. Algorithms reach shards
+    /// through [`RoundContext::local_train_jobs`] and friends, which work on
+    /// both backends.
     pub fn data(&self) -> &FederatedDataset {
-        self.data
+        match self.data {
+            DataPlane::Eager(data) => data,
+            DataPlane::Sharded(_) => panic!(
+                "RoundContext::data() is unavailable on a sharded data plane; \
+                 access shards through the training dispatch instead"
+            ),
+        }
+    }
+
+    /// Number of classes in the federation's task.
+    pub fn num_classes(&self) -> usize {
+        self.data.num_classes()
     }
 
     /// The architecture template used to instantiate client models.
@@ -332,9 +473,19 @@ impl<'a> RoundContext<'a> {
 
     /// Samples `clients_per_round` distinct clients uniformly at random
     /// (Algorithm 1, line 4).
+    ///
+    /// Populations up to [`SPARSE_SELECTION_THRESHOLD`] use the historical
+    /// dense Fisher–Yates prefix sampler (bitwise-preserving every existing
+    /// fingerprinted trajectory); larger populations switch to Floyd's O(k)
+    /// sampler so selection never allocates population-sized scratch.
     pub fn select_clients(&mut self) -> Vec<usize> {
+        let n = self.num_clients();
         let k = self.clients_per_round();
-        self.rng.sample_without_replacement(self.num_clients(), k)
+        if n > SPARSE_SELECTION_THRESHOLD {
+            self.rng.sample_without_replacement_sparse(n, k)
+        } else {
+            self.rng.sample_without_replacement(n, k)
+        }
     }
 
     /// Samples clients with probability proportional to `weights` (without
@@ -457,13 +608,26 @@ impl<'a> RoundContext<'a> {
             None => Vec::new(),
         };
 
-        let data = self.data;
+        // Check every job's shard out of the data plane before the parallel
+        // section: on the eager backend these are plain borrows; on the
+        // sharded backend this is where cache hits/misses happen (serially,
+        // in job order — materialisation stays deterministic and the
+        // parallel workers below never touch the cache).
+        let shards: Vec<ShardRef<'_>> = prepared
+            .iter()
+            .map(|(job, _)| self.data.shard(job.client))
+            .collect();
+
         let template = self.template;
         let workers = self.plane.pool().ensure(prepared.len(), template);
-        let work: Vec<_> = prepared.into_iter().zip(workers.iter_mut()).collect();
+        let work: Vec<_> = prepared
+            .into_iter()
+            .zip(shards)
+            .zip(workers.iter_mut())
+            .collect();
         let updates = work
             .into_par_iter()
-            .map(|((job, mut rng), worker)| {
+            .map(|(((job, mut rng), shard), worker)| {
                 let attacker =
                     adversary.filter(|_| compromised.get(job.client).copied().unwrap_or(false));
                 // Data poisoning happens before training (the client trains
@@ -474,7 +638,7 @@ impl<'a> RoundContext<'a> {
                 // change it.
                 let mut update = match attacker {
                     Some(adv) if adv.attack == Attack::LabelFlip => {
-                        let poisoned = adv.flip_labels(data.client(job.client));
+                        let poisoned = adv.flip_labels(&shard);
                         worker.train(
                             job.client,
                             &job.params,
@@ -487,7 +651,7 @@ impl<'a> RoundContext<'a> {
                     _ => worker.train(
                         job.client,
                         &job.params,
-                        data.client(job.client),
+                        &shard,
                         &local,
                         &mut rng,
                         job.correction.as_ref(),
@@ -911,10 +1075,11 @@ impl SimulationResult {
     }
 }
 
-/// Drives a [`FederatedAlgorithm`] against a [`FederatedDataset`].
+/// Drives a [`FederatedAlgorithm`] against a [`DataPlane`] — either a fully
+/// materialised [`FederatedDataset`] or a sharded [`ShardPlane`].
 pub struct Simulation<'a> {
     config: SimulationConfig,
-    data: &'a FederatedDataset,
+    data: DataPlane<'a>,
     template: Box<dyn Model>,
     availability: AvailabilityModel,
     adversary: Option<AdversaryModel>,
@@ -925,11 +1090,40 @@ pub struct Simulation<'a> {
 }
 
 impl<'a> Simulation<'a> {
-    /// Creates a simulation. `template` defines the architecture every client
-    /// and the server-side evaluation use.
+    /// Creates a simulation over a fully materialised dataset. `template`
+    /// defines the architecture every client and the server-side evaluation
+    /// use.
     pub fn new(config: SimulationConfig, data: &'a FederatedDataset, template: Box<dyn Model>) -> Self {
+        Self::over_plane(config, DataPlane::Eager(data), template)
+    }
+
+    /// Creates a simulation over a sharded data plane: client shards are
+    /// materialised lazily through `plane`'s bounded cache, and each round's
+    /// predicted cohort is prefetched in the background while the previous
+    /// round trains. The trajectory is bitwise identical to
+    /// [`Simulation::new`] over the equivalently materialised federation
+    /// (pinned by `tests/tests/scale_plane.rs`).
+    pub fn new_sharded(
+        config: SimulationConfig,
+        plane: &'a ShardPlane,
+        template: Box<dyn Model>,
+    ) -> Self {
+        Self::over_plane(config, DataPlane::Sharded(plane), template)
+    }
+
+    fn over_plane(config: SimulationConfig, data: DataPlane<'a>, template: Box<dyn Model>) -> Self {
         assert!(config.rounds > 0, "at least one round is required");
         assert!(config.eval_every > 0, "eval_every must be positive");
+        assert!(
+            config.clients_per_round >= 1,
+            "need at least one client per round"
+        );
+        assert!(
+            config.clients_per_round <= data.num_clients(),
+            "clients_per_round ({}) exceeds the federation's {} clients",
+            config.clients_per_round,
+            data.num_clients()
+        );
         Self {
             config,
             data,
@@ -1114,6 +1308,9 @@ impl<'a> Simulation<'a> {
             self.config.rounds
         );
         let master = SeededRng::new(self.config.seed);
+        // Warm the first round's cohort before entering the loop; every later
+        // round's cohort is hinted while its predecessor trains.
+        self.prefetch_cohort(start_round, end_round, &master);
 
         // The persistent round plane: one pool of warm client workers shared
         // by every round, one cached evaluation model, and one reusable
@@ -1130,8 +1327,11 @@ impl<'a> Simulation<'a> {
         let mut faults_total = FaultTally::default();
 
         for round in start_round..end_round {
+            // Hint next round's predicted cohort so the prefetch worker
+            // materialises those shards while this round trains.
+            self.prefetch_cohort(round + 1, end_round, &master);
             let report = {
-                let mut ctx = RoundContext::new(
+                let mut ctx = RoundContext::over_plane(
                     self.data,
                     self.template.as_ref(),
                     self.config.local,
@@ -1181,6 +1381,32 @@ impl<'a> Simulation<'a> {
             rounds_completed: end_round,
             faults: faults_total,
         }
+    }
+
+    /// Predicts and warms round `round`'s uniform selection cohort on the
+    /// sharded backend. The prediction replays exactly the first draw the
+    /// round's context will make (`master.fork(round)` followed by the
+    /// k-sample), so for uniformly selecting algorithms every hint becomes a
+    /// cache hit. Algorithms that select differently (weighted sampling, or
+    /// consuming the round RNG first) just turn the hint into a harmless
+    /// extra materialisation — prefetching can never change shard contents,
+    /// only when they are synthesised.
+    fn prefetch_cohort(&self, round: usize, end_round: usize, master: &SeededRng) {
+        let DataPlane::Sharded(plane) = self.data else {
+            return;
+        };
+        if round >= end_round {
+            return;
+        }
+        let mut rng = master.fork(round as u64); // fork: construction-seed
+        let n = plane.num_clients();
+        let k = self.config.clients_per_round;
+        let cohort = if n > SPARSE_SELECTION_THRESHOLD {
+            rng.sample_without_replacement_sparse(n, k)
+        } else {
+            rng.sample_without_replacement(n, k)
+        };
+        plane.prefetch(&cohort);
     }
 
     /// Fingerprint of everything that shapes this simulation's trajectory:
@@ -1297,11 +1523,29 @@ impl<'a> Simulation<'a> {
             }
         }
         mix(self.template.param_count() as u64);
-        mix(self.data.num_clients() as u64);
-        mix(self.data.num_classes() as u64);
-        mix(self.data.test_set().len() as u64);
-        for size in self.data.client_sizes() {
-            mix(size as u64);
+        // Data-plane kind + population shape (tags 17/18, after the service
+        // plane's 10–16): a checkpoint must not resume under a different
+        // backend or population shape. The eager backend hashes per-client
+        // shard sizes (O(n), populations are small by definition); the
+        // sharded backend hashes the source's own fingerprint tokens, which
+        // cover population size, per-client sample count and every knob that
+        // shapes shard contents in O(1).
+        match self.data {
+            DataPlane::Eager(data) => {
+                mix(17);
+                mix(data.num_clients() as u64);
+                mix(data.num_classes() as u64);
+                mix(data.test_set().len() as u64);
+                for size in data.client_sizes() {
+                    mix(size as u64);
+                }
+            }
+            DataPlane::Sharded(plane) => {
+                mix(18);
+                for token in plane.source().fingerprint_tokens() {
+                    mix(token);
+                }
+            }
         }
         format!("fnv1a:{hash:016x}")
     }

@@ -104,8 +104,8 @@ pub use client::{LocalTrainConfig, LocalUpdate};
 pub use comm::{CommOverheadClass, CommTracker};
 pub use device::DeviceModel;
 pub use engine::{
-    canonicalize_updates, FederatedAlgorithm, ResumeError, RoundContext, RoundReport, Simulation,
-    SimulationConfig, UploadOutcome,
+    canonicalize_updates, DataPlane, FederatedAlgorithm, ResumeError, RoundContext, RoundReport,
+    ShardRef, Simulation, SimulationConfig, UploadOutcome, SPARSE_SELECTION_THRESHOLD,
 };
 pub use faults::{FaultPlan, FaultTally, RoundPolicy, UploadFate};
 pub use eval::EvalWorker;

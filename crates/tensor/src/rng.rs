@@ -122,6 +122,40 @@ impl SeededRng {
         pool
     }
 
+    /// Returns `k` distinct indices sampled uniformly from `[0, n)` using
+    /// **O(k) memory**, independent of `n` (Floyd's algorithm).
+    ///
+    /// Unlike [`SeededRng::sample_without_replacement`], which builds an
+    /// `O(n)` scratch pool, this never touches the population: it draws `k`
+    /// values and checks membership against the (small) picked set only —
+    /// the sampler the population-scale engine uses to select a cohort of
+    /// `K` clients from 10^6 without materialising a million-entry vector
+    /// every round. The draw sequence differs from the dense sampler's, so
+    /// the engine keeps the dense path for small federations to preserve
+    /// historical trajectories bitwise (see
+    /// `fedcross_flsim::engine::SPARSE_SELECTION_THRESHOLD`).
+    ///
+    /// The returned order is Floyd's insertion order (uniform over subsets,
+    /// not over permutations). Membership checks scan the picked vector, so
+    /// the cost is `O(k^2)` worst case — `k` is a per-round cohort (tens to
+    /// hundreds), never the population.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_without_replacement_sparse(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from {n}");
+        let mut picked: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.below(j + 1);
+            if picked.contains(&t) {
+                picked.push(j);
+            } else {
+                picked.push(t);
+            }
+        }
+        picked
+    }
+
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         let n = slice.len();
@@ -320,6 +354,51 @@ mod tests {
         let mut picks = rng.sample_without_replacement(10, 10);
         picks.sort_unstable();
         assert_eq!(picks, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_sample_is_distinct_and_in_range() {
+        let mut rng = SeededRng::new(37);
+        let picks = rng.sample_without_replacement_sparse(1_000_000, 64);
+        assert_eq!(picks.len(), 64);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+        assert!(picks.iter().all(|&p| p < 1_000_000));
+    }
+
+    #[test]
+    fn sparse_sample_full_population_is_permutation() {
+        let mut rng = SeededRng::new(41);
+        let mut picks = rng.sample_without_replacement_sparse(12, 12);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_sample_is_deterministic_per_seed() {
+        let a = SeededRng::new(43).sample_without_replacement_sparse(100_000, 10);
+        let b = SeededRng::new(43).sample_without_replacement_sparse(100_000, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_sample_covers_whole_range_roughly_uniformly() {
+        // Every decile of a 10^5 population should be hit over many draws —
+        // a truncated-range bug (e.g. sampling only [0, k)) would concentrate
+        // all picks in one bucket.
+        let mut rng = SeededRng::new(47);
+        let mut buckets = [0usize; 10];
+        for _ in 0..200 {
+            for p in rng.sample_without_replacement_sparse(100_000, 10) {
+                buckets[p / 10_000] += 1;
+            }
+        }
+        assert!(
+            buckets.iter().all(|&b| b > 100),
+            "decile counts too skewed: {buckets:?}"
+        );
     }
 
     #[test]

@@ -158,4 +158,28 @@ proptest! {
         prop_assert_eq!(sorted.len(), k);
         prop_assert!(picks.iter().all(|&p| p < n));
     }
+
+    #[test]
+    fn sparse_sample_without_replacement_valid(n in 1usize..500_000, seed in 0u64..100) {
+        let mut rng = SeededRng::new(seed);
+        let k = (1 + (seed as usize % 64)).min(n);
+        let picks = rng.sample_without_replacement_sparse(n, k);
+        prop_assert_eq!(picks.len(), k);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+        prop_assert!(picks.iter().all(|&p| p < n));
+    }
+
+    #[test]
+    fn sparse_sample_matches_dense_memory_free_contract(seed in 0u64..200) {
+        // The sparse sampler must stay a pure function of the RNG state:
+        // two identically seeded generators produce identical cohorts.
+        let n = 100_000;
+        let k = 1 + (seed as usize % 32);
+        let a = SeededRng::new(seed).sample_without_replacement_sparse(n, k);
+        let b = SeededRng::new(seed).sample_without_replacement_sparse(n, k);
+        prop_assert_eq!(a, b);
+    }
 }

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Snapshot the round-pipeline, client-training, round-plane,
-# robust-aggregation and buffered-aggregation criterion benches into a
-# machine-readable JSON file (default: BENCH_PR7.json at the repo root).
+# robust-aggregation, buffered-aggregation and population-scaling criterion
+# benches into a machine-readable JSON file (default: BENCH_PR9.json at the
+# repo root).
 #
 # The workspace's criterion shim appends one JSON line per benchmark to the
 # file named by FEDCROSS_BENCH_JSON; this script runs the `aggregation`,
-# `fl_round`, `client_training`, `round_plane`, `robust_aggregation` and
-# `buffered_aggregation` benches with that hook enabled and wraps the lines
-# into a JSON document.
+# `fl_round`, `client_training`, `round_plane`, `robust_aggregation`,
+# `buffered_aggregation` and `population_scale` benches with that hook
+# enabled and wraps the lines into a JSON document. The
+# `population_scale/*` group sweeps the sharded lazy data plane from 10^3 to
+# 10^6 clients at fixed K=10 — per-round cost and cohort selection must stay
+# flat in the population (see docs/SCALE.md).
 # Note that since PR 3 the
 # `fl_round/one_round/*` benchmarks measure *steady-state* rounds on the
 # persistent worker plane (warm cached models), which is the cost a
@@ -16,7 +20,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR9.json}"
 lines="$(mktemp)"
 trap 'rm -f "$lines"' EXIT
 
@@ -26,6 +30,7 @@ FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench client_traini
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench round_plane
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench robust_aggregation
 FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench buffered_aggregation
+FEDCROSS_BENCH_JSON="$lines" cargo bench -p fedcross-bench --bench population_scale
 
 {
     printf '{\n'
