@@ -118,10 +118,12 @@ impl CompressedFedAvg {
         if updates.is_empty() {
             return RoundReport::default();
         }
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let mut ordered: Vec<&LocalUpdate> = updates.iter().collect();
         ordered.sort_by_key(|update| update.client);
 
         let round_dither = self.dither.round(round);
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let mut decoded_deltas = Vec::with_capacity(ordered.len());
         for update in &ordered {
             let delta = difference(&update.params, &self.global);
@@ -155,6 +157,7 @@ impl FederatedAlgorithm for CompressedFedAvg {
         // name check rejects it. (Deterministic compressors don't consume
         // the streams, but the generic path cannot tell them apart.)
         let ef = if self.feedback.is_some() { ", EF" } else { "" };
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "fedavg+{}, seed={}{}",
             self.compressor.label(),
@@ -167,7 +170,9 @@ impl FederatedAlgorithm for CompressedFedAvg {
         let selected = ctx.select_clients();
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|&client| (client, self.global.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs);

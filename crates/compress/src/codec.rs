@@ -61,6 +61,7 @@ impl CompressedUpdate {
     /// Reconstructs the (lossy) dense delta.
     pub fn decode(&self) -> Vec<f32> {
         match self {
+            // alloc: bounded — per-upload codec buffer sized by the compressed delta
             CompressedUpdate::Dense(values) => values.clone(),
             CompressedUpdate::Quantized {
                 dim,
@@ -71,6 +72,7 @@ impl CompressedUpdate {
             } => {
                 let levels = (1u32 << bits) - 1;
                 let span = hi - lo;
+                // alloc: bounded — per-upload codec buffer sized by the compressed delta
                 let mut out = Vec::with_capacity(*dim);
                 for &code in codes {
                     let fraction = if levels == 0 {
@@ -87,6 +89,7 @@ impl CompressedUpdate {
                 indices,
                 values,
             } => {
+                // alloc: bounded — per-upload codec buffer sized by the compressed delta
                 let mut out = vec![0f32; *dim];
                 for (&index, &value) in indices.iter().zip(values) {
                     out[index as usize] = value;
@@ -120,10 +123,12 @@ pub struct Identity;
 
 impl Compressor for Identity {
     fn compress(&self, delta: &[f32], _rng: &mut SeededRng) -> CompressedUpdate {
+        // alloc: bounded — per-upload codec buffer sized by the compressed delta
         CompressedUpdate::Dense(delta.to_vec())
     }
 
     fn label(&self) -> String {
+        // alloc: cold — reporting label, not on the round path
         "none".to_string()
     }
 }

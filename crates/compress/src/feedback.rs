@@ -56,6 +56,7 @@ impl ErrorFeedback {
         // stale-dimension residual degrades to a zero vector.
         let mut corrected = match self.residuals.remove(&client) {
             Some(residual) if residual.len() == delta.len() => residual,
+            // alloc: bounded — per-upload error-feedback buffer
             _ => vec![0f32; delta.len()],
         };
         // corrected = residual + delta (addition is commutative, so this is

@@ -57,6 +57,7 @@ impl Compressor for UniformQuantizer {
                 bits: self.bits,
                 lo: 0.0,
                 hi: 0.0,
+                // alloc: bounded — per-upload codec buffer sized by the compressed delta
                 codes: Vec::new(),
             };
         }
@@ -84,6 +85,7 @@ impl Compressor for UniformQuantizer {
                 };
                 rounded.clamp(0.0, levels as f32) as u8
             })
+            // alloc: bounded — per-upload codec buffer sized by the compressed delta
             .collect();
         CompressedUpdate::Quantized {
             dim: delta.len(),
@@ -96,6 +98,7 @@ impl Compressor for UniformQuantizer {
 
     fn label(&self) -> String {
         let mode = if self.stochastic { "stochastic" } else { "nearest" };
+        // alloc: cold — reporting label, not on the round path
         format!("quant-{}bit ({mode})", self.bits)
     }
 }

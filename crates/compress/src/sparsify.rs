@@ -39,6 +39,7 @@ impl TopK {
 impl Compressor for TopK {
     fn compress(&self, delta: &[f32], _rng: &mut SeededRng) -> CompressedUpdate {
         let keep = self.kept(delta.len());
+        // alloc: bounded — per-upload codec buffer sized by the compressed delta
         let mut order: Vec<usize> = (0..delta.len()).collect();
         order.sort_unstable_by(|&a, &b| {
             delta[b]
@@ -46,16 +47,20 @@ impl Compressor for TopK {
                 .partial_cmp(&delta[a].abs())
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        // alloc: bounded — per-upload codec buffer sized by the compressed delta
         let mut picked: Vec<usize> = order.into_iter().take(keep).collect();
         picked.sort_unstable();
         CompressedUpdate::Sparse {
             dim: delta.len(),
+            // alloc: bounded — per-upload codec buffer sized by the compressed delta
             indices: picked.iter().map(|&i| i as u32).collect(),
+            // alloc: bounded — per-upload codec buffer sized by the compressed delta
             values: picked.iter().map(|&i| delta[i]).collect(),
         }
     }
 
     fn label(&self) -> String {
+        // alloc: cold — reporting label, not on the round path
         format!("top-{:.0}%", self.fraction * 100.0)
     }
 }
@@ -88,7 +93,9 @@ impl Compressor for RandK {
         if delta.is_empty() {
             return CompressedUpdate::Sparse {
                 dim: 0,
+                // alloc: bounded — per-upload codec buffer sized by the compressed delta
                 indices: Vec::new(),
+                // alloc: bounded — per-upload codec buffer sized by the compressed delta
                 values: Vec::new(),
             };
         }
@@ -98,12 +105,15 @@ impl Compressor for RandK {
         let scale = delta.len() as f32 / keep as f32;
         CompressedUpdate::Sparse {
             dim: delta.len(),
+            // alloc: bounded — per-upload codec buffer sized by the compressed delta
             indices: picked.iter().map(|&i| i as u32).collect(),
+            // alloc: bounded — per-upload codec buffer sized by the compressed delta
             values: picked.iter().map(|&i| delta[i] * scale).collect(),
         }
     }
 
     fn label(&self) -> String {
+        // alloc: cold — reporting label, not on the round path
         format!("rand-{:.0}%", self.fraction * 100.0)
     }
 }

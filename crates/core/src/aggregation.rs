@@ -104,8 +104,10 @@ pub fn cross_aggregate_all<V: AsRef<[f32]> + Sync>(
     alpha: f32,
 ) -> Vec<ParamVec> {
     let dim = uploaded.first().map_or(0, |v| v.as_ref().len());
+    // alloc: bounded — K middleware output vectors, once per round
     let mut out: Vec<ParamVec> = uploaded.iter().map(|_| vec![0f32; dim]).collect();
     {
+        // alloc: bounded — K middleware output vectors, once per round
         let mut targets: Vec<&mut [f32]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
         cross_aggregate_all_into(&mut targets, uploaded, collaborators, alpha);
     }
@@ -208,12 +210,14 @@ fn sorted_column_reduce_into<V: AsRef<[f32]> + Sync>(
     reduce: impl Fn(&[f32]) -> f32 + Sync,
 ) {
     assert!(!uploads.is_empty(), "at least one upload is required");
+    // alloc: bounded — cohort-sized column views; values reduce in place
     let views: Vec<&[f32]> = uploads.iter().map(|v| v.as_ref()).collect();
     for view in &views {
         assert_eq!(view.len(), out.len(), "upload length must match the output");
     }
     let n = views.len();
     let fill = |(chunk_index, chunk): (usize, &mut [f32])| {
+        // alloc: bounded — cohort-sized column views; values reduce in place
         let mut column = vec![0f32; n];
         for (j, slot) in chunk.iter_mut().enumerate() {
             let coord = chunk_index * COLUMN_CHUNK + j;
@@ -332,6 +336,7 @@ pub fn multi_krum_select<V: AsRef<[f32]> + Sync>(uploads: &[V], f: usize, m: usi
     let n = uploads.len();
     assert!(n >= 2, "Krum needs at least two uploads, got {n}");
     assert!(m >= 1 && m <= n, "must select between 1 and {n} uploads, got {m}");
+    // alloc: bounded — cohort-sized robust-selection scratch, once per round
     let views: Vec<&[f32]> = uploads.iter().map(|v| v.as_ref()).collect();
     let dim = views[0].len();
     for view in &views {
@@ -342,11 +347,13 @@ pub fn multi_krum_select<V: AsRef<[f32]> + Sync>(uploads: &[V], f: usize, m: usi
         let mut distances: Vec<f32> = (0..n)
             .filter(|&j| j != i)
             .map(|j| squared_distance(views[i], views[j]))
+            // alloc: bounded — cohort-sized robust-selection scratch, once per round
             .collect();
         distances.sort_unstable_by(f32::total_cmp);
         distances[..neighbours].iter().sum()
     };
     let scores: Vec<f32> = if n * n * dim >= PAR_THRESHOLD_SCALARS {
+        // alloc: bounded — cohort-sized robust-selection scratch, once per round
         let mut scores = vec![0f32; n];
         scores
             .par_iter_mut()
@@ -354,11 +361,14 @@ pub fn multi_krum_select<V: AsRef<[f32]> + Sync>(uploads: &[V], f: usize, m: usi
             .for_each(|(i, s)| *s = score(i));
         scores
     } else {
+        // alloc: bounded — cohort-sized robust-selection scratch, once per round
         (0..n).map(score).collect()
     };
+    // alloc: bounded — cohort-sized robust-selection scratch, once per round
     let mut order: Vec<usize> = (0..n).collect();
     // Deterministic tie-break: equal scores prefer the lower canonical index.
     order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+    // alloc: bounded — cohort-sized robust-selection scratch, once per round
     let mut selected = order[..m].to_vec();
     selected.sort_unstable();
     selected
@@ -483,9 +493,13 @@ impl RobustRule {
     /// Short label used in algorithm names and report tables.
     pub fn label(&self) -> String {
         match *self {
+            // alloc: cold — reporting label, not on the round path
             RobustRule::Median => "median".to_string(),
+            // alloc: cold — reporting label, not on the round path
             RobustRule::TrimmedMean { trim } => format!("trimmed-mean({trim})"),
+            // alloc: cold — reporting label, not on the round path
             RobustRule::Krum { f, m } => format!("krum(f={f},m={m})"),
+            // alloc: cold — reporting label, not on the round path
             RobustRule::NormBound { max_norm } => format!("norm-bound(c={max_norm})"),
         }
     }
@@ -529,6 +543,7 @@ impl RobustRule {
                 }
                 let selected = multi_krum_select(uploads, f, m.min(uploads.len()));
                 let chosen: Vec<&[f32]> =
+                    // alloc: bounded — cohort-sized view list for the selected uploads
                     selected.iter().map(|&i| uploads[i].as_ref()).collect();
                 average_into(out, &chosen);
             }

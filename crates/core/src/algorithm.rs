@@ -99,6 +99,7 @@ impl FedCross {
     /// uploaded models using the in-order schedule (Section III-D).
     fn propeller_indices(&self, round: usize, i: usize, count: usize, k: usize) -> Vec<usize> {
         let base_offset = round % (k - 1) + 1;
+        // alloc: bounded — cohort-sized pick list, once per round
         let mut picks = Vec::with_capacity(count);
         let mut step = 0usize;
         while picks.len() < count.min(k - 1) {
@@ -115,9 +116,12 @@ impl FedCross {
 impl FederatedAlgorithm for FedCross {
     fn name(&self) -> String {
         let accel = match self.config.acceleration {
+            // alloc: cold — identity string for reporting, built outside the per-round loop
             Acceleration::None => String::new(),
+            // alloc: cold — identity string for reporting, built outside the per-round loop
             other => format!(", {}", other.label()),
         };
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "fedcross(alpha={}, {}{})",
             self.config.alpha, self.config.strategy, accel
@@ -144,7 +148,9 @@ impl FederatedAlgorithm for FedCross {
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .zip(self.middleware.iter())
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|(&client, model)| (client, model.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let mut updates = ctx.local_train_batch(&jobs);
         drop(jobs); // release the dispatch references before fusing in place
@@ -161,7 +167,9 @@ impl FederatedAlgorithm for FedCross {
         // models simply skip the round (they are re-dispatched next round),
         // which is the natural partial-participation behaviour of the
         // multi-to-multi scheme.
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let mut returned_slots = Vec::with_capacity(updates.len());
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let mut uploaded: Vec<ParamBlock> = Vec::with_capacity(updates.len());
         for update in updates {
             let slot = selected
@@ -186,21 +194,26 @@ impl FederatedAlgorithm for FedCross {
                     .strategy
                     .select_all_with(round, &uploaded, self.config.measure)
                     .into_iter()
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     .map(|co| vec![co])
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     .collect()
             } else {
                 (0..returned)
                     .map(|i| self.propeller_indices(round, i, propellers, returned))
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     .collect()
             };
 
             // Gather the output slot for every upload. The retired middleware
             // blocks are unique again now that the dispatch jobs are dropped,
             // so `make_mut` reuses their buffers without copying.
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             let mut upload_of_slot = vec![usize::MAX; k];
             for (upload, &slot) in returned_slots.iter().enumerate() {
                 upload_of_slot[slot] = upload;
             }
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             let mut targets: Vec<(usize, &mut ParamBlock)> = Vec::with_capacity(returned);
             for (slot, block) in self.middleware.iter_mut().enumerate() {
                 let upload = upload_of_slot[slot];
@@ -222,6 +235,7 @@ impl FederatedAlgorithm for FedCross {
                     );
                 } else {
                     let refs: Vec<&[f32]> =
+                        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                         partner_ids.iter().map(|&j| uploaded[j].as_slice()).collect();
                     cross_aggregate_propellers_into(
                         out,

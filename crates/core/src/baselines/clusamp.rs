@@ -44,9 +44,11 @@ impl CluSamp {
     ) -> Vec<usize> {
         let known: Vec<usize> = (0..self.client_updates.len())
             .filter(|&c| self.client_updates[c].is_some())
+            // alloc: bounded — cohort-sized clustering scratch, once per round
             .collect();
         let unknown: Vec<usize> = (0..self.client_updates.len())
             .filter(|&c| self.client_updates[c].is_none())
+            // alloc: bounded — cohort-sized clustering scratch, once per round
             .collect();
 
         // Until enough clients have been observed, fall back to uniform sampling.
@@ -57,7 +59,9 @@ impl CluSamp {
         // Seed the clusters with k spread-out known clients (first come, first
         // seeded is fine since updates are already diverse), then greedily
         // assign every remaining known client to its most similar seed.
+        // alloc: bounded — cohort-sized clustering scratch, once per round
         let seeds: Vec<usize> = known.iter().take(k).copied().collect();
+        // alloc: bounded — cohort-sized clustering scratch, once per round
         let mut clusters: Vec<Vec<usize>> = seeds.iter().map(|&s| vec![s]).collect();
         for &client in known.iter().skip(k) {
             let update = self.client_updates[client].as_ref().expect("known client");
@@ -82,12 +86,14 @@ impl CluSamp {
         clusters
             .iter()
             .map(|members| members[ctx.rng_mut().below(members.len())])
+            // alloc: bounded — cohort-sized clustering scratch, once per round
             .collect()
     }
 }
 
 impl FederatedAlgorithm for CluSamp {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         "clusamp".to_string()
     }
 
@@ -97,7 +103,9 @@ impl FederatedAlgorithm for CluSamp {
 
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|&client| (client, self.global.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let mut updates = ctx.local_train_batch(&jobs);
         drop(jobs);
@@ -116,10 +124,12 @@ impl FederatedAlgorithm for CluSamp {
                 Some(difference(&update.params, &self.global));
         }
 
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         weighted_average_into(self.global.make_mut(), &params, &weights);
         RoundReport::from_updates(&updates)

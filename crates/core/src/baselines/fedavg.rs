@@ -32,6 +32,7 @@ impl FedAvg {
 
 impl FederatedAlgorithm for FedAvg {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         "fedavg".to_string()
     }
 
@@ -39,7 +40,9 @@ impl FederatedAlgorithm for FedAvg {
         let selected = ctx.select_clients();
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|&client| (client, self.global.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let mut updates = ctx.local_train_batch(&jobs);
         drop(jobs);
@@ -52,10 +55,12 @@ impl FederatedAlgorithm for FedAvg {
             return RoundReport::default();
         }
 
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         // The dispatch references are gone, so the retired global buffer is
         // unique again and the average lands in it without an allocation.

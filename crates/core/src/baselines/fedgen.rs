@@ -77,6 +77,7 @@ impl FederatedAlgorithm for FedGen {
         // under one distillation configuration cannot silently resume under
         // another (resume validates the name, and neither value is covered
         // by the simulation's config fingerprint).
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "fedgen(distill={}, gen={})",
             self.config.distill_weight, self.config.generator_fraction
@@ -92,16 +93,20 @@ impl FederatedAlgorithm for FedGen {
         let jobs: Vec<TrainJob> = selected
             .iter()
             .map(|&client| {
+                // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                 let teacher = self.teacher.clone();
                 TrainJob {
                     client,
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     params: self.global.clone(),
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     correction: Some(Box::new(move |i, w, g| g + lambda * (w - teacher[i]))),
                     // The generator is broadcast alongside the model (download only).
                     extra_download: generator_scalars,
                     extra_upload: 0,
                 }
             })
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let mut updates = ctx.local_train_jobs(jobs);
         // Aggregate in dispatch order regardless of upload arrival order
@@ -113,10 +118,12 @@ impl FederatedAlgorithm for FedGen {
             return RoundReport::default();
         }
 
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         // Release the teacher's reference to last round's buffer first, so
         // `make_mut` reuses the retired global allocation instead of copying
@@ -125,6 +132,7 @@ impl FederatedAlgorithm for FedGen {
         weighted_average_into(self.global.make_mut(), &params, &weights);
         // The new ensemble is both the next global model and the next
         // teacher (shared buffer, reference bump).
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         self.teacher = self.global.clone();
         RoundReport::from_updates(&updates)
     }

@@ -34,6 +34,7 @@ impl FedProx {
 
 impl FederatedAlgorithm for FedProx {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!("fedprox(mu={})", self.mu)
     }
 
@@ -46,15 +47,19 @@ impl FederatedAlgorithm for FedProx {
         let jobs: Vec<TrainJob> = selected
             .iter()
             .map(|&client| {
+                // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                 let anchor = self.global.clone();
                 TrainJob {
                     client,
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     params: self.global.clone(),
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     correction: Some(Box::new(move |i, w, g| g + mu * (w - anchor[i]))),
                     extra_download: 0,
                     extra_upload: 0,
                 }
             })
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let mut updates = ctx.local_train_jobs(jobs);
         // Aggregate in dispatch order regardless of upload arrival order
@@ -66,10 +71,12 @@ impl FederatedAlgorithm for FedProx {
             return RoundReport::default();
         }
 
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         let weights: Vec<f32> = updates
             .iter()
             .map(|u| u.num_samples.max(1) as f32)
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         weighted_average_into(self.global.make_mut(), &params, &weights);
         RoundReport::from_updates(&updates)

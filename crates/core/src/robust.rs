@@ -69,11 +69,14 @@ impl RobustFedAvg {
             return RoundReport::default();
         }
         updates.sort_by_key(|u| u.client);
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let ordered: Vec<&LocalUpdate> = updates.iter().collect();
         let report = RoundReport::from_ordered(&ordered);
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let uploads: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
         // The norm-bounding rule clips against the dispatched model, which is
         // about to be overwritten in place — copy the anchor out first.
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let anchor: ParamVec = self.global.to_vec();
         self.rule
             .aggregate_into(self.global.make_mut(), &anchor, &uploads);
@@ -83,6 +86,7 @@ impl RobustFedAvg {
 
 impl FederatedAlgorithm for RobustFedAvg {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!("robust-fedavg({})", self.rule.label())
     }
 
@@ -90,7 +94,9 @@ impl FederatedAlgorithm for RobustFedAvg {
         let selected = ctx.select_clients();
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|&client| (client, self.global.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs); // release dispatch references before aggregating in place
@@ -224,8 +230,10 @@ impl RobustFedCross {
                     .expect("every update comes from a selected client");
                 (slot, update)
             })
+            // alloc: bounded — cohort-sized aggregation staging, once per round
             .collect();
         arrived.sort_by_key(|(slot, _)| *slot);
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let ordered: Vec<&LocalUpdate> = arrived.iter().map(|(_, u)| u).collect();
         let report = RoundReport::from_ordered(&ordered);
         if arrived.is_empty() {
@@ -243,8 +251,10 @@ impl RobustFedCross {
                     .iter()
                     .zip(anchor)
                     .map(|(u, a)| u - a)
+                    // alloc: bounded — cohort-sized aggregation staging, once per round
                     .collect()
             })
+            // alloc: bounded — cohort-sized aggregation staging, once per round
             .collect();
 
         // Sanitize: rebuild every returned middleware from its own anchor.
@@ -253,21 +263,25 @@ impl RobustFedCross {
                 // Per-slot clipping: each delta is bounded independently. The
                 // rule's anchor is the zero vector because the deltas are
                 // already anchor-relative.
+                // alloc: bounded — cohort-sized aggregation staging, once per round
                 let zero = vec![0f32; dim];
                 arrived
                     .iter()
                     .zip(&deltas)
                     .map(|((slot, _), delta)| {
+                        // alloc: bounded — cohort-sized aggregation staging, once per round
                         let mut clipped = vec![0f32; dim];
                         self.config.rule.aggregate_into(
                             &mut clipped,
                             &zero,
                             std::slice::from_ref(delta),
                         );
+                        // alloc: bounded — cohort-sized aggregation staging, once per round
                         let mut model = self.middleware[*slot].to_vec();
                         add_scaled(&mut model, &clipped, 1.0);
                         model
                     })
+                    // alloc: bounded — cohort-sized aggregation staging, once per round
                     .collect()
             }
             rule => {
@@ -275,8 +289,10 @@ impl RobustFedCross {
                 // round's uploads (a single survivor is its own consensus —
                 // Krum needs two uploads to score).
                 let consensus: ParamVec = if deltas.len() == 1 {
+                    // alloc: bounded — cohort-sized aggregation staging, once per round
                     deltas[0].clone()
                 } else {
+                    // alloc: bounded — cohort-sized aggregation staging, once per round
                     let mut out = vec![0f32; dim];
                     rule.aggregate_into(&mut out, &[], &deltas);
                     out
@@ -284,10 +300,12 @@ impl RobustFedCross {
                 arrived
                     .iter()
                     .map(|(slot, _)| {
+                        // alloc: bounded — cohort-sized aggregation staging, once per round
                         let mut model = self.middleware[*slot].to_vec();
                         add_scaled(&mut model, &consensus, 1.0);
                         model
                     })
+                    // alloc: bounded — cohort-sized aggregation staging, once per round
                     .collect()
             }
         };
@@ -320,6 +338,7 @@ impl RobustFedCross {
 
 impl FederatedAlgorithm for RobustFedCross {
     fn name(&self) -> String {
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "robust-fedcross(alpha={}, {}, {})",
             self.config.alpha,
@@ -340,7 +359,9 @@ impl FederatedAlgorithm for RobustFedCross {
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .zip(self.middleware.iter())
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|(&client, model)| (client, model.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs); // release dispatch references before fusing in place

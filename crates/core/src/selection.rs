@@ -133,6 +133,7 @@ impl SelectionStrategy {
         let dim = models.first().map_or(0, |m| m.as_ref().len());
         let uses_similarity = !matches!(self, SelectionStrategy::InOrder);
         let norms: Option<Vec<f64>> = if uses_similarity && measure == SimilarityMeasure::Cosine {
+            // alloc: bounded — cohort-sized selection scratch, once per round
             Some(models.iter().map(|m| norm_sq(m.as_ref())).collect())
         } else {
             None
@@ -142,10 +143,12 @@ impl SelectionStrategy {
             (0..k)
                 .into_par_iter()
                 .map(|i| self.select_cached(round, i, models, measure, norms))
+                // alloc: bounded — cohort-sized selection scratch, once per round
                 .collect()
         } else {
             (0..k)
                 .map(|i| self.select_cached(round, i, models, measure, norms))
+                // alloc: bounded — cohort-sized selection scratch, once per round
                 .collect()
         }
     }

@@ -22,7 +22,9 @@ impl Heterogeneity {
     /// A short label used in experiment tables ("IID" or "beta=0.1").
     pub fn label(&self) -> String {
         match self {
+            // alloc: cold — reporting label, not on the round path
             Heterogeneity::Iid => "IID".to_string(),
+            // alloc: cold — reporting label, not on the round path
             Heterogeneity::Dirichlet(beta) => format!("beta={beta}"),
         }
     }

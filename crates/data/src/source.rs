@@ -78,6 +78,7 @@ pub trait ClientDataSource: Send + Sync {
     /// that already hold their shards (the eager adapter) override this to
     /// hand out an `Arc` clone instead of a deep copy.
     fn shard(&self, client: usize) -> Arc<Dataset> {
+        // alloc: pooled — shard-cache miss materialization; steady rounds hit the cache
         Arc::new(self.materialize(client))
     }
 
@@ -443,6 +444,7 @@ impl ClientDataSource for EagerSource {
     }
 
     fn materialize(&self, client: usize) -> Dataset {
+        // alloc: pooled — shard-cache miss materialization; steady rounds hit the cache
         (*self.clients[client]).clone()
     }
 

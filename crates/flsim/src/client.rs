@@ -228,6 +228,7 @@ pub fn local_train_pooled(
     model.read_params_into(buf);
     LocalUpdate {
         client,
+        // alloc: bounded — Arc handle clone of the upload block, no data copy
         params: scratch.upload.clone(),
         num_samples: data.len(),
         train_loss: last_epoch_loss,

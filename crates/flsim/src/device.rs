@@ -92,6 +92,7 @@ impl DeviceModel {
 
     /// Short human-readable description for tables and reports.
     pub fn label(&self) -> String {
+        // alloc: cold — reporting label, not on the round path
         format!(
             "{:.0}% stragglers @{}x",
             self.straggler_fraction * 100.0,

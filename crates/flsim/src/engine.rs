@@ -22,6 +22,7 @@ use crate::worker::ClientWorkerPool;
 use fedcross_data::{Dataset, FederatedDataset, ShardPlane};
 use fedcross_nn::params::ParamBlock;
 use fedcross_nn::Model;
+use fedcross_tensor::alloc_guard::AllocGuard;
 use fedcross_tensor::SeededRng;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -32,6 +33,13 @@ use std::sync::Arc;
 /// draws stay bitwise identical; million-client federations sit far above it
 /// and never allocate population-sized scratch.
 pub const SPARSE_SELECTION_THRESHOLD: usize = 4096;
+
+/// A single allocation of this many bytes or more inside a guarded
+/// steady-state region (round or eval) trips the `sanitize-alloc` runtime
+/// sanitizer. Matches the large-allocation threshold the runtime pin in
+/// tests/tests/round_alloc.rs enforces: full-model buffers sit far above
+/// it, per-round bookkeeping far below.
+pub const STEADY_LARGE_BYTES: usize = 64 * 1024;
 
 /// The client-data backend a simulation round reads shards from: either the
 /// historical fully materialised [`FederatedDataset`] or a bounded
@@ -151,6 +159,7 @@ pub struct RoundReport {
 impl RoundReport {
     /// Builds a report from the round's local updates, in slice order.
     pub fn from_updates(updates: &[LocalUpdate]) -> Self {
+        // alloc: bounded — cohort-sized view list, once per round
         let refs: Vec<&LocalUpdate> = updates.iter().collect();
         Self::from_ordered(&refs)
     }
@@ -317,6 +326,7 @@ impl<'a> RoundContext<'a> {
             devices: None,
             tally: FaultTally::default(),
             round: 0,
+            // alloc: bounded — empty drop-list placeholder, cohort-bounded
             dropped: Vec::new(),
             plane: WorkerPlane::Owned(ClientWorkerPool::new()),
             upload_shuffle: None,
@@ -444,6 +454,8 @@ impl<'a> RoundContext<'a> {
     pub fn data(&self) -> &FederatedDataset {
         match self.data {
             DataPlane::Eager(data) => data,
+            // panic: documented API contract — whole-federation access is
+            // exactly what the sharded plane exists to prevent
             DataPlane::Sharded(_) => panic!(
                 "RoundContext::data() is unavailable on a sharded data plane; \
                  access shards through the training dispatch instead"
@@ -535,7 +547,9 @@ impl<'a> RoundContext<'a> {
     {
         self.local_train_jobs(
             jobs.iter()
+                // alloc: bounded — cohort-sized job list, once per round
                 .map(|(client, params)| TrainJob::plain(*client, params.clone()))
+                // alloc: bounded — cohort-sized job list, once per round
                 .collect(),
         )
     }
@@ -562,6 +576,7 @@ impl<'a> RoundContext<'a> {
                 }
                 available
             })
+            // alloc: bounded — cohort-sized job list, once per round
             .collect();
 
         // Record communication before training (dispatch + upload of the model,
@@ -592,6 +607,7 @@ impl<'a> RoundContext<'a> {
                 let rng = self.rng.fork(job.client as u64 + 1); // fork: construction-seed
                 (job, rng)
             })
+            // alloc: bounded — cohort-sized job list, once per round
             .collect();
 
         // Dispatch onto the persistent worker plane: slot i takes job i,
@@ -605,6 +621,7 @@ impl<'a> RoundContext<'a> {
         let adversary = self.adversary;
         let compromised: Vec<bool> = match adversary {
             Some(adv) => adv.compromised(self.data.num_clients()),
+            // alloc: bounded — cohort-sized job list, once per round
             None => Vec::new(),
         };
 
@@ -616,6 +633,7 @@ impl<'a> RoundContext<'a> {
         let shards: Vec<ShardRef<'_>> = prepared
             .iter()
             .map(|(job, _)| self.data.shard(job.client))
+            // alloc: bounded — cohort-sized job list, once per round
             .collect();
 
         let template = self.template;
@@ -624,6 +642,7 @@ impl<'a> RoundContext<'a> {
             .into_iter()
             .zip(shards)
             .zip(workers.iter_mut())
+            // alloc: bounded — cohort-sized job list, once per round
             .collect();
         let updates = work
             .into_par_iter()
@@ -662,6 +681,7 @@ impl<'a> RoundContext<'a> {
                 }
                 update
             })
+            // alloc: bounded — cohort-sized job list, once per round
             .collect::<Vec<LocalUpdate>>();
         let mut updates = self.apply_service_plane(updates);
         self.shuffle_uploads(&mut updates);
@@ -731,6 +751,7 @@ impl<'a> RoundContext<'a> {
                 Some(attempts) => self.tally.apply_retries += attempts - 1,
                 None => {
                     self.tally.rounds_lost += 1;
+                    // alloc: bounded — cohort-sized service-plane staging, once per round
                     return Vec::new();
                 }
             }
@@ -741,7 +762,9 @@ impl<'a> RoundContext<'a> {
         // still be rescued by the quorum rule (stalled uploads cannot — their
         // bytes genuinely are not there yet).
         let buffered = matches!(self.policy, RoundPolicy::Buffered { .. });
+        // alloc: bounded — cohort-sized service-plane staging, once per round
         let mut kept: Vec<(usize, LocalUpdate)> = Vec::with_capacity(updates.len());
+        // alloc: bounded — cohort-sized service-plane staging, once per round
         let mut late: Vec<(f32, usize, LocalUpdate)> = Vec::new();
         for (index, update) in updates.into_iter().enumerate() {
             let fate = self
@@ -798,6 +821,7 @@ impl<'a> RoundContext<'a> {
             self.tally.missed_deadline += late.len();
         }
 
+        // alloc: bounded — cohort-sized service-plane staging, once per round
         kept.into_iter().map(|(_, update)| update).collect()
     }
 
@@ -837,6 +861,7 @@ impl<'a> RoundContext<'a> {
                     copies: 1 + usize::from(fate.duplicated),
                 }
             })
+            // alloc: bounded — cohort-sized outcome list, once per round
             .collect()
     }
 
@@ -1323,13 +1348,24 @@ impl<'a> Simulation<'a> {
         // warm-vs-fresh identity pinned by tests/tests/round_plane.rs).
         let mut plane = ClientWorkerPool::new();
         let mut eval_worker = EvalWorker::new(self.template.as_ref());
+        // alloc: cold — eval buffer grown once before the loop; steady rounds reuse capacity
         let mut global_buf: Vec<f32> = Vec::new();
         let mut faults_total = FaultTally::default();
+        let mut evals_done = 0usize;
 
         for round in start_round..end_round {
             // Hint next round's predicted cohort so the prefetch worker
             // materialises those shards while this round trains.
             self.prefetch_cohort(round + 1, end_round, &master);
+            // Runtime half of the allocation-discipline plane: after the
+            // warm-up round, no single allocation on this thread may reach
+            // the large-allocation threshold that round_alloc.rs pins.
+            // Thread-local by design — worker-pool allocations are covered
+            // by the global counters in the runtime pins; this guard owns
+            // the dispatch/aggregation path. No-op unless the
+            // `sanitize-alloc` feature is enabled.
+            let round_guard = (round > start_round)
+                .then(|| AllocGuard::enter("steady-round", STEADY_LARGE_BYTES));
             let report = {
                 let mut ctx = RoundContext::over_plane(
                     self.data,
@@ -1353,15 +1389,24 @@ impl<'a> Simulation<'a> {
                 report
             };
             comm.end_round();
+            drop(round_guard);
 
             let is_last = round + 1 == self.config.rounds;
             if round % self.config.eval_every == 0 || is_last {
+                // The first evaluation warms global_buf and the eval
+                // worker's scratch; every later one must stay under the
+                // large-allocation threshold (same sanitizer as the round
+                // guard above).
+                let eval_guard = (evals_done > 0)
+                    .then(|| AllocGuard::enter("steady-eval", STEADY_LARGE_BYTES));
                 algorithm.global_params_into(&mut global_buf);
                 let evaluation = eval_worker.evaluate_params(
                     &global_buf,
                     self.data.test_set(),
                     self.config.eval_batch_size,
                 );
+                drop(eval_guard);
+                evals_done += 1;
                 let record = RoundRecord {
                     round,
                     accuracy: evaluation.accuracy,

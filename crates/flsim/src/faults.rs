@@ -86,13 +86,16 @@ impl RoundPolicy {
     /// Short human-readable description for tables and reports.
     pub fn label(&self) -> String {
         match *self {
+            // alloc: cold — reporting label, not on the round path
             RoundPolicy::Synchronous => "sync".to_string(),
             RoundPolicy::Deadline { budget, min_quorum } => {
+                // alloc: cold — reporting label, not on the round path
                 format!("deadline({budget}, q={min_quorum})")
             }
             RoundPolicy::Buffered {
                 goal_k,
                 max_staleness,
+            // alloc: cold — reporting label, not on the round path
             } => format!("buffered(k={goal_k}, s<={max_staleness})"),
         }
     }
@@ -179,6 +182,7 @@ impl FaultPlan {
 
     /// Short human-readable description for tables and reports.
     pub fn label(&self) -> String {
+        // alloc: cold — reporting label, not on the round path
         format!(
             "faults(crash={:.0}%, stall={:.0}%, dup={:.0}%, apply-fail={:.0}%)",
             self.crash_prob * 100.0,

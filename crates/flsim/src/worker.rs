@@ -53,6 +53,7 @@ pub struct ClientWorker {
 impl ClientWorker {
     fn from_template(template: &dyn Model) -> Self {
         Self {
+            // alloc: cold — worker construction clones the template once
             model: template.clone_model(),
             scratch: TrainScratch::new(),
         }

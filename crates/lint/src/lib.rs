@@ -31,6 +31,10 @@
 //! bindings declared in the same file) — good enough to catch the mistakes
 //! that actually happen, cheap enough to run on every commit.
 
+pub mod callgraph;
+pub mod markers;
+pub mod parser;
+pub mod rules;
 pub mod strip;
 
 use std::collections::BTreeSet;
@@ -39,7 +43,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use strip::{strip, Stripped};
+use strip::Stripped;
 
 /// The determinism rules checked by this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -56,17 +60,31 @@ pub enum RuleId {
     D005,
     /// `pub fn *_into` kernel without an allocating counterpart.
     D006,
+    /// Allocation construct reachable from a hot-path root without a
+    /// reasoned `alloc:` marker.
+    A001,
+    /// `unwrap`/`expect`/`panic!` in a library crate without a reason.
+    P001,
+    /// Stale `lint: allow` waiver — nothing in its window triggers the
+    /// waived rule anymore.
+    W001,
+    /// Stale `alloc:`/`panic:` marker — no matching construct in its window.
+    W002,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
         RuleId::D004,
         RuleId::D005,
         RuleId::D006,
+        RuleId::A001,
+        RuleId::P001,
+        RuleId::W001,
+        RuleId::W002,
     ];
 
     /// The rule's code as it appears in waivers, e.g. `"D001"`.
@@ -78,7 +96,17 @@ impl RuleId {
             RuleId::D004 => "D004",
             RuleId::D005 => "D005",
             RuleId::D006 => "D006",
+            RuleId::A001 => "A001",
+            RuleId::P001 => "P001",
+            RuleId::W001 => "W001",
+            RuleId::W002 => "W002",
         }
+    }
+
+    /// Parses a rule code (`"D001"`, `"A001"`, …). `None` for anything that
+    /// is not a known rule — prose like `allow(D00x)` never resolves.
+    pub fn parse(code: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.code() == code)
     }
 
     /// One-line description of what the rule forbids.
@@ -90,6 +118,10 @@ impl RuleId {
             RuleId::D004 => "FMA or unordered parallel float reduction in a kernel file",
             RuleId::D005 => "unsafe block without a preceding SAFETY: comment",
             RuleId::D006 => "pub *_into kernel without an allocating counterpart",
+            RuleId::A001 => "allocation reachable from a hot-path root without a reasoned alloc: marker",
+            RuleId::P001 => "unwrap/expect/panic! in a library crate without a reason",
+            RuleId::W001 => "stale waiver: nothing in its window triggers the waived rule",
+            RuleId::W002 => "stale alloc:/panic: marker: no matching construct in its window",
         }
     }
 }
@@ -147,6 +179,22 @@ impl Report {
     pub fn waived(&self) -> Vec<&Finding> {
         self.findings.iter().filter(|f| f.waiver.is_some()).collect()
     }
+
+    /// Per-rule waiver counts, in [`RuleId::ALL`] order, zero rows included —
+    /// the summary and the `--deny-waivers` budget check both read this.
+    pub fn waiver_counts(&self) -> Vec<(RuleId, usize)> {
+        RuleId::ALL
+            .iter()
+            .map(|&rule| {
+                let n = self
+                    .findings
+                    .iter()
+                    .filter(|f| f.rule == rule && f.waiver.is_some())
+                    .count();
+                (rule, n)
+            })
+            .collect()
+    }
 }
 
 /// Crates whose aggregation/trajectory paths must not iterate unordered
@@ -165,8 +213,8 @@ pub const KERNEL_FILES: [&str; 3] = ["aggregation.rs", "robust.rs", "buffered.rs
 pub const KERNEL_CRATE: &str = "tensor";
 
 /// How many comment lines above a site are searched for waivers and
-/// audit markers.
-const LOOKBACK_LINES: usize = 3;
+/// audit markers — shared with the marker lookup in [`markers`].
+const LOOKBACK_LINES: usize = markers::LOOKBACK_LINES;
 
 fn is_kernel_file(crate_name: &str, file_name: &str) -> bool {
     crate_name == KERNEL_CRATE || KERNEL_FILES.contains(&file_name)
@@ -549,10 +597,72 @@ fn rule_d006(crate_name: &str, file_name: &str, file: &str, s: &Stripped, findin
     }
 }
 
-/// Lints one file's source text.
+/// Resolves waivers for `findings`, skipping any finding `filter` rejects.
+fn apply_waivers(s: &Stripped, findings: &mut [Finding], filter: impl Fn(&Finding) -> bool) {
+    for f in findings.iter_mut() {
+        if !filter(f) {
+            continue;
+        }
+        match waiver_for(s, f.line - 1, f.rule.code()) {
+            WaiverStatus::Waived(reason) => f.waiver = Some(reason),
+            WaiverStatus::MissingReason => {
+                f.message.push_str(" [waiver present but missing a reason]");
+            }
+            WaiverStatus::None => {}
+        }
+    }
+}
+
+/// Lints a set of files as one workspace: the per-file D rules run first,
+/// then the call-graph rules A001/P001 (which need every file at once to
+/// resolve cross-crate reachability), then — after waivers are resolved, so
+/// staleness is judged against the final finding set — the hygiene rules
+/// W001/W002.
+///
+/// Each entry is `(crate_name, file_name, display_path, source)`.
+pub fn lint_files(files: &[(String, String, String, String)]) -> Report {
+    let indexed = callgraph::CallGraph::index_files(files);
+    let graph = callgraph::CallGraph::build(&indexed);
+    let mut per_file: Vec<Vec<Finding>> = (0..indexed.len()).map(|_| Vec::new()).collect();
+    for (fi, file) in indexed.iter().enumerate() {
+        let s = &file.stripped;
+        let f = &mut per_file[fi];
+        rule_d001(&file.crate_name, &file.display_path, s, f);
+        rule_d002(&file.crate_name, &file.display_path, s, f);
+        rule_d003(&file.display_path, s, f);
+        rule_d004(&file.crate_name, &file.file_name, &file.display_path, s, f);
+        rule_d005(&file.display_path, s, f);
+        rule_d006(&file.crate_name, &file.file_name, &file.display_path, s, f);
+    }
+    rules::rule_a001(&indexed, &graph, &mut per_file);
+    rules::rule_p001(&indexed, &mut per_file);
+    for (fi, file) in indexed.iter().enumerate() {
+        apply_waivers(&file.stripped, &mut per_file[fi], |_| true);
+    }
+    rules::rule_w(&indexed, &mut per_file);
+    for (fi, file) in indexed.iter().enumerate() {
+        // Only the W findings just added are unprocessed; re-running the
+        // others would double-append the missing-reason note.
+        apply_waivers(&file.stripped, &mut per_file[fi], |f| {
+            matches!(f.rule, RuleId::W001 | RuleId::W002)
+        });
+    }
+    let mut report = Report {
+        findings: Vec::new(),
+        files_scanned: indexed.len(),
+    };
+    for mut findings in per_file {
+        findings.sort_by_key(|a| (a.line, a.rule));
+        report.findings.extend(findings);
+    }
+    report
+}
+
+/// Lints one file's source text (a one-file workspace — cross-file
+/// reachability obviously cannot fire here; `lint_tree` covers that).
 ///
 /// * `crate_name` — the workspace crate the file belongs to (`"core"`,
-///   `"tensor"`, ...), which scopes D001/D002/D004/D006;
+///   `"tensor"`, ...), which scopes D001/D002/D004/D006 and the A/P rules;
 /// * `file_name` — the bare file name (`"aggregation.rs"`), which scopes the
 ///   kernel-file rules;
 /// * `display_path` — the path reported in findings.
@@ -562,25 +672,13 @@ pub fn lint_source(
     display_path: &str,
     source: &str,
 ) -> Vec<Finding> {
-    let s = strip(source);
-    let mut findings = Vec::new();
-    rule_d001(crate_name, display_path, &s, &mut findings);
-    rule_d002(crate_name, display_path, &s, &mut findings);
-    rule_d003(display_path, &s, &mut findings);
-    rule_d004(crate_name, file_name, display_path, &s, &mut findings);
-    rule_d005(display_path, &s, &mut findings);
-    rule_d006(crate_name, file_name, display_path, &s, &mut findings);
-    for f in &mut findings {
-        match waiver_for(&s, f.line - 1, f.rule.code()) {
-            WaiverStatus::Waived(reason) => f.waiver = Some(reason),
-            WaiverStatus::MissingReason => {
-                f.message.push_str(" [waiver present but missing a reason]");
-            }
-            WaiverStatus::None => {}
-        }
-    }
-    findings.sort_by_key(|a| (a.line, a.rule));
-    findings
+    lint_files(&[(
+        crate_name.to_string(),
+        file_name.to_string(),
+        display_path.to_string(),
+        source.to_string(),
+    )])
+    .findings
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -595,16 +693,16 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Walks `<root>/crates/*/src` and lints every `.rs` file, in sorted order
-/// (the linter's own output is deterministic, naturally).
-pub fn lint_tree(root: &Path) -> io::Result<Report> {
+/// Reads `<root>/crates/*/src` into `(crate, file, display, source)` tuples,
+/// in sorted order (the linter's own output is deterministic, naturally).
+pub fn read_tree(root: &Path) -> io::Result<Vec<(String, String, String, String)>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
-    let mut report = Report::default();
+    let mut out = Vec::new();
     for dir in crate_dirs {
         let crate_name = dir
             .file_name()
@@ -628,13 +726,15 @@ pub fn lint_tree(root: &Path) -> io::Result<Report> {
                 .unwrap_or(&path)
                 .display()
                 .to_string();
-            report
-                .findings
-                .extend(lint_source(&crate_name, &file_name, &display, &source));
-            report.files_scanned += 1;
+            out.push((crate_name.clone(), file_name, display, source));
         }
     }
-    Ok(report)
+    Ok(out)
+}
+
+/// Walks `<root>/crates/*/src` and lints every `.rs` file as one workspace.
+pub fn lint_tree(root: &Path) -> io::Result<Report> {
+    Ok(lint_files(&read_tree(root)?))
 }
 
 #[cfg(test)]
@@ -739,11 +839,83 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert!(f[0].waiver.is_none(), "{f:?}");
         assert!(f[0].message.contains("missing a reason"));
-        // A waiver for a different rule does not apply.
+        // A waiver for a different rule does not apply — and since nothing
+        // in its window triggers that rule, it is also stale (W001).
         let wrong_rule = "// lint: allow(D001) — unrelated\nlet t0 = Instant::now();\n";
         let f = lint("core", "x.rs", wrong_rule);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].waiver.is_none());
+        let d002: Vec<_> = f.iter().filter(|f| f.rule == RuleId::D002).collect();
+        assert_eq!(d002.len(), 1);
+        assert!(d002[0].waiver.is_none());
+        assert!(
+            f.iter().any(|f| f.rule == RuleId::W001 && f.line == 1),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn a001_requires_reasoned_marker_on_reachable_allocations() {
+        let src = concat!(
+            "pub fn axpy_into(d: &mut [f32]) {\n",
+            "    helper(d);\n",
+            "}\n",
+            "pub fn axpy(d: &[f32]) -> Vec<f32> { vec![0f32; d.len()] }\n",
+            "fn helper(d: &mut [f32]) {\n",
+            "    let scratch = vec![0f32; d.len()];\n",
+            "}\n",
+        );
+        let f = lint("tensor", "ops.rs", src);
+        let a: Vec<_> = f.iter().filter(|f| f.rule == RuleId::A001).collect();
+        // Only the reachable `helper` allocation fires; the allocating twin
+        // `axpy` is not a root and nothing hot calls it.
+        assert_eq!(a.len(), 1, "{f:?}");
+        assert_eq!(a[0].line, 6);
+        assert!(a[0].message.contains("axpy_into -> helper"), "{}", a[0].message);
+        // A reasoned marker silences it.
+        let marked = src.replace(
+            "    let scratch = vec![0f32; d.len()];",
+            "    // alloc: pooled — arena miss, first round only\n    let scratch = vec![0f32; d.len()];",
+        );
+        let f = lint("tensor", "ops.rs", &marked);
+        assert!(f.iter().all(|f| f.rule != RuleId::A001), "{f:?}");
+        // A marker with a bad kind or no reason does not.
+        let bad_kind = src.replace(
+            "    let scratch = vec![0f32; d.len()];",
+            "    // alloc: whatever — reason\n    let scratch = vec![0f32; d.len()];",
+        );
+        let f = lint("tensor", "ops.rs", &bad_kind);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == RuleId::A001 && f.message.contains("pooled|cold|bounded")));
+    }
+
+    #[test]
+    fn p001_requires_reason_for_panic_sites() {
+        let src = "pub fn pick(v: &[u32]) -> u32 {\n    *v.last().unwrap()\n}\n";
+        let f = lint("core", "x.rs", src);
+        assert!(f.iter().any(|f| f.rule == RuleId::P001), "{f:?}");
+        // Reasoned expect is self-documenting.
+        let good = "pub fn pick(v: &[u32]) -> u32 {\n    *v.last().expect(\"cohort is never empty\")\n}\n";
+        assert!(lint("core", "x.rs", good).is_empty());
+        // A panic: marker works too.
+        let marked = "pub fn pick(v: &[u32]) -> u32 {\n    // panic: length checked by the builder\n    *v.last().unwrap()\n}\n";
+        assert!(lint("core", "x.rs", marked).is_empty());
+        // bench is exempt; test code is exempt.
+        assert!(lint("bench", "x.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(lint("core", "x.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn w002_flags_stale_markers() {
+        let stale = "// alloc: cold — leftover after a refactor\nlet x = 1;\nlet y = 2;\nlet z = 3;\nlet w = 4;\n";
+        let f = lint("core", "x.rs", stale);
+        assert!(f.iter().any(|f| f.rule == RuleId::W002), "{f:?}");
+        let live = "// alloc: cold — setup buffer\nlet v: Vec<f32> = Vec::new();\n";
+        assert!(lint("core", "x.rs", live).iter().all(|f| f.rule != RuleId::W002));
+        let stale_panic = "// panic: nothing here panics anymore\nlet x = 1;\nlet y = 2;\nlet z = 3;\nlet w = 4;\n";
+        assert!(lint("core", "x.rs", stale_panic)
+            .iter()
+            .any(|f| f.rule == RuleId::W002));
     }
 
     #[test]

@@ -1,47 +1,172 @@
-//! Command-line front end for the determinism linter.
+//! Command-line front end for the determinism + allocation-discipline linter.
 //!
 //! ```text
-//! fedcross-lint [--deny-all] [--root PATH] [--quiet]
+//! fedcross-lint [--deny-all] [--deny-waivers] [--json] [--annotations]
+//!               [--reach NAME] [--root PATH] [--quiet]
 //! ```
 //!
 //! Walks `<root>/crates/*/src`, prints every finding (waived ones are
-//! labelled, not hidden) and a summary. Exit status is 0 unless
-//! `--deny-all` is given and un-waived violations remain — that is the CI
-//! gate.
+//! labelled, not hidden) and a per-rule summary. Exit status is 0 unless
+//! `--deny-all` is given and un-waived violations remain, or
+//! `--deny-waivers` is given and waiver counts exceed the checked-in budget
+//! (`lint-waivers.budget` at the workspace root) — those are the CI gates.
+//!
+//! * `--json` emits the report as a single JSON object on stdout
+//!   (machine-readable; suppresses the text listing).
+//! * `--annotations` emits GitHub Actions `::error` workflow commands so CI
+//!   findings surface as inline PR annotations.
+//! * `--reach NAME` prints the hot-path call chain the A001 reachability
+//!   analysis found for every function named `NAME` (diagnostic for "why is
+//!   this flagged?").
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fedcross_lint::{lint_tree, RuleId};
+use fedcross_lint::callgraph::CallGraph;
+use fedcross_lint::{lint_files, read_tree, Report, RuleId};
+
+/// Name of the per-rule waiver budget file at the workspace root.
+const BUDGET_FILE: &str = "lint-waivers.budget";
 
 fn usage() -> ! {
-    eprintln!("usage: fedcross-lint [--deny-all] [--root PATH] [--quiet]");
+    eprintln!(
+        "usage: fedcross-lint [--deny-all] [--deny-waivers] [--json] [--annotations] [--reach NAME] [--root PATH] [--quiet]"
+    );
     std::process::exit(2);
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn print_json(report: &Report) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str("  \"waiver_counts\": {");
+    let counts = report.waiver_counts();
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_str(rule.code()), n));
+    }
+    out.push_str("},\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"waived\": {}, \"waiver\": {}}}{}\n",
+            json_str(f.rule.code()),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message),
+            f.waiver.is_some(),
+            f.waiver.as_deref().map_or("null".to_string(), json_str),
+            if i + 1 < report.findings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+}
+
+/// GitHub Actions workflow commands: one `::error` per un-waived violation,
+/// `::notice` per waived finding.
+fn print_annotations(report: &Report) {
+    for f in &report.findings {
+        let level = if f.waiver.is_some() { "notice" } else { "error" };
+        // Newlines in workflow-command messages must be %0A-encoded.
+        let msg = f.message.replace('%', "%25").replace('\n', "%0A");
+        println!(
+            "::{level} file={},line={},title={} {}::{}",
+            f.file,
+            f.line,
+            f.rule.code(),
+            f.rule.summary(),
+            msg
+        );
+    }
+}
+
+/// Parses `lint-waivers.budget`: `RULE COUNT` lines, `#` comments. A rule
+/// absent from the file has budget 0.
+fn read_budget(root: &Path) -> Result<Vec<(RuleId, usize)>, String> {
+    let path = root.join(BUDGET_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut budget = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(code), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("{}:{}: expected `RULE COUNT`", path.display(), lineno + 1));
+        };
+        let Some(rule) = RuleId::parse(code) else {
+            return Err(format!("{}:{}: unknown rule `{code}`", path.display(), lineno + 1));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{}:{}: bad count `{count}`", path.display(), lineno + 1))?;
+        budget.push((rule, count));
+    }
+    Ok(budget)
 }
 
 fn main() -> ExitCode {
     let mut deny_all = false;
+    let mut deny_waivers = false;
+    let mut json = false;
+    let mut annotations = false;
     let mut quiet = false;
+    let mut reach: Option<String> = None;
     let mut root = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
+            "--deny-waivers" => deny_waivers = true,
+            "--json" => json = true,
+            "--annotations" => annotations = true,
             "--quiet" => quiet = true,
+            "--reach" => match args.next() {
+                Some(name) => reach = Some(name),
+                None => usage(),
+            },
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
                 None => usage(),
             },
             "--help" | "-h" => {
-                println!("fedcross-lint: static determinism-invariant checker (D001-D006)");
+                println!(
+                    "fedcross-lint: static determinism + allocation-discipline checker"
+                );
                 println!();
-                println!("usage: fedcross-lint [--deny-all] [--root PATH] [--quiet]");
+                println!(
+                    "usage: fedcross-lint [--deny-all] [--deny-waivers] [--json] [--annotations] [--reach NAME] [--root PATH] [--quiet]"
+                );
                 println!();
                 for rule in RuleId::ALL {
                     println!("  {}  {}", rule.code(), rule.summary());
                 }
                 println!();
-                println!("Waiver syntax: // lint: allow(D00x) — reason");
+                println!("Waiver syntax:  // lint: allow(D00x) — reason");
+                println!("Marker syntax:  // alloc: pooled|cold|bounded — reason");
+                println!("                // panic: reason");
                 println!("See docs/LINTS.md for the full catalogue.");
                 return ExitCode::SUCCESS;
             }
@@ -68,32 +193,99 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match lint_tree(&root) {
-        Ok(r) => r,
+    let files = match read_tree(&root) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("fedcross-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
 
+    if let Some(name) = reach {
+        // Diagnostic mode: explain the reachability analysis for one name.
+        let indexed = CallGraph::index_files(&files);
+        let graph = CallGraph::build(&indexed);
+        let nodes = graph.nodes_named(&name);
+        if nodes.is_empty() {
+            println!("fedcross-lint: no function named `{name}` in the workspace");
+            return ExitCode::SUCCESS;
+        }
+        for &node in nodes {
+            let label = graph.label(&indexed, node);
+            match (graph.root_kind[node], graph.reachable[node]) {
+                (Some(kind), _) => println!("{label}: hot-path root ({kind})"),
+                (None, true) => {
+                    println!("{label}: reachable via {}", graph.chain_label(&indexed, node));
+                }
+                (None, false) => println!("{label}: not reachable from any hot-path root"),
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = lint_files(&files);
     let violations = report.violations();
     let waived = report.waived();
-    if !quiet {
+    if json {
+        print_json(&report);
+    } else if !quiet {
         for f in &report.findings {
             println!("{f}");
         }
+        let per_rule: Vec<String> = report
+            .waiver_counts()
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(rule, n)| format!("{} {n}", rule.code()))
+            .collect();
         println!(
-            "fedcross-lint: {} files scanned, {} violation(s), {} waived",
+            "fedcross-lint: {} files scanned, {} violation(s), {} waived{}",
             report.files_scanned,
             violations.len(),
-            waived.len()
+            waived.len(),
+            if per_rule.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", per_rule.join(", "))
+            }
         );
     }
+    if annotations {
+        print_annotations(&report);
+    }
+
+    let mut failed = false;
     if deny_all && !violations.is_empty() {
         eprintln!(
             "fedcross-lint: --deny-all: {} un-waived violation(s)",
             violations.len()
         );
+        failed = true;
+    }
+    if deny_waivers {
+        match read_budget(&root) {
+            Ok(budget) => {
+                for (rule, count) in report.waiver_counts() {
+                    let allowed = budget
+                        .iter()
+                        .find(|(r, _)| *r == rule)
+                        .map_or(0, |&(_, n)| n);
+                    if count > allowed {
+                        eprintln!(
+                            "fedcross-lint: --deny-waivers: {} has {count} waiver(s), budget allows {allowed} (see {BUDGET_FILE})",
+                            rule.code()
+                        );
+                        failed = true;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("fedcross-lint: --deny-waivers: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

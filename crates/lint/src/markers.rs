@@ -1,0 +1,173 @@
+//! Reasoned-marker parsing for the allocation-discipline (A) and
+//! panic-hygiene (P) rules.
+//!
+//! Markers are the audit-trail counterpart of waivers: where a
+//! `lint: allow(...)` waiver *exempts* a site, a marker *classifies* it —
+//! an allocation is `pooled` (arena cache miss), `cold` (off the
+//! steady-state path) or `bounded` (small, O(K)-ish bookkeeping), and a
+//! panic site documents why it cannot fire or why dying is correct.
+//!
+//! To keep prose that merely *mentions* marker syntax from registering as
+//! a marker (and then tripping the stale-marker rule W002), a marker must
+//! **lead** its comment: after stripping the `//` / `/*` sigils and
+//! whitespace, the comment text must start with `alloc:` or `panic:`.
+
+use crate::strip::Stripped;
+
+/// How many comment lines above a site are searched for markers — the same
+/// window the waiver lookup uses.
+pub const LOOKBACK_LINES: usize = 3;
+
+/// The three allocation classifications accepted by rule A001.
+pub const ALLOC_KINDS: [&str; 3] = ["pooled", "cold", "bounded"];
+
+/// One `alloc:` marker found in the comment channel.
+#[derive(Debug, Clone)]
+pub struct AllocMarker {
+    /// 0-based line the marker sits on.
+    pub line: usize,
+    /// The classification word as written (validated against
+    /// [`ALLOC_KINDS`] by the rule).
+    pub kind: String,
+    /// The reason text after the separator, if any.
+    pub reason: Option<String>,
+}
+
+/// One `panic:` marker found in the comment channel.
+#[derive(Debug, Clone)]
+pub struct PanicMarker {
+    /// 0-based line the marker sits on.
+    pub line: usize,
+    /// The reason text, if any.
+    pub reason: Option<String>,
+}
+
+/// Strips comment sigils and leading whitespace: `// x`, `/// x`, `//! x`,
+/// `/* x` all yield `x …`.
+fn comment_text(comment: &str) -> &str {
+    comment.trim_start_matches(['/', '*', '!', ' ', '\t'])
+}
+
+/// Splits `pooled — reason` / `cold - reason` / `bounded: reason` into the
+/// leading word and the reason after the separator.
+fn split_reason(rest: &str) -> (String, Option<String>) {
+    let rest = rest.trim_start();
+    let word_end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    let word = rest[..word_end].to_string();
+    let after = rest[word_end..]
+        .trim_start()
+        .trim_start_matches(['\u{2014}', '\u{2013}', '-', ':'])
+        .trim();
+    let reason = if after.is_empty() {
+        None
+    } else {
+        Some(after.to_string())
+    };
+    (word, reason)
+}
+
+/// All `alloc:` markers in a file's comment channel.
+pub fn alloc_markers(s: &Stripped) -> Vec<AllocMarker> {
+    let mut out = Vec::new();
+    for (line, comment) in s.comments.iter().enumerate() {
+        let text = comment_text(comment);
+        if let Some(rest) = text.strip_prefix("alloc:") {
+            let (kind, reason) = split_reason(rest);
+            out.push(AllocMarker { line, kind, reason });
+        }
+    }
+    out
+}
+
+/// All `panic:` markers in a file's comment channel.
+pub fn panic_markers(s: &Stripped) -> Vec<PanicMarker> {
+    let mut out = Vec::new();
+    for (line, comment) in s.comments.iter().enumerate() {
+        let text = comment_text(comment);
+        if let Some(rest) = text.strip_prefix("panic:") {
+            let reason = {
+                let r = rest.trim_start_matches(['\u{2014}', '\u{2013}', '-', ':']).trim();
+                if r.is_empty() {
+                    None
+                } else {
+                    Some(r.to_string())
+                }
+            };
+            out.push(PanicMarker { line, reason });
+        }
+    }
+    out
+}
+
+/// The nearest alloc marker covering `line` (same line or up to
+/// [`LOOKBACK_LINES`] above), if any.
+pub fn alloc_marker_for(markers: &[AllocMarker], line: usize) -> Option<&AllocMarker> {
+    let lo = line.saturating_sub(LOOKBACK_LINES);
+    markers
+        .iter()
+        .rev()
+        .find(|m| m.line >= lo && m.line <= line)
+}
+
+/// The nearest panic marker covering `line`, if any.
+pub fn panic_marker_for(markers: &[PanicMarker], line: usize) -> Option<&PanicMarker> {
+    let lo = line.saturating_sub(LOOKBACK_LINES);
+    markers
+        .iter()
+        .rev()
+        .find(|m| m.line >= lo && m.line <= line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::strip;
+
+    #[test]
+    fn alloc_marker_parses_kind_and_reason() {
+        let s = strip("// alloc: pooled \u{2014} arena cache miss, first step only\nlet v = vec![0f32; n];\n");
+        let m = alloc_markers(&s);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].kind, "pooled");
+        assert_eq!(m[0].reason.as_deref(), Some("arena cache miss, first step only"));
+    }
+
+    #[test]
+    fn alloc_marker_without_reason_is_kept_but_reasonless() {
+        let s = strip("// alloc: cold\nlet v = Vec::new();\n");
+        let m = alloc_markers(&s);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].kind, "cold");
+        assert!(m[0].reason.is_none());
+    }
+
+    #[test]
+    fn prose_mentions_do_not_register() {
+        let s = strip(
+            "// the site carries an `alloc: pooled` marker as documented\n// see panic: discussion in the docs? no: this line DOES start with a word\nlet x = 1;\n",
+        );
+        assert!(alloc_markers(&s).is_empty());
+        assert!(panic_markers(&s).is_empty());
+    }
+
+    #[test]
+    fn inline_trailing_markers_register() {
+        let s = strip("let v = data.to_vec(); // alloc: bounded - K-sized partner list\nx.unwrap(); // panic: checked non-empty above\n");
+        let a = alloc_markers(&s);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].kind, "bounded");
+        let p = panic_markers(&s);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].reason.as_deref(), Some("checked non-empty above"));
+    }
+
+    #[test]
+    fn lookback_window_is_three_lines() {
+        let s = strip("// alloc: cold — setup\nlet a = 1;\nlet b = 2;\nlet c = 3;\nlet v = Vec::new();\n");
+        let m = alloc_markers(&s);
+        assert!(alloc_marker_for(&m, 3).is_some());
+        assert!(alloc_marker_for(&m, 4).is_none(), "line 4 is beyond the window");
+    }
+}

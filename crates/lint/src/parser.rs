@@ -1,0 +1,428 @@
+//! A lightweight item parser on top of the [`crate::strip`] tokenizer:
+//! `fn` extraction with brace-matched body spans, `#[cfg(test)]` /
+//! `#[test]` region detection, and per-line "which function owns this
+//! line" attribution.
+//!
+//! Like the tokenizer it rides on, this is deliberately not a real Rust
+//! parser — no `syn`, no dependencies. It recovers exactly the structure
+//! the call-graph rules need: every function item's name, visibility,
+//! body span and test-ness. The known approximations:
+//!
+//! * Function identity is the bare name. `impl Foo { fn get(&self) }` and
+//!   `impl Bar { fn get(&self) }` are two items that share the name `get`;
+//!   the call graph resolves a `.get(` call site to *both* (conservative
+//!   over-approximation, see `callgraph.rs`).
+//! * A body span is a line range. A line shared between a function
+//!   signature and the end of the previous item is attributed to the
+//!   innermost function whose span contains it.
+//! * Test regions are `#[cfg(test)] mod … { … }` blocks and `#[test]`
+//!   functions. `#[cfg(all(test, …))]` counts; path-based `mod tests;`
+//!   out-of-line test files do not occur in this workspace.
+
+use crate::strip::Stripped;
+
+/// One `fn` item recovered from a source file.
+#[derive(Debug, Clone)]
+pub struct ParsedFn {
+    /// Bare function name (no path, no generics).
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based inclusive line span of the body braces, or `None` for a
+    /// bodyless trait-method declaration.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Whether the item sits inside a `#[cfg(test)]` region or carries a
+    /// `#[test]` attribute.
+    pub in_test: bool,
+}
+
+/// The parsed structure of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every function item, in declaration order.
+    pub fns: Vec<ParsedFn>,
+    /// 0-based inclusive line spans of `#[cfg(test)]` regions.
+    pub test_spans: Vec<(usize, usize)>,
+    /// For each line, the index (into `fns`) of the innermost function
+    /// whose body contains it, if any.
+    pub owner: Vec<Option<usize>>,
+}
+
+impl ParsedFile {
+    /// Whether the given 0-based line lies inside a test region.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The code channel flattened into one byte buffer plus the line index of
+/// every byte. The tokenizer blanks string/char contents to ASCII spaces,
+/// so byte-level scanning is safe here.
+struct Flat {
+    bytes: Vec<u8>,
+    line_of: Vec<usize>,
+}
+
+fn flatten(s: &Stripped) -> Flat {
+    let mut bytes = Vec::new();
+    let mut line_of = Vec::new();
+    for (idx, line) in s.code.iter().enumerate() {
+        for &b in line.as_bytes() {
+            // Non-ASCII bytes in the code channel (only possible in odd
+            // identifiers) are mapped to a placeholder so byte scanning
+            // stays aligned with char positions closely enough for spans.
+            bytes.push(if b.is_ascii() { b } else { b'_' });
+            line_of.push(idx);
+        }
+        bytes.push(b'\n');
+        line_of.push(idx);
+    }
+    Flat { bytes, line_of }
+}
+
+/// Finds the matching `}` for the `{` at `open`, returning its index.
+fn match_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the word at `pos..pos+len` is bounded by non-identifier bytes.
+fn word_at(bytes: &[u8], pos: usize, len: usize) -> bool {
+    let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+    let after_ok = pos + len >= bytes.len() || !is_ident_byte(bytes[pos + len]);
+    before_ok && after_ok
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Reads the identifier starting at `i`, if any.
+fn read_ident(bytes: &[u8], i: usize) -> Option<(String, usize)> {
+    if i >= bytes.len() || !(bytes[i].is_ascii_alphabetic() || bytes[i] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    while j < bytes.len() && is_ident_byte(bytes[j]) {
+        j += 1;
+    }
+    Some((String::from_utf8_lossy(&bytes[i..j]).into_owned(), j))
+}
+
+/// Collects `#[cfg(test)] mod/fn` region spans and `#[test]` fn spans.
+fn find_test_spans(flat: &Flat) -> Vec<(usize, usize)> {
+    let bytes = &flat.bytes;
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while let Some(p) = find_from(bytes, i, b"#[") {
+        i = p + 2;
+        // Read the attribute up to its closing `]` (attributes here never
+        // contain `]` in strings — contents are blanked anyway).
+        let Some(close) = bytes[p..].iter().position(|&b| b == b']').map(|q| p + q) else {
+            break;
+        };
+        let attr = &bytes[p..=close];
+        let attr_str = String::from_utf8_lossy(attr);
+        let is_cfg_test = attr_str.starts_with("#[cfg(")
+            && attr_str
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|w| w == "test");
+        let is_test_attr = attr_str.trim() == "#[test]";
+        if !is_cfg_test && !is_test_attr {
+            continue;
+        }
+        // Skip any further attributes, then expect `mod`/`pub mod`/`fn`…
+        let mut j = skip_ws(bytes, close + 1);
+        while j + 1 < bytes.len() && bytes[j] == b'#' && bytes[j + 1] == b'[' {
+            let Some(c2) = bytes[j..].iter().position(|&b| b == b']').map(|q| j + q) else {
+                break;
+            };
+            j = skip_ws(bytes, c2 + 1);
+        }
+        // Walk over visibility / `unsafe` / `const` modifiers.
+        while let Some((word, after)) = read_ident(bytes, j) {
+            match word.as_str() {
+                "pub" => {
+                    let mut k = skip_ws(bytes, after);
+                    if k < bytes.len() && bytes[k] == b'(' {
+                        while k < bytes.len() && bytes[k] != b')' {
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                    j = skip_ws(bytes, k);
+                }
+                "unsafe" | "const" | "async" | "extern" => j = skip_ws(bytes, after),
+                _ => break,
+            }
+        }
+        let Some((word, _)) = read_ident(bytes, j) else { continue };
+        if word != "mod" && word != "fn" && word != "impl" {
+            continue;
+        }
+        // Find the block's opening brace (or `;` for `mod name;`).
+        let mut k = j;
+        let open = loop {
+            if k >= bytes.len() || bytes[k] == b';' {
+                break None;
+            }
+            if bytes[k] == b'{' {
+                break Some(k);
+            }
+            k += 1;
+        };
+        let Some(open) = open else { continue };
+        let Some(end) = match_brace(bytes, open) else { continue };
+        spans.push((flat.line_of[p], flat.line_of[end]));
+        i = close + 1;
+    }
+    spans
+}
+
+fn find_from(bytes: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= bytes.len() {
+        return None;
+    }
+    bytes[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| from + p)
+}
+
+/// Parses one stripped file into function items and test spans.
+pub fn parse(s: &Stripped) -> ParsedFile {
+    let flat = flatten(s);
+    let bytes = &flat.bytes;
+    let test_spans = find_test_spans(&flat);
+    let in_test = |line: usize| test_spans.iter().any(|&(lo, hi)| lo <= line && line <= hi);
+
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while let Some(p) = find_from(bytes, i, b"fn") {
+        i = p + 2;
+        if !word_at(bytes, p, 2) {
+            continue;
+        }
+        let after = skip_ws(bytes, p + 2);
+        // `fn(` is a function-pointer type, not an item.
+        let Some((name, name_end)) = read_ident(bytes, after) else { continue };
+        // Scan the signature for the body `{` or a terminating `;`.
+        // `;` inside `[u8; 3]` or `(…)` does not terminate; `{` inside a
+        // const-generic default (`[T; { N }]`) does not occur here.
+        let mut depth = 0i32;
+        let mut k = name_end;
+        let body_open = loop {
+            if k >= bytes.len() {
+                break None;
+            }
+            match bytes[k] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b';' if depth == 0 => break None,
+                b'{' if depth == 0 => break Some(k),
+                _ => {}
+            }
+            k += 1;
+        };
+        let body = body_open.and_then(|open| {
+            match_brace(bytes, open).map(|end| (flat.line_of[open], flat.line_of[end]))
+        });
+        let decl_line = flat.line_of[p];
+        // Visibility: a `pub` token in the same line's prefix before `fn`
+        // (rustfmt keeps `pub … fn` on one line).
+        let line_start = (0..p).rev().find(|&q| bytes[q] == b'\n').map_or(0, |q| q + 1);
+        let prefix = String::from_utf8_lossy(&bytes[line_start..p]);
+        let is_pub = prefix
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|w| w == "pub");
+        fns.push(ParsedFn {
+            name,
+            decl_line,
+            body,
+            is_pub,
+            in_test: in_test(decl_line),
+        });
+        // Continue scanning from inside the signature so nested fns (and
+        // fns further down) are all found.
+        i = name_end;
+    }
+
+    // Innermost-owner attribution: paint wider spans first so narrower
+    // (nested) spans overwrite them.
+    let num_lines = s.code.len();
+    let mut owner: Vec<Option<usize>> = vec![None; num_lines];
+    let mut order: Vec<usize> = (0..fns.len()).collect();
+    order.sort_by_key(|&idx| {
+        std::cmp::Reverse(fns[idx].body.map_or(0, |(lo, hi)| hi - lo))
+    });
+    for idx in order {
+        if let Some((lo, hi)) = fns[idx].body {
+            for slot in owner.iter_mut().take(hi.min(num_lines - 1) + 1).skip(lo) {
+                *slot = Some(idx);
+            }
+        }
+    }
+
+    ParsedFile { fns, test_spans, owner }
+}
+
+/// Extracts the set of callee names referenced from the body of `fns[idx]`,
+/// excluding lines owned by nested functions. A callee is any word-bounded
+/// identifier directly followed by `(` that is not a keyword or macro
+/// invocation; `path::to::callee(` and `.method(` both yield the final
+/// segment.
+pub fn callees(s: &Stripped, parsed: &ParsedFile, idx: usize) -> Vec<String> {
+    const KEYWORDS: [&str; 18] = [
+        "if", "while", "match", "return", "for", "in", "as", "loop", "move", "else", "let",
+        "mut", "fn", "impl", "dyn", "where", "break", "continue",
+    ];
+    let Some((lo, hi)) = parsed.fns[idx].body else {
+        return Vec::new();
+    };
+    let mut out = std::collections::BTreeSet::new();
+    for line_idx in lo..=hi.min(s.code.len() - 1) {
+        if parsed.owner[line_idx] != Some(idx) {
+            continue; // line belongs to a nested fn
+        }
+        let bytes = s.code[line_idx].as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if !(bytes[i].is_ascii_alphabetic() || bytes[i] == b'_') {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            if start > 0 && is_ident_byte(bytes[start - 1]) {
+                continue;
+            }
+            let mut j = i;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            // `name!` is a macro; `name(` is a call candidate.
+            if j < bytes.len() && bytes[j] == b'(' {
+                let name = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                if !KEYWORDS.contains(&name.as_str()) && name != parsed.fns[idx].name {
+                    out.insert(name);
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::strip;
+
+    fn parse_src(src: &str) -> (Stripped, ParsedFile) {
+        let s = strip(src);
+        let p = parse(&s);
+        (s, p)
+    }
+
+    #[test]
+    fn finds_fns_with_bodies_and_visibility() {
+        let src = "pub fn alpha() -> usize {\n    1\n}\nfn beta(x: [u8; 3]) {\n    helper();\n}\n";
+        let (_, p) = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "alpha");
+        assert!(p.fns[0].is_pub);
+        assert_eq!(p.fns[0].body, Some((0, 2)));
+        assert_eq!(p.fns[1].name, "beta");
+        assert!(!p.fns[1].is_pub);
+        assert_eq!(p.fns[1].body, Some((3, 5)));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "pub trait T {\n    fn required(&self) -> usize;\n    fn provided(&self) -> usize {\n        self.required()\n    }\n}\n";
+        let (_, p) = parse_src(src);
+        let required = p.fns.iter().find(|f| f.name == "required").unwrap();
+        assert!(required.body.is_none());
+        let provided = p.fns.iter().find(|f| f.name == "provided").unwrap();
+        assert_eq!(provided.body, Some((2, 4)));
+    }
+
+    #[test]
+    fn cfg_test_mod_and_test_fns_are_marked() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn probe() {\n        live();\n    }\n}\n";
+        let (_, p) = parse_src(src);
+        let live = p.fns.iter().find(|f| f.name == "live").unwrap();
+        assert!(!live.in_test);
+        let probe = p.fns.iter().find(|f| f.name == "probe").unwrap();
+        assert!(probe.in_test);
+        assert!(p.line_in_test(5));
+        assert!(!p.line_in_test(0));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test_region() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod sanity {\n    fn inner() {}\n}\n";
+        let (_, p) = parse_src(src);
+        assert!(p.fns[0].in_test);
+    }
+
+    #[test]
+    fn nested_fn_lines_are_owned_by_the_inner_fn() {
+        let src = "fn outer() {\n    fn inner() {\n        leaf();\n    }\n    inner();\n}\n";
+        let (s, p) = parse_src(src);
+        let outer = p.fns.iter().position(|f| f.name == "outer").unwrap();
+        let inner = p.fns.iter().position(|f| f.name == "inner").unwrap();
+        assert_eq!(p.owner[2], Some(inner));
+        assert_eq!(p.owner[4], Some(outer));
+        let outer_calls = callees(&s, &p, outer);
+        assert!(outer_calls.contains(&"inner".to_string()));
+        assert!(!outer_calls.contains(&"leaf".to_string()));
+        let inner_calls = callees(&s, &p, inner);
+        assert_eq!(inner_calls, vec!["leaf".to_string()]);
+    }
+
+    #[test]
+    fn callees_capture_methods_paths_and_skip_macros_and_keywords() {
+        let src = "fn f(&self) {\n    self.helper(1);\n    crate::module::leaf(2);\n    println!(\"skip\");\n    if cond(3) { return; }\n    let v = Vec::with_capacity(4);\n}\n";
+        let (s, p) = parse_src(src);
+        let calls = callees(&s, &p, 0);
+        assert!(calls.contains(&"helper".to_string()));
+        assert!(calls.contains(&"leaf".to_string()));
+        assert!(calls.contains(&"cond".to_string()));
+        assert!(calls.contains(&"with_capacity".to_string()));
+        assert!(!calls.contains(&"println".to_string()));
+        assert!(!calls.contains(&"if".to_string()));
+        assert!(!calls.contains(&"return".to_string()));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn takes(cb: fn(usize) -> usize) -> usize {\n    cb(1)\n}\n";
+        let (_, p) = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "takes");
+    }
+}

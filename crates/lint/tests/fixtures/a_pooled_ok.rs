@@ -1,0 +1,28 @@
+// A001 false-positive guard: the pooled-fallback default pattern. A
+// `forward_into` that falls back to its allocating twin `forward` (the
+// trait-default shape D006 mandates) must NOT drag the twin's allocations
+// onto the hot path — the call graph cuts fallback-twin edges. Linted as
+// crate "nn", file "layer.rs"; expected findings: none.
+
+pub struct Dense {
+    weights: [f32; 4],
+}
+
+impl Dense {
+    /// Hot-path root (`forward_into` anywhere). Its body is
+    /// allocation-free; the twin call below is the pooled fallback.
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        let y = self.forward(x);
+        out.copy_from_slice(&y);
+    }
+
+    /// Allocating twin: only entered on an arena miss, so the call graph
+    /// does not traverse the `forward_into -> forward` edge.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0f32; x.len()];
+        for (o, (i, w)) in y.iter_mut().zip(x.iter().zip(self.weights.iter())) {
+            *o = i * w;
+        }
+        y
+    }
+}

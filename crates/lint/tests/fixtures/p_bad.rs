@@ -1,0 +1,15 @@
+// P001 fixture: bare unwrap, empty-message expect and panic! must be
+// flagged in a library crate; a reasoned expect and a marker-covered
+// unwrap must stay silent. Linted as crate "core", file "state.rs".
+
+pub fn drain(v: &mut Vec<u32>) -> u32 {
+    let a = v.pop().unwrap();
+    let b = v.pop().expect("");
+    if a == 0 {
+        panic!("zero entry in ring");
+    }
+    // panic: ring is pre-filled to capacity during construction
+    let c = v.pop().unwrap();
+    let d = v.pop().expect("ring holds at least four entries");
+    a + b + c + d
+}

@@ -1,0 +1,14 @@
+// W fixture: a waiver whose window no longer contains a finding of the
+// waived rule (W001) and a classification marker whose window no longer
+// contains a matching construct (W002) are both stale — errors, not
+// leftovers. Linted as crate "core", file "cache.rs".
+
+// lint: allow(D002) — was needed before the clock plumbing landed
+pub fn touch(x: u32) -> u32 {
+    x + 1
+}
+
+// alloc: pooled — leftover from a removed fallback path
+pub fn bump(x: u32) -> u32 {
+    x + 2
+}

@@ -94,6 +94,57 @@ fn waiver_with_reason_silences_and_without_reason_does_not() {
 }
 
 #[test]
+fn a001_fixture_trips_through_multiple_call_hops() {
+    // "tensor" + "aggregation.rs" makes `pub fn weighted_sum_into` a
+    // hot-path root; the fixture allocates one and two hops below it.
+    let findings = lint_fixture("tensor", "aggregation.rs", "a_bad.rs");
+    let a001: Vec<_> = findings.iter().filter(|f| f.rule == RuleId::A001).collect();
+    assert_eq!(a001.len(), 2, "{findings:#?}");
+    assert!(
+        a001.iter()
+            .any(|f| f.message.contains("weighted_sum_into -> accumulate")),
+        "one-hop chain missing: {a001:#?}"
+    );
+    assert!(
+        a001.iter()
+            .any(|f| f.message.contains("weighted_sum_into -> accumulate -> finalize")),
+        "two-hop chain missing: {a001:#?}"
+    );
+    // The reasoned `alloc: bounded` site and the non-reachable allocating
+    // twin contribute nothing; no other rule fires either.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn a001_stays_silent_on_the_pooled_fallback_pattern() {
+    // `forward_into` calling its allocating twin `forward` is the
+    // arena-miss fallback D006 mandates — the twin edge is cut, so the
+    // twin's allocations never reach the hot path.
+    let findings = lint_fixture("nn", "layer.rs", "a_pooled_ok.rs");
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn p001_fixture_trips_on_bare_panics_only() {
+    let findings = lint_fixture("core", "state.rs", "p_bad.rs");
+    // Bare `.unwrap()`, `.expect("")` and `panic!` are flagged; the
+    // marker-covered unwrap and the reasoned expect are not.
+    assert_eq!(count(&findings, RuleId::P001), 3, "{findings:#?}");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+}
+
+#[test]
+fn w_fixture_trips_on_stale_waiver_and_stale_marker() {
+    let findings = lint_fixture("core", "cache.rs", "w_stale.rs");
+    assert_eq!(count(&findings, RuleId::W001), 1, "{findings:#?}");
+    assert_eq!(count(&findings, RuleId::W002), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::W001 && f.message.contains("D002")));
+}
+
+#[test]
 fn live_tree_passes_deny_all() {
     // crates/lint/ -> crates/ -> workspace root.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -47,10 +47,12 @@ impl Layer for Relu {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
@@ -112,10 +114,12 @@ impl Layer for Tanh {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
@@ -177,10 +181,12 @@ impl Layer for Sigmoid {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 

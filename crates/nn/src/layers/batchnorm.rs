@@ -247,10 +247,12 @@ impl Layer for BatchNorm2d {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&self.gamma, &self.beta, &self.running_mean, &self.running_var]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![
             &mut self.gamma,
             &mut self.beta,

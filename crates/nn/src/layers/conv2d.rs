@@ -234,6 +234,7 @@ impl Layer for Conv2d {
                 cached.clear();
                 cached.extend_from_slice(input.dims());
             }
+            // alloc: pooled — dims cached on first call; steady rounds take the Some branch
             None => self.cached_input_dims = Some(input.dims().to_vec()),
         }
         let mut out = pool.take_uninit(&[n, self.out_channels, oh, ow]);
@@ -266,10 +267,12 @@ impl Layer for Conv2d {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&self.weight, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&mut self.weight, &mut self.bias]
     }
 

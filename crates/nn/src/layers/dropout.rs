@@ -112,10 +112,12 @@ impl Layer for Dropout {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 

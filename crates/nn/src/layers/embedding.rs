@@ -161,10 +161,12 @@ impl Layer for Embedding {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&self.weight]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&mut self.weight]
     }
 

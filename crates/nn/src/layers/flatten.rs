@@ -40,6 +40,7 @@ impl Layer for Flatten {
                 cached.clear();
                 cached.extend_from_slice(input.dims());
             }
+            // alloc: pooled — dims cached on first call; steady rounds take the Some branch
             None => self.input_dims = Some(input.dims().to_vec()),
         }
         let batch = input.dims()[0];
@@ -60,10 +61,12 @@ impl Layer for Flatten {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 

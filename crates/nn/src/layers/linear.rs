@@ -135,10 +135,12 @@ impl Layer for Linear {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&self.weight, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&mut self.weight, &mut self.bias]
     }
 

@@ -429,10 +429,12 @@ impl Layer for Lstm {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&self.w_ih, &self.w_hh, &self.bias]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
     }
 

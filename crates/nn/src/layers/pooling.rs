@@ -63,6 +63,7 @@ impl Layer for MaxPool2d {
                 cached.clear();
                 cached.extend_from_slice(dims);
             }
+            // alloc: pooled — dims cached on first call; steady rounds take the Some branch
             None => self.input_dims = Some(dims.to_vec()),
         }
         out
@@ -80,10 +81,12 @@ impl Layer for MaxPool2d {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
@@ -140,6 +143,7 @@ impl Layer for GlobalAvgPool2d {
                 cached.clear();
                 cached.extend_from_slice(input.dims());
             }
+            // alloc: pooled — dims cached on first call; steady rounds take the Some branch
             None => self.input_dims = Some(input.dims().to_vec()),
         }
         let dims = input.dims();
@@ -159,10 +163,12 @@ impl Layer for GlobalAvgPool2d {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         Vec::new()
     }
 

@@ -192,6 +192,7 @@ impl Layer for ResidualBlock {
     }
 
     fn params(&self) -> Vec<&Param> {
+        // alloc: bounded — short per-layer slice-ref list
         let mut out = Vec::new();
         out.extend(self.conv1.params());
         out.extend(self.bn1.params());
@@ -205,6 +206,7 @@ impl Layer for ResidualBlock {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
+        // alloc: bounded — short per-layer slice-ref list
         let mut out = Vec::new();
         out.extend(self.conv1.params_mut());
         out.extend(self.bn1.params_mut());

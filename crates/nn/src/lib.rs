@@ -135,6 +135,7 @@ pub trait Model: Send {
     /// falls back to the allocating form.
     fn read_params_into(&self, out: &mut Vec<f32>) {
         out.clear();
+        // alloc: cold — trait-default fallback; Sequential overrides the pooled form
         out.extend_from_slice(&self.params_flat());
     }
 

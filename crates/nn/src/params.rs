@@ -52,6 +52,7 @@ impl ParamBlock {
 
     /// A zero-filled block of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
+        // alloc: cold — construction-time zero init; round paths use pooled take_uninit
         Self::new(vec![0f32; dim])
     }
 
@@ -80,6 +81,7 @@ impl ParamBlock {
     /// Extracts the owned vector, reusing the allocation when this block is
     /// the unique owner and copying otherwise.
     pub fn into_vec(self) -> Vec<f32> {
+        // alloc: cold — shared-owner fallback copy on handoff
         Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
     }
 
@@ -227,6 +229,7 @@ fn accumulate_scaled(out: &mut [f32], v: &[f32], scale: f32) {
 /// Panics if `vectors` is empty or the vectors have different lengths.
 pub fn average<V: AsRef<[f32]>>(vectors: &[V]) -> ParamVec {
     assert!(!vectors.is_empty(), "average requires at least one vector");
+    // alloc: bounded — one param-vector accumulator per baseline round; FedCross rounds use *_into kernels
     let mut out = vec![0f32; vectors[0].as_ref().len()];
     average_into(&mut out, vectors);
     out
@@ -350,6 +353,7 @@ pub fn add_scaled(target: &mut [f32], delta: &[f32], alpha: f32) {
 /// Panics if lengths differ.
 pub fn difference(a: &[f32], b: &[f32]) -> ParamVec {
     assert_eq!(a.len(), b.len(), "difference requires equal lengths");
+    // alloc: bounded — param-sized delta on baseline/compress paths
     a.iter().zip(b).map(|(&x, &y)| x - y).collect()
 }
 

@@ -27,6 +27,7 @@ impl Sequential {
 
     /// Appends a layer (builder style).
     pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        // alloc: cold — model construction
         self.layers.push(Box::new(layer));
         self
     }
@@ -186,6 +187,7 @@ impl Model for Sequential {
     }
 
     fn grads_flat(&self) -> Vec<f32> {
+        // alloc: cold — allocating accessor; the step scratch uses read_grads_into
         let mut out = Vec::with_capacity(self.param_count());
         self.read_grads_into_impl(&mut out);
         out

@@ -154,6 +154,7 @@ impl DpFedAvg {
         if updates.is_empty() {
             return RoundReport::default();
         }
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let mut ordered: Vec<&LocalUpdate> = updates.iter().collect();
         ordered.sort_by_key(|update| update.client);
 
@@ -168,6 +169,7 @@ impl DpFedAvg {
                 privatize_client_delta(&mut delta, &self.config, &mut rng);
                 delta
             })
+            // alloc: bounded — cohort-sized aggregation staging, once per round
             .collect();
 
         // Unweighted mean of bounded deltas (the DP-FedAvg estimator), then
@@ -191,6 +193,7 @@ impl FederatedAlgorithm for DpFedAvg {
         // trajectory a function of the seed, so a resume under a different
         // seed would silently splice two noise sequences — the name check
         // rejects it (same convention as SecureAggFedAvg's mask seed).
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "dp-fedavg(C={}, z={}, {}, seed={})",
             self.config.clip_norm,
@@ -206,7 +209,9 @@ impl FederatedAlgorithm for DpFedAvg {
         let selected = ctx.select_clients();
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|&client| (client, self.global.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs);
@@ -360,6 +365,7 @@ impl DpFedCross {
                     .expect("every update comes from a selected client");
                 (slot, update)
             })
+            // alloc: bounded — cohort-sized aggregation staging, once per round
             .collect();
         ordered.sort_by_key(|(slot, _)| *slot);
 
@@ -369,7 +375,9 @@ impl DpFedCross {
         let participants = ordered.len();
         let round_client_noise = self.client_noise.round(round);
         let round_central_noise = self.central_noise.round(round);
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let mut returned_slots = Vec::with_capacity(participants);
+        // alloc: bounded — cohort-sized aggregation staging, once per round
         let mut uploaded = Vec::with_capacity(participants);
         for &(slot, update) in &ordered {
             let dispatched = &self.middleware[slot];
@@ -410,6 +418,7 @@ impl DpFedCross {
             accountant.step_with_rate(participants as f64 / num_clients.max(1) as f64);
         }
         let ordered_updates: Vec<&LocalUpdate> =
+            // alloc: bounded — cohort-sized aggregation staging, once per round
             ordered.iter().map(|&(_, update)| update).collect();
         RoundReport::from_ordered(&ordered_updates)
     }
@@ -420,6 +429,7 @@ impl FederatedAlgorithm for DpFedCross {
         // Seed in the name for the same reason as DpFedAvg: a resume under a
         // different noise seed cannot be bitwise faithful and must be
         // rejected by the name check.
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "dp-fedcross(alpha={}, C={}, z={}, {}, seed={})",
             self.config.alpha,
@@ -444,7 +454,9 @@ impl FederatedAlgorithm for DpFedCross {
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
             .zip(self.middleware.iter())
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|(&client, model)| (client, model.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs);
@@ -522,6 +534,7 @@ impl FederatedAlgorithm for SecureAggFedAvg {
         // resume under a different seed — or under the pre-fork additive
         // derivation this name deliberately no longer matches — would differ
         // in the low bits. The name check rejects both.
+        // alloc: cold — identity string for reporting, built outside the per-round loop
         format!(
             "secureagg-fedavg(scale={}, seed={}, masks=fork)",
             self.mask_scale,
@@ -533,7 +546,9 @@ impl FederatedAlgorithm for SecureAggFedAvg {
         let selected = ctx.select_clients();
         let jobs: Vec<(usize, ParamBlock)> = selected
             .iter()
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .map(|&client| (client, self.global.clone()))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let updates = ctx.local_train_batch(&jobs);
         drop(jobs);
@@ -545,6 +560,7 @@ impl FederatedAlgorithm for SecureAggFedAvg {
         let deltas: Vec<Vec<f32>> = updates
             .iter()
             .map(|update| difference(&update.params, &self.global))
+            // alloc: bounded — cohort-sized per-round dispatch/bookkeeping, inside the round_alloc ceiling
             .collect();
         let masker =
             PairwiseMasker::new(self.mask_streams.round(round).seed(), self.mask_scale);

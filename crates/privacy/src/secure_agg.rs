@@ -38,6 +38,7 @@ impl PairwiseMasker {
         let mut rng = SeededRng::new(self.round_seed).fork(stream); // fork: construction-seed
         (0..dim)
             .map(|_| rng.normal_with(0.0, self.mask_scale))
+            // alloc: cold — optional privacy plane, outside the pinned zero-alloc configuration
             .collect()
     }
 
@@ -49,6 +50,7 @@ impl PairwiseMasker {
     /// of the raw uploads.
     pub fn mask(&self, upload: &[f32], position: usize, participants: usize) -> Vec<f32> {
         assert!(position < participants, "position must index a participant");
+        // alloc: cold — optional privacy plane, outside the pinned zero-alloc configuration
         let mut masked = upload.to_vec();
         for other in 0..participants {
             if other == position {
@@ -70,6 +72,7 @@ impl PairwiseMasker {
             .iter()
             .enumerate()
             .map(|(position, upload)| self.mask(upload, position, uploads.len()))
+            // alloc: cold — optional privacy plane, outside the pinned zero-alloc configuration
             .collect()
     }
 }
@@ -79,6 +82,7 @@ impl PairwiseMasker {
 pub fn aggregate_masked(masked: &[Vec<f32>]) -> Vec<f32> {
     assert!(!masked.is_empty(), "cannot aggregate an empty round");
     let dim = masked[0].len();
+    // alloc: cold — optional privacy plane, outside the pinned zero-alloc configuration
     let mut sum = vec![0f32; dim];
     for upload in masked {
         assert_eq!(upload.len(), dim, "all uploads must have identical length");

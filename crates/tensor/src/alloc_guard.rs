@@ -1,0 +1,317 @@
+//! Scoped no-alloc assertion — the runtime half of the allocation-discipline
+//! plane (the static half is `fedcross-lint`'s rule A001).
+//!
+//! A test binary installs a counting global allocator that forwards every
+//! allocation's size to [`note_alloc`]. Production code brackets its
+//! steady-state regions with [`AllocGuard::enter`]; while a guard is live on
+//! the current thread, any single allocation of at least the guard's
+//! threshold is recorded as a violation and reported by panic when the
+//! guard drops (or returned by [`AllocGuard::finish`] for tests that want
+//! to assert on it).
+//!
+//! Everything here compiles to a no-op unless the `sanitize-alloc` feature
+//! is enabled: [`note_alloc`] is an empty `#[inline]` fn and the guard is a
+//! zero-sized token, so hot paths carry no cost in normal builds.
+//!
+//! Design constraints, all driven by running *inside* the global allocator
+//! callback:
+//!
+//! * no `RefCell`/locks in the thread-local — the allocator can re-enter
+//!   (a panic payload allocates, a nested guard's drop runs during
+//!   unwinding), so state is a fixed-size array of `Cell`s;
+//! * [`note_alloc`] itself never allocates and never panics — the violation
+//!   is *recorded* at allocation time and *raised* later, from guard
+//!   drop/finish, after the scope has been popped (a panic inside
+//!   `GlobalAlloc::alloc` would abort the process);
+//! * guards nest (round guard outside, eval guard inside): a violation is
+//!   charged to every live scope it exceeds the threshold of.
+
+#![allow(dead_code)]
+
+#[cfg(feature = "sanitize-alloc")]
+mod imp {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Maximum nesting depth of live guards per thread. Exceeding it aborts
+    /// the scope push (the extra guard becomes inert) rather than losing
+    /// state — 8 is far above anything the engine nests.
+    pub const MAX_DEPTH: usize = 8;
+
+    #[derive(Clone, Copy)]
+    pub struct Scope {
+        pub region: &'static str,
+        pub threshold: usize,
+        /// Allocations seen while this scope was live (any size).
+        pub allocations: usize,
+        /// Bytes of the largest single allocation ≥ threshold, 0 if none.
+        pub worst: usize,
+        /// Number of allocations ≥ threshold.
+        pub violations: usize,
+    }
+
+    struct Stack {
+        depth: Cell<usize>,
+        scopes: [Cell<Scope>; MAX_DEPTH],
+    }
+
+    const EMPTY: Scope = Scope {
+        region: "",
+        threshold: 0,
+        allocations: 0,
+        worst: 0,
+        violations: 0,
+    };
+
+    thread_local! {
+        static STACK: Stack = const {
+            Stack { depth: Cell::new(0), scopes: [const { Cell::new(EMPTY) }; MAX_DEPTH] }
+        };
+    }
+
+    /// Total guarded regions entered, process-wide — lets integration tests
+    /// assert the guards actually ran (non-vacuity).
+    static REGIONS_ENTERED: AtomicUsize = AtomicUsize::new(0);
+
+    /// Total guarded regions entered so far, process-wide.
+    pub fn regions_entered() -> usize {
+        REGIONS_ENTERED.load(Ordering::Relaxed)
+    }
+
+    /// Records one allocation of `size` bytes against every live scope on
+    /// this thread. Called from inside `GlobalAlloc::alloc` — must not
+    /// allocate, panic, or re-enter the thread-local mutably twice.
+    #[inline]
+    pub fn note_alloc(size: usize) {
+        // Accessing a `const`-initialised thread-local never allocates.
+        let _ = STACK.try_with(|stack| {
+            let depth = stack.depth.get();
+            for slot in &stack.scopes[..depth] {
+                let mut s = slot.get();
+                s.allocations += 1;
+                if size >= s.threshold {
+                    s.violations += 1;
+                    s.worst = s.worst.max(size);
+                }
+                slot.set(s);
+            }
+        });
+    }
+
+    /// What a scope saw while it was live.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct GuardStats {
+        /// Region name the guard was opened with.
+        pub region: &'static str,
+        /// Allocations seen while the scope was live.
+        pub allocations: usize,
+        /// Allocations at or above the threshold.
+        pub violations: usize,
+        /// Largest violating allocation in bytes.
+        pub worst: usize,
+    }
+
+    /// RAII no-alloc scope. See the module docs.
+    pub struct AllocGuard {
+        /// Index of this guard's scope, or `MAX_DEPTH` if the stack was
+        /// full and the guard is inert.
+        slot: usize,
+        defused: bool,
+    }
+
+    impl AllocGuard {
+        /// Opens a guarded region: until drop/finish, any single allocation
+        /// of `threshold_bytes` or more on this thread is a violation.
+        pub fn enter(region: &'static str, threshold_bytes: usize) -> AllocGuard {
+            REGIONS_ENTERED.fetch_add(1, Ordering::Relaxed);
+            let slot = STACK.with(|stack| {
+                let depth = stack.depth.get();
+                if depth >= MAX_DEPTH {
+                    return MAX_DEPTH;
+                }
+                stack.scopes[depth].set(Scope {
+                    region,
+                    threshold: threshold_bytes,
+                    allocations: 0,
+                    worst: 0,
+                    violations: 0,
+                });
+                stack.depth.set(depth + 1);
+                depth
+            });
+            AllocGuard { slot, defused: false }
+        }
+
+        /// Closes the scope and returns its stats instead of panicking —
+        /// the assertion-by-hand form for tests.
+        pub fn finish(mut self) -> GuardStats {
+            self.defused = true;
+            self.pop().unwrap_or(GuardStats {
+                region: "",
+                allocations: 0,
+                violations: 0,
+                worst: 0,
+            })
+        }
+
+        fn pop(&mut self) -> Option<GuardStats> {
+            if self.slot >= MAX_DEPTH {
+                return None;
+            }
+            STACK.with(|stack| {
+                // Guards are strictly LIFO (RAII), so this guard's scope is
+                // the top of the stack.
+                let depth = stack.depth.get();
+                debug_assert_eq!(depth, self.slot + 1, "alloc guards must drop LIFO");
+                stack.depth.set(self.slot);
+                let s = stack.scopes[self.slot].get();
+                Some(GuardStats {
+                    region: s.region,
+                    allocations: s.allocations,
+                    violations: s.violations,
+                    worst: s.worst,
+                })
+            })
+        }
+    }
+
+    impl Drop for AllocGuard {
+        fn drop(&mut self) {
+            if self.defused {
+                return; // finish() already popped the scope
+            }
+            let stats = self.pop();
+            if let Some(s) = stats {
+                // The scope is already popped, so the panic's own
+                // allocations are not double-counted; never panic during an
+                // unwind already in flight.
+                if s.violations > 0 && !std::thread::panicking() {
+                    // panic: the sanitizer's whole job — a tripped guard must fail the test
+                    panic!(
+                        "alloc_guard: {} allocation(s) of >= threshold inside `{}` \
+                         (largest {} bytes) — the steady-state region must not allocate",
+                        s.violations, s.region, s.worst
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "sanitize-alloc"))]
+mod imp {
+    /// No-op hook when the sanitizer is compiled out.
+    #[inline(always)]
+    pub fn note_alloc(_size: usize) {}
+
+    /// Always zero when the sanitizer is compiled out.
+    pub fn regions_entered() -> usize {
+        0
+    }
+
+    /// What a scope saw — always empty when the sanitizer is compiled out.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct GuardStats {
+        /// Region name the guard was opened with.
+        pub region: &'static str,
+        /// Allocations seen while the scope was live.
+        pub allocations: usize,
+        /// Allocations at or above the threshold.
+        pub violations: usize,
+        /// Largest violating allocation in bytes.
+        pub worst: usize,
+    }
+
+    /// Zero-sized no-op guard when the sanitizer is compiled out.
+    pub struct AllocGuard;
+
+    // An explicit (empty) Drop keeps the guard's end-of-scope semantics
+    // identical across both configurations — `drop(guard)` in the engine
+    // is meaningful either way.
+    impl Drop for AllocGuard {
+        fn drop(&mut self) {}
+    }
+
+    impl AllocGuard {
+        /// Opens a guarded region — a no-op in this configuration.
+        #[inline(always)]
+        pub fn enter(_region: &'static str, _threshold_bytes: usize) -> AllocGuard {
+            AllocGuard
+        }
+
+        /// Closes the scope — always returns empty stats.
+        #[inline(always)]
+        pub fn finish(self) -> GuardStats {
+            GuardStats {
+                region: "",
+                allocations: 0,
+                violations: 0,
+                worst: 0,
+            }
+        }
+    }
+}
+
+pub use imp::{note_alloc, regions_entered, AllocGuard, GuardStats};
+
+#[cfg(all(test, feature = "sanitize-alloc"))]
+mod tests {
+    use super::*;
+
+    // These tests drive note_alloc directly (no global allocator needed),
+    // so thresholds and nesting are exercised deterministically. The
+    // end-to-end path with a real counting allocator lives in
+    // tests/tests/sanitize_alloc.rs.
+
+    #[test]
+    fn threshold_edge_is_inclusive() {
+        let g = AllocGuard::enter("edge", 64);
+        note_alloc(63);
+        let s = g.finish();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.violations, 0, "below threshold is allowed");
+        let g = AllocGuard::enter("edge", 64);
+        note_alloc(64);
+        let s = g.finish();
+        assert_eq!(s.violations, 1, "exactly threshold violates");
+        assert_eq!(s.worst, 64);
+    }
+
+    #[test]
+    fn nested_scopes_charge_independently() {
+        let outer = AllocGuard::enter("outer", 1024);
+        note_alloc(512); // outer only: under threshold
+        let inner = AllocGuard::enter("inner", 256);
+        note_alloc(512); // both live: violates inner, not outer
+        let si = inner.finish();
+        note_alloc(2048); // outer only again: violates outer
+        let so = outer.finish();
+        assert_eq!(si.allocations, 1);
+        assert_eq!(si.violations, 1);
+        assert_eq!(so.allocations, 3);
+        assert_eq!(so.violations, 1);
+        assert_eq!(so.worst, 2048);
+    }
+
+    #[test]
+    fn no_live_guard_means_nothing_recorded() {
+        note_alloc(usize::MAX); // must be a no-op, not a crash
+        let g = AllocGuard::enter("after", 1);
+        let s = g.finish();
+        assert_eq!(s.allocations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alloc_guard")]
+    fn drop_panics_on_violation() {
+        let _g = AllocGuard::enter("hot", 16);
+        note_alloc(32);
+    }
+
+    #[test]
+    fn regions_entered_counts_up() {
+        let before = regions_entered();
+        AllocGuard::enter("count", usize::MAX).finish();
+        assert!(regions_entered() > before);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alloc_guard;
 pub mod conv;
 pub mod error;
 pub mod init;

@@ -103,7 +103,9 @@ fn micro_tile<const R: usize>(
         acc_row.copy_from_slice(&out[base..base + NR]);
     }
     for p in p0..p0 + pc {
-        let bv: [f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
+        let bv: [f32; NR] = b[p * n + j0..p * n + j0 + NR]
+            .try_into()
+            .expect("slice is exactly NR elements by construction");
         for (r, acc_row) in acc.iter_mut().enumerate() {
             let av = a[(i0 + r) * k + p];
             for (l, x) in acc_row.iter_mut().enumerate() {
@@ -335,10 +337,12 @@ impl Tensor {
                     .map(|block| {
                         let start = block * K_BLOCK_ROWS;
                         let end = ((block + 1) * K_BLOCK_ROWS).min(k);
+                        // alloc: bounded — per-block partials on the multi-block parallel path; single-block path allocates none
                         let mut partial = vec![0f32; m * n];
                         gemm_accum(&mut partial, at, b, m, k, n, start, end);
                         partial
                     })
+                    // alloc: bounded — per-block partials on the multi-block parallel path; single-block path allocates none
                     .collect();
                 let od = out.data_mut();
                 for partial in partials {

@@ -43,6 +43,7 @@ impl TensorPool {
             Some(buf) => buf,
             None => {
                 self.fresh_allocations += 1;
+                // alloc: pooled — arena miss; steady rounds reuse returned buffers
                 vec![0f32; numel]
             }
         };

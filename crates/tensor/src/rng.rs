@@ -113,6 +113,7 @@ impl SeededRng {
     /// Panics if `k > n`.
     pub fn sample_without_replacement(&mut self, n: usize, k: usize) -> Vec<usize> {
         assert!(k <= n, "cannot sample {k} items from {n}");
+        // alloc: bounded — dense index pool for small populations; the sparse variant covers large n
         let mut pool: Vec<usize> = (0..n).collect();
         for i in 0..k {
             let j = i + self.below(n - i);
@@ -144,6 +145,7 @@ impl SeededRng {
     /// Panics if `k > n`.
     pub fn sample_without_replacement_sparse(&mut self, n: usize, k: usize) -> Vec<usize> {
         assert!(k <= n, "cannot sample {k} items from {n}");
+        // alloc: bounded — k picks plus collision set, cohort-sized
         let mut picked: Vec<usize> = Vec::with_capacity(k);
         for j in (n - k)..n {
             let t = self.below(j + 1);
@@ -195,6 +197,7 @@ impl SeededRng {
     pub fn dirichlet(&mut self, dim: usize, beta: f32) -> Vec<f32> {
         assert!(dim > 0, "dirichlet requires dim > 0");
         assert!(beta > 0.0, "dirichlet requires beta > 0");
+        // alloc: pooled — shard-cache miss sampling; steady rounds hit the cache
         let mut samples = vec![0f32; dim];
         for s in samples.iter_mut() {
             *s = self.gamma(beta);
@@ -204,6 +207,7 @@ impl SeededRng {
             // Extremely small beta can underflow every component; fall back to
             // a one-hot draw which is the limiting Dir(β→0) behaviour.
             let hot = self.below(dim);
+            // alloc: pooled — shard-cache miss sampling; steady rounds hit the cache
             let mut one_hot = vec![0f32; dim];
             one_hot[hot] = 1.0;
             return one_hot;

@@ -74,6 +74,7 @@ impl Tensor {
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
+            // alloc: bounded — one index per eval row
             .collect()
     }
 

@@ -50,6 +50,7 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
+        // alloc: cold — construction-time zero init; round paths use pooled take_uninit
         let data = vec![0f32; shape.numel()];
         Self { shape, data }
     }
@@ -140,6 +141,7 @@ impl Tensor {
         let flat = self
             .shape
             .flat_index(index)
+            // panic: documented bounds-check contract of get/set
             .unwrap_or_else(|| panic!("index {index:?} out of bounds for shape {}", self.shape));
         self.data[flat]
     }
@@ -152,6 +154,7 @@ impl Tensor {
         let flat = self
             .shape
             .flat_index(index)
+            // panic: documented bounds-check contract of get/set
             .unwrap_or_else(|| panic!("index {index:?} out of bounds for shape {}", self.shape));
         self.data[flat] = value;
     }
@@ -387,7 +390,9 @@ impl Tensor {
     /// Applies a function to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
+            // alloc: cold — allocating tensor map; round paths use map_into
             shape: self.shape.clone(),
+            // alloc: cold — allocating tensor map; round paths use map_into
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
     }
@@ -407,6 +412,7 @@ impl Tensor {
     /// Panics if `out` has a different element count.
     pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32) {
         assert_eq!(self.numel(), out.numel(), "map_into: element count mismatch");
+        // alloc: bounded — dims-vector clone, a few usizes
         out.shape = self.shape.clone();
         for (o, &x) in out.data.iter_mut().zip(&self.data) {
             *o = f(x);
@@ -426,6 +432,7 @@ impl Tensor {
             out.numel(),
             "zip_map_into: element count mismatch"
         );
+        // alloc: bounded — dims-vector clone, a few usizes
         out.shape = self.shape.clone();
         for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
             *o = f(a, b);
